@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+/// Shared harness pieces for the figure/table reproduction benches.
+///
+/// Reporting protocol follows the paper (Section VI-A3): several BFS runs
+/// from deterministic pseudo-random sources, runs that finish in <= 1
+/// iteration are discarded, and the geometric mean of traversal rates is
+/// reported.  Rates come in two flavours: *modeled* GTEPS (the simulated
+/// P100/EDR cluster -- comparable to the paper's numbers in shape) and
+/// *measured* GTEPS (this machine's wall clock -- only meaningful for
+/// comparisons at equal scale).
+namespace dsbfs::bench {
+
+struct SeriesResult {
+  util::Summary modeled_gteps;
+  util::Summary measured_gteps;
+  util::Summary modeled_ms;
+  /// Breakdown averages across counted runs (modeled ms).
+  double computation_ms = 0;
+  double local_comm_ms = 0;
+  double normal_exchange_ms = 0;
+  double delegate_reduce_ms = 0;
+  double mean_iterations = 0;
+  double mean_reduce_iterations = 0;
+  int counted_runs = 0;
+  int skipped_runs = 0;
+};
+
+/// Run `sources` BFS traversals with the paper's discard rule.
+SeriesResult run_series(const graph::DistributedGraph& graph,
+                        sim::Cluster& cluster, const core::BfsOptions& options,
+                        int sources, std::uint64_t source_seed = 1);
+
+/// Standard bench preamble: prints the binary's purpose and the paper
+/// artifact it reproduces.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+/// Round x to the nearest integer in a sqrt(2)-spaced threshold ladder.
+std::vector<std::uint32_t> sqrt2_ladder(std::uint32_t lo, std::uint32_t hi);
+
+}  // namespace dsbfs::bench

@@ -1,0 +1,54 @@
+// Figure 7: suggested degree thresholds for different RMAT scales along the
+// weak-scaling curve, with the resulting delegate and nn-edge percentages
+// and the 4n/p budget line.  (Paper: scales 25-33 with p = 2^(scale-26)*4
+// GPUs; default here: scales 12-18 with p = 2^(scale - base) GPUs.)
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/partition_stats.hpp"
+#include "graph/rmat.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsbfs;
+  util::Cli cli(argc, argv);
+  const int lo = static_cast<int>(cli.get_int("min_scale", 12, "first scale"));
+  const int hi = static_cast<int>(cli.get_int("max_scale", 18, "last scale"));
+  const int base = static_cast<int>(
+      cli.get_int("base_scale", 13, "scale that runs on a single GPU"));
+  if (cli.help_requested()) {
+    cli.print_help("Figure 7: suggested TH per scale with delegate/nn shares");
+    return 0;
+  }
+
+  bench::print_banner("Figure 7 -- suggested thresholds along weak scaling",
+                      "Fig. 7: TH(scale), delegate %, nn %, 4n/p line");
+
+  util::Table table({"scale", "gpus", "suggested_TH", "delegate_pct",
+                     "nn_edge_pct", "4n_over_p_pct"});
+  std::uint32_t prev_th = 0;
+  for (int scale = lo; scale <= hi; ++scale) {
+    const int p = std::max(1, 1 << std::max(0, scale - base));
+    const graph::EdgeList g =
+        graph::rmat_graph500({.scale = scale, .seed = 1});
+    const graph::PartitionStatsSweeper sweeper(g);
+    const std::uint32_t th = graph::suggest_threshold(sweeper, p);
+    const graph::PartitionStats s = sweeper.at(th);
+    const double budget_pct = 400.0 / p;  // 4n/p as % of n
+    table.row()
+        .add(scale)
+        .add(p)
+        .add(static_cast<std::uint64_t>(th))
+        .add(s.delegate_pct(), 3)
+        .add(s.nn_pct(), 2)
+        .add(budget_pct, 3);
+    prev_th = th;
+  }
+  (void)prev_th;
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper Fig. 7): suggested TH grows ~sqrt(2)"
+            << "\nper scale; delegate % stays below the 4n/p line; nn % grows"
+            << "\nslowly (6.3% at the paper's scale 33).\n";
+  return 0;
+}

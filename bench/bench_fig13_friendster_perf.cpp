@@ -1,0 +1,45 @@
+// Figure 13: traversal rates vs degree threshold on the friendster-like
+// graph, 1x2x2 GPUs (as in the paper).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsbfs;
+  util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(
+      cli.get_int("scale", 17, "log2 of synthetic friendster vertices"));
+  const std::string gpus = cli.get_string("gpus", "1x2x2", "cluster NxRxG");
+  const int sources = static_cast<int>(cli.get_int("sources", 4,
+                                                   "BFS sources per point"));
+  if (cli.help_requested()) {
+    cli.print_help("Figure 13: friendster-like TH sweep (performance)");
+    return 0;
+  }
+  bench::print_banner("Figure 13 -- friendster-like GTEPS vs TH",
+                      "Fig. 13: BFS and DOBFS rates across thresholds");
+
+  const sim::ClusterSpec spec = sim::ClusterSpec::parse(gpus);
+  const graph::EdgeList g =
+      graph::friendster_like({.scale = scale, .seed = 1});
+
+  util::Table table({"TH", "BFS_modeled_GTEPS", "DOBFS_modeled_GTEPS"});
+  for (const std::uint32_t th : bench::sqrt2_ladder(16, 256)) {
+    const graph::DistributedGraph dg = graph::build_distributed(g, spec, th);
+    sim::Cluster cluster(spec);
+    core::BfsOptions plain;
+    plain.direction_optimized = false;
+    const auto bfs = bench::run_series(dg, cluster, plain, sources);
+    const auto dobfs = bench::run_series(dg, cluster, {}, sources);
+    table.row()
+        .add(static_cast<std::uint64_t>(th))
+        .add(bfs.modeled_gteps.geomean(), 3)
+        .add(dobfs.modeled_gteps.geomean(), 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper Fig. 13): DOBFS above BFS with a wide"
+            << "\nnear-optimal TH range ([32, 91] in the paper).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Graph500-style benchmark runner: the full protocol -- generate an RMAT
+// graph at the requested scale, run BFS from many pseudo-random sources,
+// validate each result, and report the TEPS statistics (geometric/harmonic
+// means) the way Graph500 submissions do.
+//
+//   ./graph500_runner --scale=17 --gpus=2x2x2 --sources=16
+#include <cstdio>
+
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "graph/partition_stats.hpp"
+#include "graph/rmat.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsbfs;
+  util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", 17, "RMAT scale"));
+  const std::string gpus = cli.get_string("gpus", "2x2x2", "cluster NxRxG");
+  const int sources =
+      static_cast<int>(cli.get_int("sources", 16, "number of BFS roots"));
+  const bool do_validate =
+      cli.get_flag("validate", true, "validate every BFS output");
+  const bool direction_optimized =
+      cli.get_flag("do", true, "direction optimization");
+  if (cli.help_requested()) {
+    cli.print_help("Graph500-style BFS benchmark with validation");
+    return 0;
+  }
+
+  util::Timer total;
+  std::printf("== generation ==\n");
+  util::Timer gen_timer;
+  const graph::EdgeList edges =
+      graph::rmat_graph500({.scale = scale, .seed = 2});
+  std::printf("scale %d: n=%s m=%s in %.1f ms\n", scale,
+              util::format_count(edges.num_vertices).c_str(),
+              util::format_count(edges.size()).c_str(),
+              gen_timer.elapsed_ms());
+
+  std::printf("\n== construction ==\n");
+  util::Timer build_timer;
+  const sim::ClusterSpec spec = sim::ClusterSpec::parse(gpus);
+  const graph::PartitionStatsSweeper sweeper(edges);
+  const std::uint32_t th =
+      graph::suggest_threshold(sweeper, spec.total_gpus());
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg =
+      graph::build_distributed(edges, spec, th, &cluster);
+  std::printf("cluster %s (%d GPUs), TH=%u, d=%s, construction %.1f ms\n",
+              spec.to_string().c_str(), spec.total_gpus(), th,
+              util::format_count(dg.num_delegates()).c_str(),
+              build_timer.elapsed_ms());
+
+  std::printf("\n== search ==\n");
+  core::BfsOptions options;
+  options.direction_optimized = direction_optimized;
+  core::DistributedBfs bfs(dg, cluster, options);
+
+  util::Summary modeled_teps, measured_teps, iterations;
+  int validated = 0, skipped = 0;
+  for (int s = 0; s < sources; ++s) {
+    const VertexId source = bfs.sample_source(static_cast<std::uint64_t>(s));
+    const core::BfsResult result = bfs.run(source);
+    if (result.metrics.iterations <= 1) {
+      ++skipped;  // paper protocol: discard runs of one iteration
+      continue;
+    }
+    if (do_validate) {
+      const auto report =
+          core::validate_distances(edges, source, result.distances);
+      if (!report.ok) {
+        std::printf("VALIDATION FAILED at source %llu: %s\n",
+                    static_cast<unsigned long long>(source),
+                    report.error.c_str());
+        return 1;
+      }
+      ++validated;
+    }
+    modeled_teps.add(result.metrics.modeled_gteps * 1e9);
+    measured_teps.add(result.metrics.measured_gteps * 1e9);
+    iterations.add(result.metrics.iterations);
+  }
+
+  std::printf("ran %zu searches (%d skipped), %d validated\n",
+              modeled_teps.count(), skipped, validated);
+  std::printf("\n== results (modeled P100/EDR cluster) ==\n");
+  std::printf("geometric-mean  GTEPS: %10.3f\n", modeled_teps.geomean() / 1e9);
+  std::printf("harmonic-mean   GTEPS: %10.3f\n", modeled_teps.harmean() / 1e9);
+  std::printf("min / max       GTEPS: %10.3f / %.3f\n",
+              modeled_teps.min() / 1e9, modeled_teps.max() / 1e9);
+  std::printf("mean iterations      : %10.1f\n", iterations.mean());
+  std::printf("\n(measured on this host: geomean %.3f GTEPS)\n",
+              measured_teps.geomean() / 1e9);
+  std::printf("total wall time %.1f s\n", total.elapsed_ms() / 1e3);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Social-network analysis on a Friendster-like graph: the workload class
+// that motivates degree separation (the paper's intro).  Exercises the
+// whole public API on one dataset:
+//   * repeated BFS -- hop-distance histogram ("degrees of separation"),
+//   * connected components -- community structure and isolated accounts,
+//   * PageRank -- influencer ranking (hubs == delegates).
+//
+//   ./social_network_analysis --scale=17 --gpus=1x2x2 --seeds=4
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "core/bfs.hpp"
+#include "core/components.hpp"
+#include "core/pagerank.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsbfs;
+  util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(
+      cli.get_int("scale", 17, "log2 of synthetic friendster vertices"));
+  const std::string gpus = cli.get_string("gpus", "1x2x2", "cluster NxRxG");
+  const int seeds = static_cast<int>(cli.get_int("seeds", 4, "seed users"));
+  if (cli.help_requested()) {
+    cli.print_help("Degrees-of-separation analysis on a social graph");
+    return 0;
+  }
+
+  const graph::EdgeList g = graph::friendster_like({.scale = scale, .seed = 3});
+  const auto degrees = graph::out_degrees(g);
+  std::printf("social graph: %s users, %s friendship edges, %s inactive\n",
+              util::format_count(g.num_vertices).c_str(),
+              util::format_count(g.size() / 2).c_str(),
+              util::format_count(graph::count_zero_degree(degrees)).c_str());
+
+  const sim::ClusterSpec spec = sim::ClusterSpec::parse(gpus);
+  const graph::PartitionStatsSweeper sweeper(g);
+  const std::uint32_t th = graph::suggest_threshold(sweeper, spec.total_gpus());
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, th);
+  std::printf("hubs (degree > %u): %s users are replicated as delegates\n\n",
+              th, util::format_count(dg.num_delegates()).c_str());
+
+  core::DistributedBfs bfs(dg, cluster);
+
+  util::Table summary({"seed", "reachable", "reach_pct", "median_hops",
+                       "p99_hops", "max_hops", "GTEPS(modeled)"});
+  std::map<Depth, std::uint64_t> global_histogram;
+  for (int s = 0; s < seeds; ++s) {
+    const VertexId seed = bfs.sample_source(static_cast<std::uint64_t>(s) + 11);
+    const core::BfsResult r = bfs.run(seed);
+
+    std::map<Depth, std::uint64_t> histogram;
+    std::uint64_t reachable = 0;
+    Depth max_depth = 0;
+    for (const Depth d : r.distances) {
+      if (d == kUnvisited) continue;
+      ++histogram[d];
+      ++reachable;
+      max_depth = std::max(max_depth, d);
+    }
+    for (const auto& [d, c] : histogram) global_histogram[d] += c;
+
+    // Median and p99 hop counts over reached users.
+    Depth median = 0, p99 = 0;
+    std::uint64_t acc = 0;
+    for (const auto& [d, c] : histogram) {
+      acc += c;
+      if (median == 0 && acc * 2 >= reachable) median = d;
+      if (p99 == 0 && acc * 100 >= reachable * 99) p99 = d;
+    }
+    summary.row()
+        .add(static_cast<std::uint64_t>(seed))
+        .add(reachable)
+        .add(100.0 * static_cast<double>(reachable) /
+                 static_cast<double>(g.num_vertices),
+             1)
+        .add(static_cast<int>(median))
+        .add(static_cast<int>(p99))
+        .add(static_cast<int>(max_depth))
+        .add(r.metrics.modeled_gteps, 3);
+  }
+  summary.print(std::cout);
+
+  std::printf("\ndegrees-of-separation histogram (all seeds combined):\n");
+  util::Table hist({"hops", "users", "share_pct"});
+  std::uint64_t total = 0;
+  for (const auto& [d, c] : global_histogram) total += c;
+  for (const auto& [d, c] : global_histogram) {
+    hist.row().add(static_cast<int>(d)).add(c).add(
+        100.0 * static_cast<double>(c) / static_cast<double>(total), 2);
+  }
+  hist.print(std::cout);
+  std::printf("\nNote the small-world shape: most reachable users sit within"
+              "\na handful of hops of any seed -- the dense hub core the"
+              "\ndelegate mechanism exploits.\n");
+
+  // ---- Community structure (connected components). ---------------------
+  core::ConnectedComponents cc(dg, cluster);
+  const core::CcResult ccr = cc.run();
+  std::map<VertexId, std::uint64_t> component_sizes;
+  for (const VertexId label : ccr.labels) ++component_sizes[label];
+  std::uint64_t largest = 0, singletons = 0;
+  for (const auto& [label, size] : component_sizes) {
+    largest = std::max(largest, size);
+    singletons += size == 1 ? 1 : 0;
+  }
+  std::printf("\ncommunities: %s components in %d label-propagation rounds;"
+              "\nlargest covers %.1f%% of users; %s inactive singletons\n",
+              util::format_count(ccr.num_components).c_str(), ccr.iterations,
+              100.0 * static_cast<double>(largest) /
+                  static_cast<double>(g.num_vertices),
+              util::format_count(singletons).c_str());
+
+  // ---- Influencers (PageRank). ------------------------------------------
+  core::PagerankOptions pr_options;
+  pr_options.max_iterations = 30;
+  core::DistributedPagerank pagerank(dg, cluster, pr_options);
+  const core::PagerankResult prr = pagerank.run();
+  std::vector<VertexId> order(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](VertexId a, VertexId b) {
+                      return prr.ranks[a] > prr.ranks[b];
+                    });
+  std::printf("\ntop influencers after %d PageRank iterations:\n",
+              prr.iterations);
+  util::Table top({"user", "pagerank", "friends", "is_hub_delegate"});
+  for (int i = 0; i < 5; ++i) {
+    const VertexId v = order[static_cast<std::size_t>(i)];
+    top.row()
+        .add(static_cast<std::uint64_t>(v))
+        .add(prr.ranks[v] * 1e6, 3)
+        .add(static_cast<std::uint64_t>(dg.degrees()[v]))
+        .add(dg.delegates().is_delegate(v) ? "yes" : "no");
+  }
+  top.print(std::cout);
+  std::printf("(pagerank column scaled by 1e6; hubs should dominate)\n");
+  return 0;
+}

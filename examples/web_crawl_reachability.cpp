@@ -1,0 +1,93 @@
+// Web-graph reachability: the long-tail workload of Section VI-D.  A
+// crawler-style question -- how many pages are reachable from a landing
+// page, and how deep does the frontier go -- on a WDC-like host-chain
+// graph.  Also demonstrates when *not* to use direction optimization:
+// with ~300 tiny frontiers, the DO decision overhead outweighs its
+// savings, matching the paper's WDC 2012 finding.
+//
+//   ./web_crawl_reachability --chain=200 --community=512 --gpus=2x2x2
+#include <cstdio>
+#include <iostream>
+
+#include "core/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsbfs;
+  util::Cli cli(argc, argv);
+  const int chain = static_cast<int>(
+      cli.get_int("chain", 200, "site communities along the chain"));
+  const int community = static_cast<int>(
+      cli.get_int("community", 512, "pages per site community"));
+  const std::string gpus = cli.get_string("gpus", "2x2x2", "cluster NxRxG");
+  if (cli.help_requested()) {
+    cli.print_help("Crawl-reachability analysis on a long-tail web graph");
+    return 0;
+  }
+
+  graph::WebGraphLikeParams params;
+  params.chain_length = chain;
+  params.community_size = community;
+  const graph::EdgeList g = graph::webgraph_like(params);
+  std::printf("web graph: %s pages, %s hyperlinks (symmetrized)\n",
+              util::format_count(g.num_vertices).c_str(),
+              util::format_count(g.size()).c_str());
+
+  const sim::ClusterSpec spec = sim::ClusterSpec::parse(gpus);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 256);
+
+  util::Table table({"variant", "reachable", "max_depth", "iterations",
+                     "modeled_ms", "per_iter_us", "edges_traversed"});
+  core::BfsResult last_result;
+  for (const bool use_do : {false, true}) {
+    core::BfsOptions options;
+    options.direction_optimized = use_do;
+    core::DistributedBfs bfs(dg, cluster, options);
+    const core::BfsResult r = bfs.run(/*landing page*/ 0);
+
+    std::uint64_t reachable = 0;
+    Depth max_depth = 0;
+    for (const Depth d : r.distances) {
+      if (d == kUnvisited) continue;
+      ++reachable;
+      max_depth = std::max(max_depth, d);
+    }
+    table.row()
+        .add(use_do ? "DOBFS" : "BFS")
+        .add(reachable)
+        .add(static_cast<int>(max_depth))
+        .add(r.metrics.iterations)
+        .add(r.metrics.modeled_ms, 3)
+        .add(r.metrics.modeled_ms * 1000.0 /
+                 std::max(1, r.metrics.iterations),
+             1)
+        .add(r.metrics.edges_traversed);
+    last_result = r;
+  }
+  table.print(std::cout);
+
+  // Crawl-depth profile: pages discovered per BFS wave (coarse buckets).
+  std::printf("\ncrawl-depth profile (pages per 20-hop band):\n");
+  util::Table profile({"depth_band", "pages"});
+  std::vector<std::uint64_t> bands;
+  for (const Depth d : last_result.distances) {
+    if (d == kUnvisited) continue;
+    const std::size_t band = static_cast<std::size_t>(d) / 20;
+    if (band >= bands.size()) bands.resize(band + 1, 0);
+    ++bands[band];
+  }
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    profile.row()
+        .add(std::to_string(b * 20) + ".." + std::to_string(b * 20 + 19))
+        .add(bands[b]);
+  }
+  profile.print(std::cout);
+  std::printf("\nExpected (paper Section VI-D): hundreds of iterations, flat"
+              "\ndiscovery profile, and DOBFS at or slightly below plain BFS"
+              "\n-- per-iteration overhead dominates long-tail traversals.\n");
+  return 0;
+}

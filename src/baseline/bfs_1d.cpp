@@ -1,0 +1,135 @@
+#include "baseline/bfs_1d.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "comm/collectives.hpp"
+#include "comm/transport.hpp"
+#include "graph/csr.hpp"
+#include "sim/cluster.hpp"
+
+namespace dsbfs::baseline {
+
+namespace {
+
+/// Owner of a vertex under plain 1D round-robin (not the paper's two-level
+/// rank/GPU mapping -- this is the conventional baseline).
+int owner_1d(VertexId v, int p) { return static_cast<int>(v % static_cast<VertexId>(p)); }
+
+}  // namespace
+
+Distributed1dResult bfs_1d(const graph::EdgeList& graph,
+                           const sim::ClusterSpec& spec, VertexId source) {
+  const int p = spec.total_gpus();
+  const VertexId n = graph.num_vertices;
+
+  // Partition edges by source owner; local row index is v / p.
+  std::vector<std::vector<std::uint64_t>> rows(static_cast<std::size_t>(p));
+  std::vector<std::vector<VertexId>> cols(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const VertexId u = graph.src[i];
+    const int o = owner_1d(u, p);
+    rows[static_cast<std::size_t>(o)].push_back(u / static_cast<VertexId>(p));
+    cols[static_cast<std::size_t>(o)].push_back(graph.dst[i]);
+  }
+  auto local_count = [&](int g) {
+    const VertexId residue = static_cast<VertexId>(g);
+    return n <= residue ? 0 : (n - residue + static_cast<VertexId>(p) - 1) /
+                                  static_cast<VertexId>(p);
+  };
+  std::vector<graph::LocalCsrU64> csrs(static_cast<std::size_t>(p));
+  for (int g = 0; g < p; ++g) {
+    csrs[static_cast<std::size_t>(g)] = graph::LocalCsrU64::from_edges(
+        local_count(g), cols[static_cast<std::size_t>(g)],
+        rows[static_cast<std::size_t>(g)]);
+  }
+
+  comm::Transport transport(spec);
+  sim::Cluster cluster(spec);
+  std::vector<int> everyone(static_cast<std::size_t>(p));
+  for (int g = 0; g < p; ++g) everyone[static_cast<std::size_t>(g)] = g;
+
+  std::vector<std::vector<Depth>> levels(static_cast<std::size_t>(p));
+  std::atomic<std::uint64_t> edges_examined{0};
+  std::atomic<int> iterations{0};
+
+  cluster.run([&](sim::GpuCoord me, sim::Device&) {
+    const int g = spec.global_gpu(me);
+    const graph::LocalCsrU64& csr = csrs[static_cast<std::size_t>(g)];
+    std::vector<Depth>& level = levels[static_cast<std::size_t>(g)];
+    level.assign(csr.num_rows(), kUnvisited);
+
+    std::vector<VertexId> frontier;
+    if (owner_1d(source, p) == g) {
+      level[source / static_cast<VertexId>(p)] = 0;
+      frontier.push_back(source / static_cast<VertexId>(p));
+    }
+
+    Depth depth = 0;
+    std::uint64_t local_edges = 0;
+    for (int iteration = 0;; ++iteration) {
+      // Expand and bin by destination owner.
+      std::vector<std::vector<std::uint64_t>> bins(static_cast<std::size_t>(p));
+      for (const VertexId v : frontier) {
+        local_edges += csr.row_length(v);
+        for (const VertexId dst : csr.row(v)) {
+          bins[static_cast<std::size_t>(owner_1d(dst, p))].push_back(
+              dst / static_cast<VertexId>(p));
+        }
+      }
+      // Fixed all-to-all pattern.
+      const int tag = comm::kTagExchangeRemote + iteration * comm::kTagBlock;
+      std::uint64_t sent = 0;
+      for (int o = 0; o < p; ++o) {
+        if (o == g) continue;
+        sent += bins[static_cast<std::size_t>(o)].size() * 8;
+        transport.send(g, o, tag, std::move(bins[static_cast<std::size_t>(o)]));
+      }
+      std::vector<std::uint64_t> arrivals =
+          std::move(bins[static_cast<std::size_t>(g)]);
+      for (int o = 0; o < p; ++o) {
+        if (o == g) continue;
+        const auto in = transport.recv(g, o, tag);
+        arrivals.insert(arrivals.end(), in.begin(), in.end());
+      }
+
+      // Mark new vertices.
+      std::vector<VertexId> next;
+      const Depth next_depth = depth + 1;
+      for (const std::uint64_t v : arrivals) {
+        if (level[v] == kUnvisited) {
+          level[v] = next_depth;
+          next.push_back(v);
+        }
+      }
+      const std::uint64_t work = comm::allreduce_sum(
+          transport, everyone, g, next.size() + sent,
+          comm::kTagControl + iteration * comm::kTagBlock);
+      frontier = std::move(next);
+      depth = next_depth;
+      if (work == 0) {
+        if (g == 0) iterations.store(iteration + 1);
+        break;
+      }
+    }
+    edges_examined.fetch_add(local_edges, std::memory_order_relaxed);
+  });
+
+  Distributed1dResult result;
+  result.distances.assign(n, kUnvisited);
+  for (int g = 0; g < p; ++g) {
+    const auto& level = levels[static_cast<std::size_t>(g)];
+    for (std::size_t v = 0; v < level.size(); ++v) {
+      if (level[v] != kUnvisited) {
+        result.distances[static_cast<VertexId>(v) * static_cast<VertexId>(p) +
+                         static_cast<VertexId>(g)] = level[v];
+      }
+    }
+  }
+  result.iterations = iterations.load();
+  result.edges_examined = edges_examined.load();
+  result.bytes_exchanged = transport.bytes_same_rank() + transport.bytes_cross_rank();
+  return result;
+}
+
+}  // namespace dsbfs::baseline

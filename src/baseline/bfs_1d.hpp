@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "sim/cluster.hpp"
+#include "util/types.hpp"
+
+/// 1D-partitioned distributed BFS (the conventional scheme of Section II-B).
+///
+/// Vertices are distributed round-robin (v mod p); every GPU keeps the CSR of
+/// its own vertices' out-edges with 64-bit global destinations.  Each
+/// iteration the frontier's neighbors are binned by owner and exchanged
+/// point-to-point -- i.e. newly visited vertices are effectively broadcast
+/// toward every peer that hosts neighbors, which is what makes 1D DOBFS
+/// unscalable (the paper's argument).  Functional and instrumented: the
+/// comm-model bench compares its measured traffic with the delegate scheme.
+namespace dsbfs::baseline {
+
+struct Distributed1dResult {
+  std::vector<Depth> distances;
+  int iterations = 0;
+  std::uint64_t bytes_exchanged = 0;  // total cross-GPU payload
+  std::uint64_t edges_examined = 0;
+};
+
+Distributed1dResult bfs_1d(const graph::EdgeList& graph,
+                           const sim::ClusterSpec& spec, VertexId source);
+
+}  // namespace dsbfs::baseline

@@ -1,0 +1,106 @@
+#include "baseline/bfs_2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "util/bitset.hpp"
+
+namespace dsbfs::baseline {
+
+namespace {
+
+struct Grid {
+  int rows = 1;
+  int cols = 1;
+};
+
+Grid most_square(int p) {
+  Grid g;
+  for (int r = static_cast<int>(std::sqrt(static_cast<double>(p))); r >= 1; --r) {
+    if (p % r == 0) {
+      g.rows = r;
+      g.cols = p / r;
+      break;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Distributed2dResult bfs_2d(const graph::EdgeList& graph, int processors,
+                           VertexId source) {
+  // Sequential simulation of the 2D algorithm with exact traffic accounting.
+  // (The paper's argument about 2D needs its communication *volumes*; a
+  // threaded execution would add nothing the counters don't capture.)
+  const Grid grid = most_square(processors);
+  const int R = grid.rows, C = grid.cols;
+  const VertexId n = graph.num_vertices;
+  const int parts = R * C;
+  const VertexId part_size = (n + static_cast<VertexId>(parts) - 1) /
+                             static_cast<VertexId>(parts);
+  auto part_of = [&](VertexId v) { return static_cast<int>(v / part_size); };
+
+  Distributed2dResult result;
+  result.distances.assign(n, kUnvisited);
+  result.distances[source] = 0;
+
+  std::vector<VertexId> frontier{source};
+  Depth depth = 0;
+
+  // Per-iteration communication accounting (tree collectives, 32-bit ids /
+  // bitmask rows as in Section II-B's accounting).
+  const int col_hops = static_cast<int>(std::ceil(std::log2(std::max(2, R))));
+  const int row_hops = static_cast<int>(std::ceil(std::log2(std::max(2, C))));
+
+  graph::HostCsr csr = graph::build_host_csr(graph);
+
+  while (!frontier.empty()) {
+    ++result.iterations;
+    // 1. Column allgather: each frontier vertex's id travels up and down a
+    // log(R) tree within its column; every processor in the column holding
+    // the source part receives it.  4 bytes per id per hop per column peer.
+    result.bytes_allgather += frontier.size() * 4ULL *
+                              static_cast<std::uint64_t>(col_hops) *
+                              static_cast<std::uint64_t>(R);
+
+    // 2. Local expansion (full scan of frontier adjacency).
+    std::vector<VertexId> discoveries;
+    const Depth next_depth = depth + 1;
+    for (const VertexId u : frontier) {
+      result.edges_examined += csr.row_length(u);
+      for (const VertexId v : csr.row(u)) {
+        if (result.distances[v] == kUnvisited) {
+          // A 2D processor discovers (owner part, v); dedup happens at the
+          // owner after the row reduction.  We count the pre-reduction
+          // traffic: every discovery contributes to the row reduce.
+          result.distances[v] = next_depth;
+          discoveries.push_back(v);
+        }
+        // Duplicate discoveries across the C processors of a row are the
+        // norm; Section II-B's model folds them into the bitmask reduce.
+      }
+    }
+
+    // 3. Row reduce: discovered-vertex bitmasks (n/parts bits per part) are
+    // OR-reduced across each row: log(C) hops of part_size/8 bytes for the
+    // parts this row owns.
+    if (!discoveries.empty()) {
+      std::vector<bool> part_touched(static_cast<std::size_t>(parts), false);
+      for (const VertexId v : discoveries) {
+        part_touched[static_cast<std::size_t>(part_of(v))] = true;
+      }
+      std::uint64_t touched = 0;
+      for (const bool t : part_touched) touched += t ? 1 : 0;
+      result.bytes_reduce += touched * (part_size / 8 + 1) *
+                             static_cast<std::uint64_t>(row_hops);
+    }
+
+    frontier = std::move(discoveries);
+    depth = next_depth;
+  }
+  return result;
+}
+
+}  // namespace dsbfs::baseline

@@ -1,0 +1,46 @@
+#include "baseline/comm_models.hpp"
+
+#include <cmath>
+
+namespace dsbfs::baseline {
+
+namespace {
+double log2_safe(double x) { return x <= 1.0 ? 0.0 : std::log2(x); }
+}  // namespace
+
+CommModelOutput comm_model_1d(const CommModelInput& in) {
+  CommModelOutput out;
+  out.volume_bytes = 8.0 * static_cast<double>(in.m);
+  out.time_us = 8.0 * static_cast<double>(in.m) / static_cast<double>(in.p) *
+                in.g_us_per_byte;
+  return out;
+}
+
+CommModelOutput comm_model_2d(const CommModelInput& in) {
+  CommModelOutput out;
+  const double sqrt_p = std::sqrt(static_cast<double>(in.p));
+  const double log_sqrt_p = log2_safe(sqrt_p);
+  const double nt = static_cast<double>(in.nt);
+  const double n = static_cast<double>(in.n);
+  const double sb = static_cast<double>(in.s_backward);
+  out.volume_bytes =
+      8.0 * nt * sqrt_p * log_sqrt_p + 2.0 * n * sb * sqrt_p * log_sqrt_p / 8.0;
+  out.time_us = (4.0 * nt + n * sb / 8.0) * (log_sqrt_p / sqrt_p) *
+                in.g_us_per_byte;
+  return out;
+}
+
+CommModelOutput comm_model_delegates(const CommModelInput& in) {
+  CommModelOutput out;
+  const double d = static_cast<double>(in.d);
+  const double sp = static_cast<double>(in.s_delegate);
+  const double enn = static_cast<double>(in.enn);
+  const double log_prank = log2_safe(static_cast<double>(in.p_rank));
+  out.volume_bytes = d * static_cast<double>(in.p_rank) / 4.0 * sp + 4.0 * enn;
+  out.time_us =
+      (d * log_prank / 4.0 * sp + 4.0 * enn / static_cast<double>(in.p)) *
+      in.g_us_per_byte;
+  return out;
+}
+
+}  // namespace dsbfs::baseline

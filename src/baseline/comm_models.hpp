@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+/// Closed-form communication-cost models from the paper.
+///
+/// Section II-B derives per-BFS communication volume/time for conventional
+/// 1D and 2D partitionings; Section V derives the delegate model's.  The
+/// bench `bench_commmodel` evaluates these along the weak-scaling curve
+/// (n, m growing with p) to reproduce the paper's sqrt(p)-vs-log(p)
+/// scalability argument.
+namespace dsbfs::baseline {
+
+struct CommModelInput {
+  std::uint64_t n = 0;    // vertices
+  std::uint64_t m = 0;    // directed edges
+  std::uint64_t nt = 0;   // vertices visited in forward (top-down) iterations
+  int s_total = 0;        // BFS iterations (S)
+  int s_backward = 0;     // backward iterations (Sb)
+  int s_delegate = 0;     // iterations needing delegate mask exchange (S')
+  int p = 1;              // total processors (GPUs)
+  int p_rank = 1;         // MPI ranks
+  std::uint64_t d = 0;    // delegates
+  std::uint64_t enn = 0;  // nn edges
+  double g_us_per_byte = 1.0 / 12500.0;  // inverse bandwidth (EDR ~12.5GB/s)
+};
+
+struct CommModelOutput {
+  double volume_bytes = 0;
+  double time_us = 0;
+};
+
+/// 1D partitioning: newly visited vertices broadcast to all peers hosting
+/// neighbors -- in practice 8m bytes per BFS, 8m/p * g time.
+CommModelOutput comm_model_1d(const CommModelInput& in);
+
+/// 2D partitioning (Section II-B): forward 8*nt*sqrt(p)*log(sqrt(p)) bytes,
+/// backward 2*n*Sb*sqrt(p)*log(sqrt(p))/8 bytes using compressed bitmasks;
+/// time (4*nt + n*Sb/8) * log(sqrt(p))/sqrt(p) * g.
+CommModelOutput comm_model_2d(const CommModelInput& in);
+
+/// Delegate model (Section V): volume d*p_rank/4 * S' + 4*Enn bytes; time
+/// (d*log(p_rank)/4 * S' + 4*Enn/p) * g.
+CommModelOutput comm_model_delegates(const CommModelInput& in);
+
+}  // namespace dsbfs::baseline

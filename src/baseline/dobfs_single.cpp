@@ -1,0 +1,68 @@
+#include "baseline/dobfs_single.hpp"
+
+#include <vector>
+
+namespace dsbfs::baseline {
+
+DobfsResult dobfs_single(const graph::HostCsr& graph, VertexId source,
+                         const DobfsParams& params) {
+  const std::size_t n = graph.num_rows();
+  DobfsResult result;
+  result.distances.assign(n, kUnvisited);
+  result.distances[source] = 0;
+
+  std::vector<VertexId> frontier{source};
+  std::uint64_t unexplored_edges = graph.num_edges();
+  bool bottom_up = false;
+  Depth depth = 0;
+
+  while (!frontier.empty()) {
+    ++result.iterations;
+
+    // Direction heuristics (Beamer's alpha/beta).
+    std::uint64_t frontier_edges = 0;
+    for (const VertexId v : frontier) frontier_edges += graph.row_length(v);
+    if (!bottom_up &&
+        static_cast<double>(frontier_edges) >
+            static_cast<double>(unexplored_edges) / params.alpha) {
+      bottom_up = true;
+    } else if (bottom_up && static_cast<double>(frontier.size()) <
+                                static_cast<double>(n) / params.beta) {
+      bottom_up = false;
+    }
+
+    std::vector<VertexId> next;
+    const Depth next_depth = depth + 1;
+    if (!bottom_up) {
+      for (const VertexId u : frontier) {
+        result.edges_examined += graph.row_length(u);
+        for (const VertexId v : graph.row(u)) {
+          if (result.distances[v] == kUnvisited) {
+            result.distances[v] = next_depth;
+            next.push_back(v);
+          }
+        }
+      }
+    } else {
+      ++result.bottom_up_iterations;
+      for (VertexId v = 0; v < n; ++v) {
+        if (result.distances[v] != kUnvisited) continue;
+        for (const VertexId u : graph.row(v)) {
+          ++result.edges_examined;
+          // Parent at exactly the previous level (symmetric graph).
+          if (result.distances[u] == depth) {
+            result.distances[v] = next_depth;
+            next.push_back(v);
+            break;
+          }
+        }
+      }
+    }
+    unexplored_edges -= frontier_edges;
+    frontier = std::move(next);
+    depth = next_depth;
+  }
+  return result;
+}
+
+}  // namespace dsbfs::baseline

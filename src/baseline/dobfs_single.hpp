@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+/// Single-node direction-optimizing BFS (Beamer, Asanovic, Patterson, SC'12)
+/// -- the algorithmic baseline the paper's distributed scheme generalizes.
+///
+/// Works on symmetric graphs (the reverse graph is the graph itself, as the
+/// paper assumes throughout).  Switching uses the classic alpha/beta
+/// heuristics: go bottom-up when the frontier's outgoing edge count exceeds
+/// the unexplored edge count / alpha; return top-down when the frontier
+/// shrinks below n / beta.
+namespace dsbfs::baseline {
+
+struct DobfsParams {
+  double alpha = 15.0;
+  double beta = 18.0;
+};
+
+struct DobfsResult {
+  std::vector<Depth> distances;
+  std::uint64_t edges_examined = 0;  // the DO workload m'
+  int iterations = 0;
+  int bottom_up_iterations = 0;
+};
+
+DobfsResult dobfs_single(const graph::HostCsr& graph, VertexId source,
+                         const DobfsParams& params = {});
+
+}  // namespace dsbfs::baseline

@@ -1,0 +1,60 @@
+#include "baseline/host_apps.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace dsbfs::baseline {
+
+std::vector<VertexId> serial_components(const graph::HostCsr& graph) {
+  const std::size_t n = graph.num_rows();
+  std::vector<VertexId> labels(n, kInvalidVertex);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (labels[root] != kInvalidVertex) continue;
+    labels[root] = root;  // roots ascend, so root is its component's minimum
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (const VertexId v : graph.row(u)) {
+        if (labels[v] == kInvalidVertex) {
+          labels[v] = root;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<double> serial_pagerank(const graph::HostCsr& graph,
+                                    const SerialPagerankParams& params) {
+  const std::size_t n = graph.num_rows();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iteration = 0; iteration < params.max_iterations; ++iteration) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint32_t degree = graph.row_length(v);
+      if (degree == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / degree;
+      for (const VertexId dst : graph.row(v)) next[dst] += share;
+    }
+    const double base = (1.0 - params.damping) / static_cast<double>(n) +
+                        params.damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double updated = base + params.damping * next[v];
+      delta += std::abs(updated - rank[v]);
+      rank[v] = updated;
+    }
+    if (delta < params.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace dsbfs::baseline

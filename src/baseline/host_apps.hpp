@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+/// Host reference implementations for the applications beyond BFS
+/// (connected components, PageRank) -- the ground truth the distributed
+/// delegate-based versions are tested against.
+namespace dsbfs::baseline {
+
+/// Component labels: labels[v] = smallest vertex id in v's component
+/// (isolated vertices label themselves).
+std::vector<VertexId> serial_components(const graph::HostCsr& graph);
+
+struct SerialPagerankParams {
+  double damping = 0.85;
+  int max_iterations = 50;
+  double tolerance = 1e-9;  // L1 stopping threshold
+};
+
+/// Power iteration with uniform dangling-mass redistribution; the exact
+/// scheme DistributedPagerank implements.
+std::vector<double> serial_pagerank(const graph::HostCsr& graph,
+                                    const SerialPagerankParams& params = {});
+
+}  // namespace dsbfs::baseline

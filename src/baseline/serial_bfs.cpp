@@ -1,0 +1,35 @@
+#include "baseline/serial_bfs.hpp"
+
+#include <deque>
+
+namespace dsbfs::baseline {
+
+std::vector<Depth> serial_bfs(const graph::HostCsr& graph, VertexId source) {
+  std::vector<Depth> dist(graph.num_rows(), kUnvisited);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    const Depth next = dist[u] + 1;
+    for (const VertexId v : graph.row(u)) {
+      if (dist[v] == kUnvisited) {
+        dist[v] = next;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint64_t serial_bfs_workload(const graph::HostCsr& graph, VertexId source) {
+  const std::vector<Depth> dist = serial_bfs(graph, source);
+  std::uint64_t edges = 0;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] != kUnvisited) edges += graph.row_length(v);
+  }
+  return edges;
+}
+
+}  // namespace dsbfs::baseline

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+/// Reference serial BFS (top-down queue).  The ground truth every other
+/// implementation in the repository is tested against.
+namespace dsbfs::baseline {
+
+/// Hop distances from `source`; kUnvisited for unreachable vertices.
+std::vector<Depth> serial_bfs(const graph::HostCsr& graph, VertexId source);
+
+/// Number of edges a plain top-down BFS examines (sum of out-degrees of all
+/// visited vertices) -- the baseline workload m' is measured against.
+std::uint64_t serial_bfs_workload(const graph::HostCsr& graph, VertexId source);
+
+}  // namespace dsbfs::baseline

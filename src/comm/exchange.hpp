@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "util/types.hpp"
+
+/// Normal-vertex exchange (paper Section V-B).
+///
+/// Destinations of nn-edge visits are normal vertices owned by other GPUs.
+/// Senders bin newly visited vertices by destination GPU and convert the
+/// 64-bit global ids to the destination's 32-bit local ids (the owner's
+/// local index is v / p, computable anywhere); receivers fold the ids into
+/// the next input frontier.  Two optional optimizations from the paper:
+///   * local all2all (L): vertices bound for GPU j of any rank are first
+///     gathered on the local GPU j over NVLink, cutting the remote pair
+///     count from p^2 to p^2/pgpu;
+///   * uniquify (U): duplicate removal inside each outbound bin (only
+///     worthwhile after L concentrates duplicates).
+namespace dsbfs::comm {
+
+struct ExchangeOptions {
+  bool local_all2all = false;
+  bool uniquify = false;
+};
+
+struct ExchangeCounters {
+  std::uint64_t bin_vertices = 0;        // vertices placed in bins (pre-dedup)
+  std::uint64_t uniquify_vertices = 0;   // vertices run through uniquify
+  std::uint64_t duplicates_removed = 0;
+  std::uint64_t local_bytes = 0;         // NVLink payload (L phase + same-rank bins)
+  std::uint64_t send_bytes_remote = 0;   // 4 bytes per id, cross-rank
+  std::uint64_t recv_bytes_remote = 0;
+  int send_dest_ranks = 0;
+};
+
+class NormalExchange {
+ public:
+  NormalExchange(Transport& transport, sim::ClusterSpec spec);
+
+  /// Collective: every GPU calls once per iteration with its outbound bins
+  /// (indexed by destination global GPU, holding destination-local 32-bit
+  /// ids).  Returns the ids received by this GPU, including its own
+  /// loopback bin.  Bins are consumed.
+  std::vector<LocalId> exchange(sim::GpuCoord me,
+                                std::vector<std::vector<LocalId>>& bins,
+                                int iteration, const ExchangeOptions& options,
+                                ExchangeCounters& counters);
+
+ private:
+  Transport& transport_;
+  sim::ClusterSpec spec_;
+};
+
+/// A (destination-local id, 64-bit payload) update, the exchange currency of
+/// algorithms with per-vertex values (labels, rank contributions) -- the
+/// paper's Section VI-D generalization: "associative values for normal
+/// vertices in addition to the vertex numbers themselves".
+struct VertexUpdate {
+  LocalId vertex = 0;
+  std::uint64_t value = 0;
+};
+
+/// Collective fixed-pattern exchange of VertexUpdate bins (12 bytes of
+/// payload per update on the wire; packed as 1.5 words).  Returns the
+/// updates destined for this GPU, including the loopback bin.
+std::vector<VertexUpdate> exchange_updates(
+    Transport& transport, const sim::ClusterSpec& spec, sim::GpuCoord me,
+    std::vector<std::vector<VertexUpdate>>& bins, int iteration,
+    ExchangeCounters& counters);
+
+}  // namespace dsbfs::comm

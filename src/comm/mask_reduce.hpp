@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "util/bitset.hpp"
+
+/// Two-phase delegate-mask reduction (paper Section V-A).
+///
+/// The visited status of delegates may be updated by any GPU and consumed by
+/// any GPU, so each iteration with delegate updates runs a global bitwise-OR
+/// reduction of the d-bit delegate masks:
+///   phase 1 (local):  every GPU in a rank pushes its updated mask to GPU0
+///                     of the rank over NVLink; GPU0 ORs them;
+///   phase 2 (global): GPU0s of all ranks run an (I)Allreduce-equivalent
+///                     tree OR; the result is broadcast back to the rank's
+///                     GPUs, which consume it next iteration.
+/// Communication volume per reduction: 2 * d/8 * prank bytes at the rank
+/// level, d/8 * (pgpu-1) * 2 within each rank -- the tests check the
+/// Transport counters against these formulas.
+namespace dsbfs::comm {
+
+enum class ReduceMode {
+  kBlocking,     // MPI_Allreduce analogue
+  kNonBlocking,  // MPI_Iallreduce analogue (same result; the performance
+                 // model charges it differently, Section VI-B)
+};
+
+class MaskReducer {
+ public:
+  MaskReducer(Transport& transport, sim::ClusterSpec spec);
+
+  /// Collective: every GPU calls with its own out-mask; on return every
+  /// GPU's `mask` holds the OR across all GPUs.  `iteration` separates
+  /// successive reductions' traffic.
+  void reduce(sim::GpuCoord me, util::AtomicBitset& mask, int iteration,
+              ReduceMode mode = ReduceMode::kBlocking);
+
+ private:
+  Transport& transport_;
+  sim::ClusterSpec spec_;
+  std::vector<int> rank_leaders_;  // global GPU index of each rank's GPU0
+};
+
+/// Two-phase reduction of per-delegate *values* (same communication shape
+/// as the mask reduction, 64-bit payload per delegate instead of one bit).
+/// This is the "more bits of state for delegates" generalization the paper
+/// sketches for algorithms beyond BFS (Section VI-D): component labels use
+/// the MIN combiner, PageRank contributions use SUM over doubles.
+class ValueReducer {
+ public:
+  enum class Op { kMin, kSum, kSumDouble };
+
+  ValueReducer(Transport& transport, sim::ClusterSpec spec);
+
+  /// Collective: element-wise combine of `values` across all GPUs; every
+  /// GPU ends with the identical combined vector.  For kSumDouble the words
+  /// are reinterpreted as IEEE doubles.
+  void reduce(sim::GpuCoord me, std::span<std::uint64_t> values, Op op,
+              int iteration);
+
+ private:
+  Transport& transport_;
+  sim::ClusterSpec spec_;
+  std::vector<int> rank_leaders_;
+};
+
+}  // namespace dsbfs::comm

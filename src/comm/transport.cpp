@@ -1,0 +1,72 @@
+#include "comm/transport.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dsbfs::comm {
+
+Transport::Transport(sim::ClusterSpec spec) : spec_(spec) {
+  boxes_.reserve(static_cast<std::size_t>(spec_.total_gpus()));
+  for (int i = 0; i < spec_.total_gpus(); ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Transport::send(int from, int to, int tag, std::vector<std::uint64_t> payload) {
+  if (to < 0 || to >= endpoints() || from < 0 || from >= endpoints()) {
+    throw std::out_of_range("transport endpoint out of range");
+  }
+  const std::uint64_t bytes = payload.size() * sizeof(std::uint64_t);
+  const bool same_rank = spec_.coord_of(from).rank == spec_.coord_of(to).rank;
+  (same_rank ? bytes_local_ : bytes_remote_)
+      .fetch_add(bytes, std::memory_order_relaxed);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard lock(box.mu);
+    box.queues[Key{from, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::uint64_t> Transport::recv(int to, int from, int tag) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::unique_lock lock(box.mu);
+  const Key key{from, tag};
+  box.cv.wait(lock, [&] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& q = box.queues[key];
+  std::vector<std::uint64_t> payload = std::move(q.front());
+  q.pop_front();
+  return payload;
+}
+
+bool Transport::probe(int to, int from, int tag) const {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::lock_guard lock(box.mu);
+  const auto it = box.queues.find(Key{from, tag});
+  return it != box.queues.end() && !it->second.empty();
+}
+
+void Transport::barrier() {
+  std::unique_lock lock(barrier_mu_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_waiting_ == endpoints()) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+void Transport::reset_counters() noexcept {
+  bytes_local_.store(0, std::memory_order_relaxed);
+  bytes_remote_.store(0, std::memory_order_relaxed);
+  messages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dsbfs::comm

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+/// In-process message-passing substrate (the MPI substitute).
+///
+/// Endpoints are global GPU indices (one per simulated GPU).  Semantics
+/// mirror the MPI subset the paper uses:
+///   * point-to-point send/recv with (source, tag) matching, FIFO per
+///     (source, destination, tag) -- like MPI with one communicator;
+///   * sends never block (buffered, as MPI_Isend with ample buffering);
+///   * recv blocks until a matching message arrives.
+/// Byte and message counters are kept split by locality (same rank = NVLink
+/// traffic, different rank = NIC traffic) so tests can verify the paper's
+/// communication-volume formulas against actual traffic.
+namespace dsbfs::comm {
+
+/// Well-known tag spaces; keeping subsystems on distinct tags lets the
+/// delegate stream and the normal stream communicate concurrently between
+/// the same endpoint pair without interleaving each other's payloads.
+/// Each BFS iteration uses a fresh tag block of 32 (iteration * 32 + base);
+/// collectives may consume a few consecutive tags beyond their base.
+enum Tag : int {
+  kTagMaskLocal = 1,      // ..5 (push, bcast, tree allreduce)
+  kTagExchangeLocal = 8,  // local all2all gathering
+  kTagExchangeRemote = 10,
+  kTagControl = 16,  // ..17 (sum allreduce)
+  kTagUser = 24,
+  kTagBlock = 32,
+};
+
+class Transport {
+ public:
+  explicit Transport(sim::ClusterSpec spec);
+
+  const sim::ClusterSpec& spec() const noexcept { return spec_; }
+  int endpoints() const noexcept { return spec_.total_gpus(); }
+
+  /// Buffered non-blocking send.  `payload` is moved.
+  void send(int from, int to, int tag, std::vector<std::uint64_t> payload);
+
+  /// Blocking receive matching (from, tag) at endpoint `to`.
+  std::vector<std::uint64_t> recv(int to, int from, int tag);
+
+  /// True when a matching message is already queued (non-blocking probe).
+  bool probe(int to, int from, int tag) const;
+
+  /// Reusable full-cluster barrier (every endpoint must call).
+  void barrier();
+
+  // --- traffic accounting (bytes of payload; 8 per word) -----------------
+  std::uint64_t bytes_same_rank() const noexcept {
+    return bytes_local_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_cross_rank() const noexcept {
+    return bytes_remote_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_sent() const noexcept {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept;
+
+ private:
+  struct Key {
+    int from;
+    int tag;
+    bool operator<(const Key& o) const noexcept {
+      return from != o.from ? from < o.from : tag < o.tag;
+    }
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<Key, std::deque<std::vector<std::uint64_t>>> queues;
+  };
+
+  sim::ClusterSpec spec_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  std::atomic<std::uint64_t> bytes_local_{0};
+  std::atomic<std::uint64_t> bytes_remote_{0};
+  std::atomic<std::uint64_t> messages_{0};
+
+  // Generation-counted reusable barrier.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace dsbfs::comm

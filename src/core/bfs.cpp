@@ -1,0 +1,305 @@
+#include "core/bfs.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "comm/collectives.hpp"
+#include "comm/exchange.hpp"
+#include "comm/mask_reduce.hpp"
+#include "comm/transport.hpp"
+#include "core/frontier.hpp"
+#include "core/previsit.hpp"
+#include "core/visit.hpp"
+#include "sim/stream.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace dsbfs::core {
+
+namespace {
+
+/// Control-word packing for the per-iteration termination allreduce:
+/// bit 40+ carries "some GPU has delegate updates", the low bits carry the
+/// amount of new normal work (local discoveries + binned vertices).
+constexpr std::uint64_t kDelegateFlagUnit = 1ULL << 40;
+
+}  // namespace
+
+DistributedBfs::DistributedBfs(const graph::DistributedGraph& graph,
+                               sim::Cluster& cluster, BfsOptions options)
+    : graph_(graph), cluster_(cluster), options_(options) {
+  if (graph.spec().total_gpus() != cluster.total_gpus()) {
+    throw std::invalid_argument("graph and cluster specs disagree");
+  }
+}
+
+VertexId DistributedBfs::sample_source(std::uint64_t k) const {
+  const VertexId n = graph_.num_vertices();
+  const auto& degrees = graph_.degrees();
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    const VertexId v = util::splitmix64(util::hash_combine(k, attempt)) % n;
+    if (degrees[v] > 0) return v;
+  }
+}
+
+BfsResult DistributedBfs::run(VertexId source) {
+  if (source >= graph_.num_vertices()) {
+    throw std::out_of_range("bfs source out of range");
+  }
+  const sim::ClusterSpec spec = graph_.spec();
+  const int p = spec.total_gpus();
+
+  comm::Transport transport(spec);
+  comm::MaskReducer reducer(transport, spec);
+  comm::NormalExchange exchanger(transport, spec);
+
+  std::vector<int> everyone(static_cast<std::size_t>(p));
+  for (int g = 0; g < p; ++g) everyone[static_cast<std::size_t>(g)] = g;
+
+  std::vector<std::unique_ptr<GpuState>> states(static_cast<std::size_t>(p));
+
+  util::Timer wall;
+  cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
+    const int g = spec.global_gpu(me);
+    auto state_ptr = std::make_unique<GpuState>(graph_.local(g), p);
+    GpuState& s = *state_ptr;
+    s.record_parents = options_.compute_parents;
+    states[static_cast<std::size_t>(g)] = std::move(state_ptr);
+
+    // Register traversal state on the simulated device: level arrays plus
+    // the three delegate masks.
+    const std::uint64_t state_bytes =
+        graph_.local(g).num_local_normals() * sizeof(Depth) +
+        static_cast<std::uint64_t>(graph_.num_delegates()) * sizeof(Depth) +
+        3 * s.delegate_visited.byte_size();
+    device.allocate("bfs.state", state_bytes);
+
+    // Seed the source.
+    const LocalId src_delegate = graph_.delegates().delegate_id(source);
+    if (src_delegate != kInvalidLocal) {
+      s.delegate_new.set_unsynchronized(src_delegate);
+      s.delegate_visited.set_unsynchronized(src_delegate);
+      s.level_delegate[src_delegate] = 0;
+      if (s.record_parents) s.set_delegate_parent(src_delegate, source);
+      if (graph_.local(g).dd_source_mask().test(src_delegate)) {
+        --s.unvisited_dd_sources;
+      }
+      if (graph_.local(g).dn_source_mask().test(src_delegate)) {
+        --s.unvisited_dn_sources;
+      }
+    } else if (spec.owner_global_gpu(source) == g) {
+      const LocalId local = static_cast<LocalId>(spec.local_index(source));
+      s.set_normal_level(local, 0);
+      if (s.record_parents) s.parent_normal[local] = source;
+      s.next_local.push_back(local);
+    }
+
+    sim::Stream delegate_stream;
+    sim::Stream normal_stream;
+
+    const comm::ExchangeOptions xopts{options_.local_all2all, options_.uniquify};
+    const comm::ReduceMode rmode = options_.reduce_mode;
+
+    std::uint64_t bins_total = 0;
+    bool done = false;
+    for (int iteration = 0; !done; ++iteration) {
+      s.begin_iteration();
+
+      // Previsits (queue formation, dedup, workload estimation, direction
+      // decisions) -- sequential per GPU, ahead of the stream kernels.
+      delegate_previsit(s, options_);
+      normal_previsit(s, options_);
+
+      // Delegate stream: dd then dn visits.
+      delegate_stream.enqueue([&s] { visit_dd(s); });
+      delegate_stream.enqueue([&s] { visit_dn(s); });
+
+      // Normal stream: nd, nn, bin accounting, then the exchange (which
+      // overlaps the driver's mask reduction below).
+      normal_stream.enqueue([&s] { visit_nd(s); });
+      normal_stream.enqueue([&s, &spec] { visit_nn(s, spec); });
+      const sim::Event bins_ready = normal_stream.record([&s, &bins_total] {
+        bins_total = 0;
+        for (const auto& bin : s.bins) bins_total += bin.size();
+      });
+      normal_stream.enqueue([&, iteration] {
+        comm::ExchangeCounters ec;
+        s.received = exchanger.exchange(me, s.bins, iteration, xopts, ec);
+        s.iter.bin_vertices = ec.bin_vertices;
+        s.iter.uniquify_vertices = ec.uniquify_vertices;
+        s.iter.local_all2all_bytes = ec.local_bytes;
+        s.iter.send_bytes_remote = ec.send_bytes_remote;
+        s.iter.recv_bytes_remote = ec.recv_bytes_remote;
+        s.iter.send_dest_ranks = ec.send_dest_ranks;
+      });
+
+      // Control allreduce: delegate updates + new normal work, cluster-wide.
+      delegate_stream.synchronize();
+      bins_ready.wait();
+      const bool delegate_updates = !s.delegate_out.none();
+      const std::uint64_t contribution =
+          (delegate_updates ? kDelegateFlagUnit : 0) +
+          static_cast<std::uint64_t>(s.next_local.size()) + bins_total;
+      const std::uint64_t control = comm::allreduce_sum(
+          transport, everyone, g, contribution,
+          comm::kTagControl + iteration * comm::kTagBlock);
+      const bool any_delegate_update = control >= kDelegateFlagUnit;
+      const std::uint64_t normal_work = control % kDelegateFlagUnit;
+
+      // Delegate mask reduction (overlaps the normal exchange).
+      if (any_delegate_update) {
+        s.iter.delegate_update = true;
+        util::AtomicBitset reduced = s.delegate_visited;
+        reduced.or_with(s.delegate_out);
+        reducer.reduce(me, reduced, iteration, rmode);
+        util::AtomicBitset::diff_into(reduced, s.delegate_visited,
+                                      s.delegate_new);
+        s.delegate_visited = reduced;
+
+        const graph::LocalGraph& lg = graph_.local(g);
+        const Depth next_depth = s.depth + 1;
+        s.delegate_new.for_each_set([&](std::size_t t) {
+          s.level_delegate[t] = next_depth;
+          if (lg.dd_source_mask().test(t)) --s.unvisited_dd_sources;
+          if (lg.dn_source_mask().test(t)) --s.unvisited_dn_sources;
+        });
+      } else {
+        s.delegate_new.clear_all();
+      }
+
+      normal_stream.synchronize();  // exchange complete; s.received filled
+      s.end_iteration();
+      s.depth += 1;
+      done = !any_delegate_update && normal_work == 0;
+    }
+
+    // ---- BFS-tree completion (Section VI-A3). -------------------------
+    // Traversal sent 4-byte ids only, so vertices discovered through nn
+    // edges do not know their parent yet; one extra exchange resolves them.
+    // Delegates may have been discovered on another GPU; one min-reduction
+    // of global parent ids settles every copy identically.
+    if (options_.compute_parents) {
+      const graph::LocalGraph& lg = graph_.local(g);
+      const std::uint64_t n_local = lg.num_local_normals();
+      const int parent_tag =
+          comm::kTagUser + (s.depth + 2) * comm::kTagBlock;
+
+      // Pack (dest_local, my_level) + my_global for every nn edge out of a
+      // visited vertex; the receiver accepts the first sender exactly one
+      // level above it.
+      std::vector<std::vector<std::uint64_t>> tuples(
+          static_cast<std::size_t>(p));
+      for (std::uint64_t v = 0; v < n_local; ++v) {
+        const Depth lvl = s.normal_level(static_cast<LocalId>(v));
+        if (lvl == kUnvisited) continue;
+        const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
+        for (const VertexId dst : lg.nn().row(v)) {
+          const int owner = spec.owner_global_gpu(dst);
+          auto& bin = tuples[static_cast<std::size_t>(owner)];
+          bin.push_back((dst / static_cast<std::uint64_t>(p)) << 21 |
+                        static_cast<std::uint64_t>(lvl));
+          bin.push_back(v_global);
+        }
+      }
+      auto apply_tuples = [&](const std::vector<std::uint64_t>& words) {
+        for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
+          const LocalId local = static_cast<LocalId>(words[i] >> 21);
+          const Depth lvl = static_cast<Depth>(words[i] & 0x1fffff);
+          if (s.parent_normal[local] == kParentViaNn &&
+              s.normal_level(local) == lvl + 1) {
+            s.parent_normal[local] = words[i + 1];
+          }
+        }
+      };
+      for (int o = 0; o < p; ++o) {
+        if (o == g) continue;
+        transport.send(g, o, parent_tag,
+                       std::move(tuples[static_cast<std::size_t>(o)]));
+      }
+      apply_tuples(tuples[static_cast<std::size_t>(g)]);
+      for (int o = 0; o < p; ++o) {
+        if (o == g) continue;
+        apply_tuples(transport.recv(g, o, parent_tag));
+      }
+
+      // Delegate parents: encoded candidates -> global ids -> min-reduce.
+      const LocalId d = graph_.num_delegates();
+      std::vector<std::uint64_t> parents(d);
+      for (LocalId t = 0; t < d; ++t) {
+        VertexId enc = s.parent_delegate[t].load(std::memory_order_relaxed);
+        if (enc != kParentNone && (enc & kParentDelegateTag) != 0) {
+          enc = graph_.delegates().vertex_of(
+              static_cast<LocalId>(enc & ~kParentDelegateTag));
+        }
+        parents[t] = enc;  // kParentNone == UINT64_MAX: identity for min
+      }
+      if (p > 1) {
+        comm::allreduce_min_words(transport, everyone, g, parents,
+                                  parent_tag + 4);
+      }
+      for (LocalId t = 0; t < d; ++t) {
+        s.parent_delegate[t].store(parents[t], std::memory_order_relaxed);
+      }
+    }
+
+    device.release("bfs.state");
+  });
+  const double measured_ms = wall.elapsed_ms();
+
+  // ---- Gather distances and metrics on the host. -----------------------
+  BfsResult result;
+  result.distances.assign(graph_.num_vertices(), kUnvisited);
+  for (int g = 0; g < p; ++g) {
+    const GpuState& s = *states[static_cast<std::size_t>(g)];
+    const sim::GpuCoord me = spec.coord_of(g);
+    const std::uint64_t n_local = graph_.local(g).num_local_normals();
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      const Depth lvl = s.normal_level(static_cast<LocalId>(v));
+      if (lvl != kUnvisited) {
+        result.distances[spec.global_vertex(me.rank, me.gpu, v)] = lvl;
+      }
+    }
+  }
+  const GpuState& s0 = *states[0];
+  for (LocalId t = 0; t < graph_.num_delegates(); ++t) {
+    if (s0.level_delegate[t] != kUnvisited) {
+      result.distances[graph_.delegates().vertex_of(t)] = s0.level_delegate[t];
+    }
+  }
+
+  if (options_.compute_parents) {
+    result.parents.assign(graph_.num_vertices(), kInvalidVertex);
+    for (int g = 0; g < p; ++g) {
+      const GpuState& s = *states[static_cast<std::size_t>(g)];
+      const sim::GpuCoord me = spec.coord_of(g);
+      const std::uint64_t n_local = graph_.local(g).num_local_normals();
+      for (std::uint64_t v = 0; v < n_local; ++v) {
+        if (s.normal_level(static_cast<LocalId>(v)) == kUnvisited) continue;
+        VertexId enc = s.parent_normal[v];
+        if ((enc & kParentDelegateTag) != 0 && enc != kParentNone &&
+            enc != kParentViaNn) {
+          enc = graph_.delegates().vertex_of(
+              static_cast<LocalId>(enc & ~kParentDelegateTag));
+        }
+        result.parents[spec.global_vertex(me.rank, me.gpu, v)] = enc;
+      }
+    }
+    for (LocalId t = 0; t < graph_.num_delegates(); ++t) {
+      if (s0.level_delegate[t] != kUnvisited) {
+        result.parents[graph_.delegates().vertex_of(t)] =
+            s0.parent_delegate[t].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::vector<std::vector<sim::GpuIterationCounters>> histories;
+  histories.reserve(static_cast<std::size_t>(p));
+  for (int g = 0; g < p; ++g) {
+    histories.push_back(std::move(states[static_cast<std::size_t>(g)]->history));
+  }
+  result.metrics =
+      assemble_metrics(graph_, options_, std::move(histories), measured_ms);
+  return result;
+}
+
+}  // namespace dsbfs::core

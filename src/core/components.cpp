@@ -1,0 +1,233 @@
+#include "core/components.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "comm/collectives.hpp"
+#include "comm/exchange.hpp"
+#include "comm/mask_reduce.hpp"
+#include "comm/transport.hpp"
+#include "util/timer.hpp"
+
+namespace dsbfs::core {
+
+namespace {
+
+/// Per-GPU label-propagation state.
+struct CcState {
+  std::vector<VertexId> label_normal;     // per local normal
+  std::vector<VertexId> label_delegate;   // per delegate, replicated
+  std::vector<VertexId> delegate_cand;    // this iteration's min candidates
+  std::vector<LocalId> active_normals;
+  std::vector<LocalId> active_delegates;
+  std::vector<std::vector<comm::VertexUpdate>> bins;
+  std::vector<sim::GpuIterationCounters> history;
+};
+
+}  // namespace
+
+ConnectedComponents::ConnectedComponents(const graph::DistributedGraph& graph,
+                                         sim::Cluster& cluster,
+                                         CcOptions options)
+    : graph_(graph), cluster_(cluster), options_(options) {
+  if (graph.spec().total_gpus() != cluster.total_gpus()) {
+    throw std::invalid_argument("graph and cluster specs disagree");
+  }
+}
+
+CcResult ConnectedComponents::run() {
+  const sim::ClusterSpec spec = graph_.spec();
+  const int p = spec.total_gpus();
+  const LocalId d = graph_.num_delegates();
+
+  comm::Transport transport(spec);
+  comm::ValueReducer reducer(transport, spec);
+  std::vector<int> everyone(static_cast<std::size_t>(p));
+  for (int g = 0; g < p; ++g) everyone[static_cast<std::size_t>(g)] = g;
+
+  std::vector<std::unique_ptr<CcState>> states(static_cast<std::size_t>(p));
+  std::vector<int> iterations_out(static_cast<std::size_t>(p), 0);
+
+  util::Timer wall;
+  cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
+    const int g = spec.global_gpu(me);
+    const graph::LocalGraph& lg = graph_.local(g);
+    const std::uint64_t n_local = lg.num_local_normals();
+
+    auto state_ptr = std::make_unique<CcState>();
+    CcState& s = *state_ptr;
+    states[static_cast<std::size_t>(g)] = std::move(state_ptr);
+
+    device.allocate("cc.state", (n_local + 2ULL * d) * 8);
+
+    s.label_normal.resize(n_local);
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      s.label_normal[v] = spec.global_vertex(me.rank, me.gpu, v);
+      s.active_normals.push_back(static_cast<LocalId>(v));
+    }
+    s.label_delegate.resize(d);
+    s.delegate_cand.resize(d);
+    for (LocalId t = 0; t < d; ++t) {
+      s.label_delegate[t] = graph_.delegates().vertex_of(t);
+      s.active_delegates.push_back(t);
+    }
+    s.bins.resize(static_cast<std::size_t>(p));
+
+    for (int iteration = 0;; ++iteration) {
+      sim::GpuIterationCounters iter;
+      std::copy(s.label_delegate.begin(), s.label_delegate.end(),
+                s.delegate_cand.begin());
+      std::vector<LocalId> next_normals;
+
+      // Normal pushes: nn updates travel, nd updates land in candidates.
+      iter.nprev_vertices = s.active_normals.size();
+      iter.nn.launched = iter.nd.launched = !s.active_normals.empty();
+      for (const LocalId v : s.active_normals) {
+        const VertexId lbl = s.label_normal[v];
+        const auto nn_row = lg.nn().row(v);
+        iter.nn.edges += nn_row.size();
+        for (const VertexId dst : nn_row) {
+          // Send only improving candidates coarsely: the label might not
+          // beat the destination's, the receiver checks.
+          if (lbl < dst) {
+            s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))]
+                .push_back(comm::VertexUpdate{
+                    static_cast<LocalId>(dst /
+                                         static_cast<std::uint64_t>(p)),
+                    lbl});
+          }
+        }
+        const auto nd_row = lg.nd().row(v);
+        iter.nd.edges += nd_row.size();
+        for (const LocalId c : nd_row) {
+          if (lbl < s.delegate_cand[c]) s.delegate_cand[c] = lbl;
+        }
+      }
+      iter.nn.vertices = iter.nd.vertices = s.active_normals.size();
+
+      // Delegate pushes: dd into candidates, dn into local labels.
+      iter.dprev_vertices = s.active_delegates.size();
+      iter.dd.launched = iter.dn.launched = !s.active_delegates.empty();
+      for (const LocalId t : s.active_delegates) {
+        const VertexId lbl = s.label_delegate[t];
+        const auto dd_row = lg.dd().row(t);
+        iter.dd.edges += dd_row.size();
+        for (const LocalId c : dd_row) {
+          if (lbl < s.delegate_cand[c]) s.delegate_cand[c] = lbl;
+        }
+        const auto dn_row = lg.dn().row(t);
+        iter.dn.edges += dn_row.size();
+        for (const LocalId v : dn_row) {
+          if (lbl < s.label_normal[v]) {
+            s.label_normal[v] = lbl;
+            next_normals.push_back(v);
+          }
+        }
+      }
+      iter.dd.vertices = iter.dn.vertices = s.active_delegates.size();
+
+      // Global delegate label min-reduction (d x 8 bytes).
+      reducer.reduce(me, std::span<std::uint64_t>(s.delegate_cand.data(), d),
+                     comm::ValueReducer::Op::kMin, iteration);
+      iter.delegate_update = true;
+      std::vector<LocalId> next_delegates;
+      for (LocalId t = 0; t < d; ++t) {
+        if (s.delegate_cand[t] < s.label_delegate[t]) {
+          s.label_delegate[t] = s.delegate_cand[t];
+          next_delegates.push_back(t);
+        }
+      }
+
+      // Normal label update exchange.
+      comm::ExchangeCounters ec;
+      const auto updates =
+          comm::exchange_updates(transport, spec, me, s.bins, iteration, ec);
+      iter.bin_vertices = ec.bin_vertices;
+      iter.send_bytes_remote = ec.send_bytes_remote;
+      iter.recv_bytes_remote = ec.recv_bytes_remote;
+      iter.send_dest_ranks = ec.send_dest_ranks;
+      iter.local_all2all_bytes = ec.local_bytes;
+      for (const comm::VertexUpdate& u : updates) {
+        if (u.value < s.label_normal[u.vertex]) {
+          s.label_normal[u.vertex] = u.value;
+          next_normals.push_back(u.vertex);
+        }
+      }
+      // A vertex may be improved twice in one round; dedup the frontier.
+      std::sort(next_normals.begin(), next_normals.end());
+      next_normals.erase(std::unique(next_normals.begin(), next_normals.end()),
+                         next_normals.end());
+
+      if (options_.collect_counters) s.history.push_back(iter);
+
+      const std::uint64_t changes = comm::allreduce_sum(
+          transport, everyone, g,
+          next_normals.size() + next_delegates.size(),
+          comm::kTagControl + iteration * comm::kTagBlock);
+      s.active_normals = std::move(next_normals);
+      s.active_delegates = std::move(next_delegates);
+      if (changes == 0) {
+        iterations_out[static_cast<std::size_t>(g)] = iteration + 1;
+        break;
+      }
+    }
+    device.release("cc.state");
+  });
+  const double measured_ms = wall.elapsed_ms();
+
+  // ---- Gather. ----------------------------------------------------------
+  CcResult result;
+  result.measured_ms = measured_ms;
+  result.iterations = iterations_out[0];
+  result.labels.assign(graph_.num_vertices(), kInvalidVertex);
+  for (int g = 0; g < p; ++g) {
+    const CcState& s = *states[static_cast<std::size_t>(g)];
+    const sim::GpuCoord me = spec.coord_of(g);
+    for (std::uint64_t v = 0; v < s.label_normal.size(); ++v) {
+      result.labels[spec.global_vertex(me.rank, me.gpu, v)] =
+          s.label_normal[v];
+    }
+  }
+  const CcState& s0 = *states[0];
+  for (LocalId t = 0; t < d; ++t) {
+    result.labels[graph_.delegates().vertex_of(t)] = s0.label_delegate[t];
+  }
+  {
+    std::unordered_set<VertexId> roots(result.labels.begin(),
+                                       result.labels.end());
+    result.num_components = roots.size();
+  }
+
+  // ---- Model. ------------------------------------------------------------
+  if (options_.collect_counters) {
+    sim::RunCounters counters;
+    counters.spec = spec;
+    counters.delegate_mask_bytes = static_cast<std::uint64_t>(d) * 8;
+    counters.blocking_reduce = true;
+    counters.iterations.resize(static_cast<std::size_t>(result.iterations));
+    for (std::size_t it = 0; it < counters.iterations.size(); ++it) {
+      auto& ic = counters.iterations[it];
+      ic.gpu.resize(static_cast<std::size_t>(p));
+      for (int g = 0; g < p; ++g) {
+        ic.gpu[static_cast<std::size_t>(g)] =
+            states[static_cast<std::size_t>(g)]->history[it];
+      }
+      result.update_bytes_remote += [&] {
+        std::uint64_t b = 0;
+        for (const auto& gc : ic.gpu) b += gc.send_bytes_remote;
+        return b;
+      }();
+    }
+    result.reduce_bytes = 2ULL * d * 8 *
+                          static_cast<std::uint64_t>(spec.num_ranks) *
+                          static_cast<std::uint64_t>(result.iterations);
+    const sim::PerfModel model{sim::DeviceModel{options_.device_model},
+                               sim::NetModel{options_.net_model}};
+    result.modeled = model.replay(counters);
+    result.modeled_ms = result.modeled.elapsed_ms;
+  }
+  return result;
+}
+
+}  // namespace dsbfs::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "comm/exchange.hpp"
+#include "comm/mask_reduce.hpp"
+#include "sim/device_model.hpp"
+#include "sim/net_model.hpp"
+
+/// Run-time options of the distributed (DO)BFS (paper Section VI-B).
+namespace dsbfs::core {
+
+/// Per-subgraph direction-switching factors (Section IV-B): starting from
+/// forward-push, a kernel switches to backward-pull when
+///   FV > to_backward * BV
+/// and back to forward when
+///   FV < to_forward * BV.
+/// The paper reports (0.5, 0.05, 1e-7) for dd, dn, nd as near-optimal on
+/// RMAT across the weak-scaling curve, with no switch-back needed.
+struct DirectionFactors {
+  double to_backward = 0.5;
+  double to_forward = 0.0;  // 0 = never switch back
+};
+
+struct BfsOptions {
+  /// Direction optimization on dd / dn / nd visits (nn is always forward:
+  /// the nn subgraph is not symmetric locally and has tiny in-degrees).
+  bool direction_optimized = true;
+
+  /// Local all2all (L): gather same-column traffic inside the rank first.
+  bool local_all2all = false;
+
+  /// Uniquify (U): deduplicate outbound exchange bins.
+  bool uniquify = false;
+
+  /// Blocking (BR, MPI_Allreduce) vs non-blocking (IR, MPI_Iallreduce)
+  /// global delegate-mask reduction.  Functionally identical; the modeled
+  /// cost differs (Section VI-B, Fig. 8).
+  comm::ReduceMode reduce_mode = comm::ReduceMode::kBlocking;
+
+  DirectionFactors dd_factors{0.5, 0.0};
+  DirectionFactors dn_factors{0.05, 0.0};
+  DirectionFactors nd_factors{1e-7, 0.0};
+
+  /// Record per-iteration statistics (small overhead; benches keep it on).
+  bool collect_per_iteration = true;
+
+  /// Also produce the Graph500 BFS tree (BfsResult::parents).  Parents of
+  /// vertices visited through dd/dn/nd edges are recorded locally during
+  /// traversal; delegates are resolved by one d-word min-reduction and nn
+  /// destinations by one end-of-run parent exchange (Section VI-A3: "the
+  /// cost of building such a tree should be low").
+  bool compute_parents = false;
+
+  /// Hardware models used to convert measured counters to cluster time.
+  sim::DeviceModelConfig device_model{};
+  sim::NetModelConfig net_model{};
+};
+
+}  // namespace dsbfs::core

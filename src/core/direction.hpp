@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/config.hpp"
+
+/// Direction optimization state machine (paper Section IV-B).
+///
+/// The backward workload estimate follows the paper's derivation: with
+///   q = input frontier length,
+///   s = unvisited sources in the forward subgraph,
+///   a = q / (q + s)  (probability a potential parent is newly visited),
+///   U = unvisited sources of the reversed subgraph,
+/// the expected pull cost is sum over U of (1 - (1-a)^od(u)) / a, which for
+/// large out-degrees approximates |U| / a = |U| (q + s) / q.
+namespace dsbfs::core {
+
+/// Backward-workload estimate BV.
+inline double backward_workload(std::uint64_t unvisited_reverse_sources,
+                                std::uint64_t frontier_len,
+                                std::uint64_t unvisited_forward_sources) {
+  if (frontier_len == 0) return std::numeric_limits<double>::infinity();
+  const double q = static_cast<double>(frontier_len);
+  const double s = static_cast<double>(unvisited_forward_sources);
+  return static_cast<double>(unvisited_reverse_sources) * (q + s) / q;
+}
+
+class DirectionState {
+ public:
+  DirectionState() = default;
+  explicit DirectionState(DirectionFactors factors) : factors_(factors) {}
+
+  bool backward() const noexcept { return backward_; }
+
+  /// Apply the paper's switching rule for this iteration's workloads.
+  /// Returns the direction chosen for the upcoming visit.
+  bool update(double forward_workload, double backward_workload_estimate,
+              bool direction_optimized) noexcept {
+    if (!direction_optimized) {
+      backward_ = false;
+      return backward_;
+    }
+    if (!backward_) {
+      if (forward_workload >
+          factors_.to_backward * backward_workload_estimate) {
+        backward_ = true;
+      }
+    } else {
+      if (forward_workload < factors_.to_forward * backward_workload_estimate) {
+        backward_ = false;
+      }
+    }
+    return backward_;
+  }
+
+  void reset() noexcept { backward_ = false; }
+
+ private:
+  DirectionFactors factors_{};
+  bool backward_ = false;
+};
+
+}  // namespace dsbfs::core

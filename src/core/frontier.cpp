@@ -1,0 +1,47 @@
+#include "core/frontier.hpp"
+
+namespace dsbfs::core {
+
+GpuState::GpuState(const graph::LocalGraph& graph, int total_gpus)
+    : graph_(&graph) {
+  const std::uint64_t n_local = graph.num_local_normals();
+  level_normal_ = std::make_unique<std::atomic<Depth>[]>(n_local);
+  for (std::uint64_t v = 0; v < n_local; ++v) {
+    level_normal_[v].store(kUnvisited, std::memory_order_relaxed);
+  }
+  delegate_visited.resize(graph.num_delegates());
+  delegate_out.resize(graph.num_delegates());
+  delegate_new.resize(graph.num_delegates());
+  level_delegate.assign(graph.num_delegates(), kUnvisited);
+
+  parent_normal.assign(n_local, kParentNone);
+  parent_delegate = std::make_unique<std::atomic<VertexId>[]>(
+      graph.num_delegates());
+  for (LocalId t = 0; t < graph.num_delegates(); ++t) {
+    parent_delegate[t].store(kParentNone, std::memory_order_relaxed);
+  }
+
+  dir_dd = DirectionState{};
+  dir_dn = DirectionState{};
+  dir_nd = DirectionState{};
+  unvisited_nd_sources = graph.nd_source_count();
+  unvisited_dd_sources = graph.dd_source_count();
+  unvisited_dn_sources = graph.dn_source_count();
+
+  bins.resize(static_cast<std::size_t>(total_gpus));
+}
+
+void GpuState::begin_iteration() {
+  iter = sim::GpuIterationCounters{};
+  delegate_queue.clear();
+  frontier.clear();
+}
+
+void GpuState::end_iteration() {
+  history.push_back(iter);
+  // next_local and received carry the next iteration's frontier inputs; the
+  // next normal previsit consumes and clears them.
+  delegate_out.clear_all();
+}
+
+}  // namespace dsbfs::core

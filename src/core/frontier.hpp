@@ -1,0 +1,105 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/direction.hpp"
+#include "graph/local_graph.hpp"
+#include "sim/perf_model.hpp"
+#include "util/bitset.hpp"
+
+/// Per-GPU traversal state.
+///
+/// Level/visited conventions (see DESIGN.md "Iteration/level semantics"):
+/// iteration `depth` expands the distance-`depth` frontier; every discovery
+/// is assigned distance `depth + 1`.  During visits, `delegate_visited` and
+/// `level_normal` entries <= depth form a *stable snapshot*: kernels write
+/// new discoveries to `delegate_out` / CAS `level_normal` with depth+1 only,
+/// so backward pulls never observe same-iteration discoveries as parents.
+namespace dsbfs::core {
+
+/// Parent encodings used during traversal (decoded at gather time).
+inline constexpr VertexId kParentNone = kInvalidVertex;
+/// The vertex was received via the nn exchange; its parent is resolved by
+/// the end-of-run parent exchange (paper Section VI-A3).
+inline constexpr VertexId kParentViaNn = kInvalidVertex - 1;
+/// Tag bit: the low bits are a delegate id, not a global vertex id.
+inline constexpr VertexId kParentDelegateTag = 1ULL << 62;
+
+class GpuState {
+ public:
+  GpuState(const graph::LocalGraph& graph, int total_gpus);
+
+  const graph::LocalGraph& graph() const noexcept { return *graph_; }
+
+  // --- normal vertices -------------------------------------------------
+  Depth normal_level(LocalId v) const noexcept {
+    return level_normal_[v].load(std::memory_order_relaxed);
+  }
+  void set_normal_level(LocalId v, Depth d) noexcept {
+    level_normal_[v].store(d, std::memory_order_relaxed);
+  }
+  /// Atomically claim an unvisited vertex; true when this call visited it.
+  bool claim_normal(LocalId v, Depth d) noexcept {
+    Depth expected = kUnvisited;
+    return level_normal_[v].compare_exchange_strong(expected, d,
+                                                    std::memory_order_relaxed);
+  }
+
+  std::vector<LocalId> frontier;    // distance == depth, expanded this iter
+  std::vector<LocalId> next_local;  // dn-visit discoveries (distance depth+1)
+  std::vector<LocalId> received;    // exchange arrivals (marked next previsit)
+
+  // --- delegates --------------------------------------------------------
+  util::AtomicBitset delegate_visited;  // stable within an iteration
+  util::AtomicBitset delegate_out;      // this iteration's updates
+  util::AtomicBitset delegate_new;      // became visited at last extract
+  std::vector<Depth> level_delegate;
+  std::vector<LocalId> delegate_queue;  // delegate frontier this iteration
+
+  // --- direction optimization -------------------------------------------
+  DirectionState dir_dd, dir_dn, dir_nd;
+  // Unvisited-source pools (decremented as vertices become visited).
+  std::uint64_t unvisited_nd_sources = 0;  // normals with nd edges
+  std::uint64_t unvisited_dd_sources = 0;  // delegates with dd edges
+  std::uint64_t unvisited_dn_sources = 0;  // delegates with dn edges
+  // Forward workloads computed by the previsit.
+  double fv_dd = 0, fv_dn = 0, fv_nd = 0;
+  double bv_dd = 0, bv_dn = 0, bv_nd = 0;
+
+  // --- exchange ----------------------------------------------------------
+  std::vector<std::vector<LocalId>> bins;  // per destination global GPU
+
+  // --- BFS tree (optional; see DistributedBfs::run) -----------------------
+  bool record_parents = false;
+  /// Per local normal vertex: encoded parent (kParent* conventions).
+  std::vector<VertexId> parent_normal;
+  /// Per delegate: this GPU's locally-known parent candidate as a *global*
+  /// vertex id (UINT64_MAX = none); min-reduced across GPUs at the end.
+  std::unique_ptr<std::atomic<VertexId>[]> parent_delegate;
+
+  void set_delegate_parent(LocalId delegate, VertexId parent_vertex) noexcept {
+    // First writer wins is unnecessary: any candidate recorded in the same
+    // iteration is a valid parent (all at the frontier depth); relaxed
+    // stores are safe.
+    parent_delegate[delegate].store(parent_vertex, std::memory_order_relaxed);
+  }
+
+  // --- bookkeeping --------------------------------------------------------
+  Depth depth = 0;
+  sim::GpuIterationCounters iter;                 // current iteration
+  std::vector<sim::GpuIterationCounters> history; // all iterations
+
+  /// Reset iteration-scoped scratch (bins stay allocated).
+  void begin_iteration();
+  /// Push the iteration counters into history.
+  void end_iteration();
+
+ private:
+  const graph::LocalGraph* graph_;
+  std::unique_ptr<std::atomic<Depth>[]> level_normal_;
+};
+
+}  // namespace dsbfs::core

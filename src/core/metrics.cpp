@@ -1,0 +1,72 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace dsbfs::core {
+
+RunMetrics assemble_metrics(
+    const graph::DistributedGraph& graph, const BfsOptions& options,
+    std::vector<std::vector<sim::GpuIterationCounters>>&& histories,
+    double measured_ms) {
+  RunMetrics m;
+  const int p = graph.spec().total_gpus();
+  const std::size_t iters = histories.empty() ? 0 : histories[0].size();
+  m.iterations = static_cast<int>(iters);
+  m.teps_edges = graph.num_edges() / 2;
+  m.measured_ms = measured_ms;
+
+  m.counters.spec = graph.spec();
+  m.counters.delegate_mask_bytes = (graph.num_delegates() + 7) / 8;
+  m.counters.blocking_reduce =
+      options.reduce_mode == comm::ReduceMode::kBlocking;
+  m.counters.iterations.resize(iters);
+
+  for (std::size_t it = 0; it < iters; ++it) {
+    sim::IterationCounters& ic = m.counters.iterations[it];
+    ic.gpu.resize(static_cast<std::size_t>(p));
+    IterationStats stats;
+    for (int g = 0; g < p; ++g) {
+      const sim::GpuIterationCounters& c =
+          histories[static_cast<std::size_t>(g)][it];
+      ic.gpu[static_cast<std::size_t>(g)] = c;
+
+      const std::uint64_t edges =
+          c.dd.edges + c.dn.edges + c.nd.edges + c.nn.edges;
+      m.edges_traversed += edges;
+      m.exchange_remote_bytes += c.send_bytes_remote;
+      m.exchange_local_bytes += c.local_all2all_bytes;
+
+      stats.frontier_normals += c.nn.launched ? c.nn.vertices : 0;
+      // Delegates are replicated on every GPU; count them once (GPU 0's
+      // delegate_new equals everyone's after the reduction).
+      if (g == 0) stats.new_delegates = c.dprev_vertices;
+      stats.edges_traversed += edges;
+      stats.exchanged_vertices += c.bin_vertices;
+      stats.delegate_reduce |= c.delegate_update;
+      stats.dd_backward |= c.dd.backward && c.dd.launched;
+      stats.dn_backward |= c.dn.backward && c.dn.launched;
+      stats.nd_backward |= c.nd.backward && c.nd.launched;
+    }
+    if (stats.delegate_reduce) {
+      ++m.delegate_reduce_iterations;
+      m.mask_reduce_bytes += 2 * m.counters.delegate_mask_bytes *
+                             static_cast<std::uint64_t>(graph.spec().num_ranks);
+    }
+    if (options.collect_per_iteration) m.per_iteration.push_back(stats);
+  }
+
+  // Replay on the hardware models.
+  const sim::PerfModel model{sim::DeviceModel{options.device_model},
+                             sim::NetModel{options.net_model}};
+  m.modeled = model.replay(m.counters);
+  m.modeled_ms = m.modeled.elapsed_ms;
+  if (m.modeled_ms > 0) {
+    m.modeled_gteps = static_cast<double>(m.teps_edges) / m.modeled_ms / 1e6;
+  }
+  if (m.measured_ms > 0) {
+    m.measured_gteps = static_cast<double>(m.teps_edges) / m.measured_ms / 1e6;
+  }
+  return m;
+}
+
+}  // namespace dsbfs::core

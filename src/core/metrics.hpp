@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/builder.hpp"
+#include "sim/perf_model.hpp"
+
+/// Run-level measurements and models (what the benches report).
+namespace dsbfs::core {
+
+/// One row of the per-iteration trace.
+struct IterationStats {
+  std::uint64_t frontier_normals = 0;  // sum over GPUs
+  std::uint64_t new_delegates = 0;     // delegates entering the queue
+  std::uint64_t edges_traversed = 0;   // all visit kernels, all GPUs
+  std::uint64_t exchanged_vertices = 0;
+  bool delegate_reduce = false;
+  bool dd_backward = false, dn_backward = false, nd_backward = false;
+};
+
+struct RunMetrics {
+  int iterations = 0;                  // S
+  int delegate_reduce_iterations = 0;  // S' (paper: about half of S on RMAT)
+
+  std::uint64_t edges_traversed = 0;   // workload m' (paper Section IV-B)
+  std::uint64_t exchange_remote_bytes = 0;
+  std::uint64_t exchange_local_bytes = 0;
+  std::uint64_t mask_reduce_bytes = 0;  // modeled volume: 2 * d/8 * prank * S'
+  std::uint64_t duplicates_removed = 0;
+
+  double measured_ms = 0;   // wall clock of this process (all GPUs threaded)
+  double measured_gteps = 0;
+
+  sim::ModeledBreakdown modeled;  // replayed on the cluster models
+  double modeled_ms = 0;
+  double modeled_gteps = 0;
+
+  std::uint64_t teps_edges = 0;  // m/2, the TEPS denominator
+
+  std::vector<IterationStats> per_iteration;
+  sim::RunCounters counters;  // full trace for re-modeling
+};
+
+/// Assemble metrics from the per-GPU iteration histories.
+RunMetrics assemble_metrics(const graph::DistributedGraph& graph,
+                            const BfsOptions& options,
+                            std::vector<std::vector<sim::GpuIterationCounters>>&& histories,
+                            double measured_ms);
+
+}  // namespace dsbfs::core

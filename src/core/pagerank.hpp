@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "sim/perf_model.hpp"
+#include "util/types.hpp"
+
+/// PageRank on the degree-separated substrate -- the paper's named example
+/// of "more bits of state for delegates: ranking scores for PageRank"
+/// (Section VI-D).
+///
+/// Push formulation per iteration: every vertex distributes
+/// rank / out_degree along its edges.  A normal vertex's entire adjacency
+/// lives on its owner (Algorithm 1 routes all edges with a normal source to
+/// that owner), so its shares are computed in one place; a delegate's
+/// adjacency is scattered, but its rank is replicated, so every GPU pushes
+/// the delegate's share along its local portion -- contributions then meet
+/// in a global SUM reduction of d doubles.  Normal-vertex inflows from nn
+/// edges travel through the (id, value) update exchange.  Dangling mass is
+/// redistributed uniformly; with a damping factor of 0.85 the ranks sum
+/// to 1 every iteration.
+namespace dsbfs::core {
+
+struct PagerankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  /// Stop when the L1 rank change drops below this.
+  double tolerance = 1e-9;
+  bool collect_counters = true;
+  sim::DeviceModelConfig device_model{};
+  sim::NetModelConfig net_model{};
+};
+
+struct PagerankResult {
+  std::vector<double> ranks;  // indexed by global vertex id; sums to ~1
+  int iterations = 0;
+  double final_delta = 0;  // last iteration's L1 change
+  double measured_ms = 0;
+  double modeled_ms = 0;
+  sim::ModeledBreakdown modeled;
+  std::uint64_t update_bytes_remote = 0;
+  std::uint64_t reduce_bytes = 0;
+};
+
+class DistributedPagerank {
+ public:
+  DistributedPagerank(const graph::DistributedGraph& graph,
+                      sim::Cluster& cluster, PagerankOptions options = {});
+
+  /// Collective PageRank power iteration.
+  PagerankResult run();
+
+ private:
+  const graph::DistributedGraph& graph_;
+  sim::Cluster& cluster_;
+  PagerankOptions options_;
+};
+
+}  // namespace dsbfs::core

@@ -1,0 +1,75 @@
+#include "core/previsit.hpp"
+
+namespace dsbfs::core {
+
+void delegate_previsit(GpuState& s, const BfsOptions& options) {
+  const graph::LocalGraph& g = s.graph();
+  double fv_dd = 0, fv_dn = 0;
+
+  s.delegate_new.for_each_set([&](std::size_t t) {
+    const std::uint32_t dd_len = g.dd().row_length(t);
+    const std::uint32_t dn_len = g.dn().row_length(t);
+    if (dd_len == 0 && dn_len == 0) return;  // zero-out-degree filter
+    s.delegate_queue.push_back(static_cast<LocalId>(t));
+    fv_dd += dd_len;
+    fv_dn += dn_len;
+  });
+  s.iter.dprev_vertices = s.delegate_new.count();
+  s.iter.direction_decisions = options.direction_optimized;
+
+  const std::uint64_t q = s.delegate_queue.size();
+  s.fv_dd = fv_dd;
+  s.fv_dn = fv_dn;
+  // dd: reversed graph is dd itself (locally symmetric).
+  s.bv_dd = backward_workload(s.unvisited_dd_sources, q, s.unvisited_dd_sources);
+  // dn: reversed subgraph is nd; pull candidates are unvisited nd sources,
+  // potential parents are delegates with dn edges.
+  s.bv_dn = backward_workload(s.unvisited_nd_sources, q, s.unvisited_dn_sources);
+
+  if (q > 0) {
+    s.dir_dd.update(s.fv_dd, s.bv_dd, options.direction_optimized);
+    s.dir_dn.update(s.fv_dn, s.bv_dn, options.direction_optimized);
+  }
+}
+
+void normal_previsit(GpuState& s, const BfsOptions& options) {
+  const graph::LocalGraph& g = s.graph();
+  s.iter.nprev_vertices = s.next_local.size() + s.received.size();
+
+  // Locally discovered vertices are already marked (claimed by the dn visit
+  // or seeded as the source); arrivals from the exchange are deduplicated
+  // against the level array here.
+  s.frontier.swap(s.next_local);
+  s.next_local.clear();
+  for (const LocalId v : s.received) {
+    if (s.normal_level(v) == kUnvisited) {
+      s.set_normal_level(v, s.depth);
+      // The sender's identity is not transmitted during traversal (4-byte
+      // ids only); the end-of-run parent exchange resolves these.
+      if (s.record_parents) s.parent_normal[v] = kParentViaNn;
+      s.frontier.push_back(v);
+    }
+  }
+  s.received.clear();
+
+  // Newly visited normals leave the unvisited nd-source pool.
+  double fv_nd = 0;
+  std::uint64_t newly_in_pool = 0;
+  for (const LocalId v : s.frontier) {
+    fv_nd += g.nd().row_length(v);
+    if (g.nd_source_mask().test(v)) ++newly_in_pool;
+  }
+  s.unvisited_nd_sources -= newly_in_pool;
+
+  const std::uint64_t q = s.frontier.size();
+  s.fv_nd = fv_nd;
+  // nd: reversed subgraph is dn; pull candidates are unvisited delegates
+  // with dn edges, potential parents are normals with nd edges.
+  s.bv_nd = backward_workload(s.unvisited_dn_sources, q, s.unvisited_nd_sources);
+
+  if (q > 0) {
+    s.dir_nd.update(s.fv_nd, s.bv_nd, options.direction_optimized);
+  }
+}
+
+}  // namespace dsbfs::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/config.hpp"
+#include "core/frontier.hpp"
+
+/// Previsit kernels (paper Section IV, Fig. 3).
+///
+/// Each iteration begins with one previsit per stream:
+///   * delegate previsit -- turns the newly visited delegate mask into a
+///     work queue (dropping delegates without local out-edges), computes
+///     the forward workloads FV for the dd and dn visits, and the backward
+///     estimates BV from the unvisited-source pools;
+///   * normal previsit -- merges locally discovered vertices with exchange
+///     arrivals (deduplicating against the level array), forms the normal
+///     frontier, and computes FV/BV for the nd visit.
+/// Both also fix the traversal direction for their stream's visit kernels.
+namespace dsbfs::core {
+
+/// Delegate-stream previsit.  Reads `delegate_new`; fills `delegate_queue`,
+/// fv_dd/bv_dd, fv_dn/bv_dn and updates dir_dd / dir_dn.
+void delegate_previsit(GpuState& s, const BfsOptions& options);
+
+/// Normal-stream previsit.  Merges `next_local` + `received` into
+/// `frontier`, marks newly visited arrivals with the current depth, updates
+/// the unvisited pools, computes fv_nd/bv_nd and updates dir_nd.
+void normal_previsit(GpuState& s, const BfsOptions& options);
+
+}  // namespace dsbfs::core

@@ -1,0 +1,192 @@
+#include "core/validate.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/parallel.hpp"
+
+namespace dsbfs::core {
+
+namespace {
+
+std::string describe_edge(VertexId u, VertexId v, Depth du, Depth dv) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "edge (%llu -> %llu) with levels (%d, %d)",
+                static_cast<unsigned long long>(u),
+                static_cast<unsigned long long>(v), du, dv);
+  return buf;
+}
+
+}  // namespace
+
+ValidationReport validate_distances(const graph::EdgeList& graph,
+                                    VertexId source,
+                                    std::span<const Depth> dist) {
+  ValidationReport report;
+  if (source >= dist.size() || dist[source] != 0) {
+    report.ok = false;
+    report.error = "source level is not zero";
+    return report;
+  }
+  for (const Depth d : dist) {
+    if (d < kUnvisited) {
+      report.ok = false;
+      report.error = "negative level below the unvisited sentinel";
+      return report;
+    }
+  }
+
+  // Edge consistency + parent existence, in one parallel sweep: for each
+  // visited vertex track the minimum neighbor level seen.
+  std::vector<std::atomic<Depth>> min_neighbor(dist.size());
+  for (auto& x : min_neighbor) x.store(0x7fffffff, std::memory_order_relaxed);
+
+  std::atomic<bool> failed{false};
+  std::atomic<std::size_t> first_bad{static_cast<std::size_t>(-1)};
+  util::parallel_for(0, graph.size(), [&](std::size_t i) {
+    const VertexId u = graph.src[i];
+    const VertexId v = graph.dst[i];
+    const Depth du = dist[u];
+    const Depth dv = dist[v];
+    const bool u_vis = du != kUnvisited;
+    const bool v_vis = dv != kUnvisited;
+    if (u_vis != v_vis) {
+      failed.store(true, std::memory_order_relaxed);
+      std::size_t expected = static_cast<std::size_t>(-1);
+      first_bad.compare_exchange_strong(expected, i, std::memory_order_relaxed);
+      return;
+    }
+    if (u_vis && v_vis) {
+      if (du > dv + 1 || dv > du + 1) {
+        failed.store(true, std::memory_order_relaxed);
+        std::size_t expected = static_cast<std::size_t>(-1);
+        first_bad.compare_exchange_strong(expected, i,
+                                          std::memory_order_relaxed);
+        return;
+      }
+      Depth cur = min_neighbor[v].load(std::memory_order_relaxed);
+      while (du < cur && !min_neighbor[v].compare_exchange_weak(
+                             cur, du, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  if (failed.load()) {
+    const std::size_t i = first_bad.load();
+    report.ok = false;
+    report.error = "inconsistent " + describe_edge(graph.src[i], graph.dst[i],
+                                                   dist[graph.src[i]],
+                                                   dist[graph.dst[i]]);
+    return report;
+  }
+
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    const Depth d = dist[v];
+    if (d == kUnvisited) continue;
+    ++report.reached;
+    report.max_depth = std::max(report.max_depth, d);
+    if (v == source) continue;
+    const Depth best = min_neighbor[v].load(std::memory_order_relaxed);
+    if (best != d - 1) {
+      report.ok = false;
+      report.error = "vertex " + std::to_string(v) + " at level " +
+                     std::to_string(d) + " has closest neighbor at level " +
+                     std::to_string(best);
+      return report;
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_parents(const graph::EdgeList& graph, VertexId source,
+                                  std::span<const Depth> dist,
+                                  std::span<const VertexId> parents) {
+  ValidationReport report;
+  if (parents.size() != dist.size()) {
+    report.ok = false;
+    report.error = "parents array size mismatch";
+    return report;
+  }
+  if (parents[source] != source) {
+    report.ok = false;
+    report.error = "source is not its own parent";
+    return report;
+  }
+
+  // Tree-edge existence: mark every (parent[v], v) pair as "wanted" and
+  // sweep the edge list once (avoids building an adjacency index).
+  std::vector<std::atomic<std::uint8_t>> edge_seen(dist.size());
+  for (auto& x : edge_seen) x.store(0, std::memory_order_relaxed);
+
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    const bool visited = dist[v] != kUnvisited;
+    if (!visited) {
+      if (parents[v] != kInvalidVertex) {
+        report.ok = false;
+        report.error = "unvisited vertex " + std::to_string(v) + " has parent";
+        return report;
+      }
+      continue;
+    }
+    ++report.reached;
+    report.max_depth = std::max(report.max_depth, dist[v]);
+    if (v == source) continue;
+    const VertexId parent = parents[v];
+    if (parent >= dist.size()) {
+      report.ok = false;
+      report.error = "vertex " + std::to_string(v) + " has invalid parent";
+      return report;
+    }
+    if (dist[parent] != dist[v] - 1) {
+      report.ok = false;
+      report.error = "vertex " + std::to_string(v) + " at level " +
+                     std::to_string(dist[v]) + " has parent at level " +
+                     std::to_string(dist[parent]);
+      return report;
+    }
+  }
+
+  util::parallel_for(0, graph.size(), [&](std::size_t i) {
+    const VertexId u = graph.src[i];
+    const VertexId v = graph.dst[i];
+    if (dist[v] != kUnvisited && v != source && parents[v] == u) {
+      edge_seen[v].store(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] == kUnvisited || v == source) continue;
+    if (edge_seen[v].load(std::memory_order_relaxed) == 0) {
+      report.ok = false;
+      report.error = "tree edge (" + std::to_string(parents[v]) + " -> " +
+                     std::to_string(v) + ") is not a graph edge";
+      return report;
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_against_reference(std::span<const Depth> dist,
+                                            std::span<const Depth> reference) {
+  ValidationReport report;
+  if (dist.size() != reference.size()) {
+    report.ok = false;
+    report.error = "size mismatch";
+    return report;
+  }
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] != reference[v]) {
+      report.ok = false;
+      report.error = "vertex " + std::to_string(v) + ": got " +
+                     std::to_string(dist[v]) + ", reference " +
+                     std::to_string(reference[v]);
+      return report;
+    }
+    if (dist[v] != kUnvisited) {
+      ++report.reached;
+      report.max_depth = std::max(report.max_depth, dist[v]);
+    }
+  }
+  return report;
+}
+
+}  // namespace dsbfs::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/types.hpp"
+
+/// Graph500-style BFS output validation.
+///
+/// Our implementation outputs hop distances (like the paper's); the checks
+/// below are the distance-level subset of the Graph500 validator:
+///   1. dist[source] == 0 and nothing else is negative-but-visited;
+///   2. every edge's endpoints differ by at most one level, and a visited
+///      endpoint never neighbors an unvisited one;
+///   3. every visited vertex (except the source) has at least one neighbor
+///      exactly one level closer;
+///   4. the visited set is exactly the source's connected component
+///      (checked against an independent serial BFS when provided).
+namespace dsbfs::core {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string error;  // first failure description
+  std::uint64_t reached = 0;
+  Depth max_depth = 0;
+};
+
+/// Validate distances against the edge list (checks 1-3).
+ValidationReport validate_distances(const graph::EdgeList& graph,
+                                    VertexId source,
+                                    std::span<const Depth> dist);
+
+/// Full equality check against a reference distance vector (check 4).
+ValidationReport validate_against_reference(std::span<const Depth> dist,
+                                            std::span<const Depth> reference);
+
+/// Graph500 BFS-tree validation: parents[source] == source; every other
+/// visited vertex's parent is visited, sits exactly one level closer, and
+/// the tree edge (parent -> v) exists in the graph.
+ValidationReport validate_parents(const graph::EdgeList& graph, VertexId source,
+                                  std::span<const Depth> dist,
+                                  std::span<const VertexId> parents);
+
+}  // namespace dsbfs::core

@@ -1,0 +1,157 @@
+#include "core/visit.hpp"
+
+namespace dsbfs::core {
+
+void visit_dd(GpuState& s) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.dd;
+  k.backward = s.dir_dd.backward();
+
+  if (!k.backward) {
+    if (s.delegate_queue.empty()) return;
+    k.launched = true;
+    for (const LocalId t : s.delegate_queue) {
+      const auto row = g.dd().row(t);
+      k.edges += row.size();
+      for (const LocalId c : row) {
+        if (!s.delegate_visited.test(c)) {
+          s.delegate_out.set(c);
+          if (s.record_parents) {
+            s.set_delegate_parent(c, kParentDelegateTag | t);
+          }
+        }
+      }
+    }
+    k.vertices = s.delegate_queue.size();
+    return;
+  }
+
+  // Backward pull: every unvisited delegate with dd edges looks for one
+  // visited parent (dd is locally symmetric, so it is its own reverse).
+  k.launched = true;
+  const LocalId d = g.num_delegates();
+  for (LocalId t = 0; t < d; ++t) {
+    if (!g.dd_source_mask().test(t) || s.delegate_visited.test(t)) continue;
+    ++k.vertices;
+    for (const LocalId c : g.dd().row(t)) {
+      ++k.edges;
+      if (s.delegate_visited.test(c)) {
+        s.delegate_out.set(t);
+        if (s.record_parents) s.set_delegate_parent(t, kParentDelegateTag | c);
+        break;
+      }
+    }
+  }
+}
+
+void visit_dn(GpuState& s) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.dn;
+  k.backward = s.dir_dn.backward();
+  const Depth next_depth = s.depth + 1;
+
+  if (!k.backward) {
+    if (s.delegate_queue.empty()) return;
+    k.launched = true;
+    for (const LocalId t : s.delegate_queue) {
+      const auto row = g.dn().row(t);
+      k.edges += row.size();
+      for (const LocalId v : row) {
+        if (s.claim_normal(v, next_depth)) {
+          if (s.record_parents) s.parent_normal[v] = kParentDelegateTag | t;
+          s.next_local.push_back(v);
+        }
+      }
+    }
+    k.vertices = s.delegate_queue.size();
+    return;
+  }
+
+  // Backward pull over the nd subgraph (reverse of dn on this GPU): each
+  // unvisited normal with delegate parents scans them for a visited one.
+  k.launched = true;
+  for (const LocalId v : g.nd_source_list()) {
+    if (s.normal_level(v) != kUnvisited) continue;
+    ++k.vertices;
+    for (const LocalId c : g.nd().row(v)) {
+      ++k.edges;
+      if (s.delegate_visited.test(c)) {
+        if (s.claim_normal(v, next_depth)) {
+          if (s.record_parents) s.parent_normal[v] = kParentDelegateTag | c;
+          s.next_local.push_back(v);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void visit_nd(GpuState& s) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.nd;
+  k.backward = s.dir_nd.backward();
+
+  const sim::ClusterSpec& spec = g.spec();
+  const sim::GpuCoord me = g.me();
+  const auto global_of = [&](LocalId v) {
+    return spec.global_vertex(me.rank, me.gpu, v);
+  };
+
+  if (!k.backward) {
+    if (s.frontier.empty()) return;
+    k.launched = true;
+    for (const LocalId v : s.frontier) {
+      const auto row = g.nd().row(v);
+      k.edges += row.size();
+      for (const LocalId c : row) {
+        if (!s.delegate_visited.test(c)) {
+          s.delegate_out.set(c);
+          if (s.record_parents) s.set_delegate_parent(c, global_of(v));
+        }
+      }
+    }
+    k.vertices = s.frontier.size();
+    return;
+  }
+
+  // Backward pull over the dn subgraph: each unvisited delegate with local
+  // normal parents scans them for one visited at distance <= depth (the
+  // stable snapshot; dn-visit writes carry depth+1 and are excluded).
+  k.launched = true;
+  const LocalId d = g.num_delegates();
+  const Depth depth = s.depth;
+  for (LocalId t = 0; t < d; ++t) {
+    if (!g.dn_source_mask().test(t) || s.delegate_visited.test(t)) continue;
+    ++k.vertices;
+    for (const LocalId v : g.dn().row(t)) {
+      ++k.edges;
+      const Depth lvl = s.normal_level(v);
+      if (lvl != kUnvisited && lvl <= depth) {
+        s.delegate_out.set(t);
+        if (s.record_parents) s.set_delegate_parent(t, global_of(v));
+        break;
+      }
+    }
+  }
+}
+
+void visit_nn(GpuState& s, const sim::ClusterSpec& spec) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.nn;
+  k.backward = false;
+  if (s.frontier.empty()) return;
+  k.launched = true;
+  const std::uint64_t p = static_cast<std::uint64_t>(spec.total_gpus());
+  for (const LocalId v : s.frontier) {
+    const auto row = g.nn().row(v);
+    k.edges += row.size();
+    for (const VertexId dst : row) {
+      const int owner = spec.owner_global_gpu(dst);
+      s.bins[static_cast<std::size_t>(owner)].push_back(
+          static_cast<LocalId>(dst / p));
+    }
+  }
+  k.vertices = s.frontier.size();
+}
+
+}  // namespace dsbfs::core

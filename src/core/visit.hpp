@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/frontier.hpp"
+#include "sim/cluster.hpp"
+
+/// Visit kernels (paper Section IV).
+///
+/// Four kernels per iteration, one per subgraph.  dd/dn/nd run forward-push
+/// or backward-pull according to the per-subgraph DirectionState fixed by
+/// the previsit; nn is always forward (Section IV-B).  Forward pushes scan
+/// the full neighbor list of each frontier vertex; backward pulls scan an
+/// unvisited vertex's parent list only until the first visited parent.
+///
+/// Write discipline (safe under delegate/normal stream concurrency):
+///   * dd/nd write only `delegate_out` (atomic OR bitset);
+///   * dn writes `level_normal` via CAS with depth+1 and appends to the
+///     single-writer `next_local`;
+///   * nn writes only this GPU's outbound bins;
+///   * all reads of visited state go to stable snapshots (delegate_visited,
+///     level_normal <= depth).
+namespace dsbfs::core {
+
+/// delegate -> delegate.  Uses merge-based load balancing on real GPUs
+/// (modeled by sim::KernelClass::kForwardMerge).
+void visit_dd(GpuState& s);
+
+/// delegate -> normal; backward pull runs over the nd subgraph from its
+/// source list (the reverse graph, Section IV-B).
+void visit_dn(GpuState& s);
+
+/// normal -> delegate; backward pull runs over the dn subgraph from its
+/// source mask.
+void visit_nd(GpuState& s);
+
+/// normal -> normal: forward only; fills per-destination-GPU bins with
+/// 32-bit destination-local ids.
+void visit_nn(GpuState& s, const sim::ClusterSpec& spec);
+
+}  // namespace dsbfs::core

@@ -1,0 +1,13 @@
+#include "graph/csr.hpp"
+
+#include "graph/edge_list.hpp"
+
+namespace dsbfs::graph {
+
+HostCsr build_host_csr(const EdgeList& g) {
+  std::vector<std::uint64_t> rows(g.src.begin(), g.src.end());
+  return HostCsr::from_edges(g.num_vertices, std::span<const VertexId>(g.dst),
+                             std::span<const std::uint64_t>(rows));
+}
+
+}  // namespace dsbfs::graph

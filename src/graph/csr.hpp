@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// Compressed sparse row storage, parameterized on column and offset width.
+///
+/// The paper deliberately sticks to CSR (Section II-D) rather than exotic
+/// formats, so the library can interoperate with standard pipelines.  Local
+/// subgraphs use 32-bit offsets and columns (Table I); the host-side
+/// reference graph uses 64-bit everywhere.
+namespace dsbfs::graph {
+
+template <typename Col, typename Off>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from rows: `row_of[i]`, `col_of[i]` pairs, with `num_rows` rows.
+  /// Entries need not be sorted; within a row, input order is preserved for
+  /// equal rows after the counting sort.
+  static Csr from_edges(std::size_t num_rows, std::span<const Col> col_of,
+                        std::span<const std::uint64_t> row_of) {
+    if (col_of.size() != row_of.size()) {
+      throw std::invalid_argument("csr: row/col arrays differ in length");
+    }
+    Csr out;
+    out.offsets_.assign(num_rows + 1, 0);
+    for (const std::uint64_t r : row_of) {
+      out.offsets_[r + 1] += 1;
+    }
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out.offsets_[r + 1] += out.offsets_[r];
+    }
+    const std::uint64_t total = out.offsets_[num_rows];
+    if (total != col_of.size()) {
+      throw std::logic_error("csr: row index out of range");
+    }
+    out.cols_.resize(total);
+    std::vector<Off> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+    for (std::size_t i = 0; i < col_of.size(); ++i) {
+      out.cols_[cursor[row_of[i]]++] = col_of[i];
+    }
+    return out;
+  }
+
+  std::size_t num_rows() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::uint64_t num_edges() const noexcept { return cols_.size(); }
+
+  std::uint64_t row_begin(std::size_t r) const noexcept { return offsets_[r]; }
+  std::uint64_t row_end(std::size_t r) const noexcept { return offsets_[r + 1]; }
+  std::uint32_t row_length(std::size_t r) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[r + 1] - offsets_[r]);
+  }
+  std::span<const Col> row(std::size_t r) const noexcept {
+    return std::span<const Col>(cols_.data() + offsets_[r],
+                                cols_.data() + offsets_[r + 1]);
+  }
+  Col col(std::uint64_t edge) const noexcept { return cols_[edge]; }
+
+  /// Storage footprint in bytes (offsets + columns), the Table-I accounting.
+  std::uint64_t storage_bytes() const noexcept {
+    return offsets_.size() * sizeof(Off) + cols_.size() * sizeof(Col);
+  }
+
+  const std::vector<Off>& offsets() const noexcept { return offsets_; }
+  const std::vector<Col>& cols() const noexcept { return cols_; }
+
+ private:
+  std::vector<Off> offsets_;  // num_rows + 1
+  std::vector<Col> cols_;
+};
+
+/// Host-side reference CSR (64-bit), used by baselines and validation.
+using HostCsr = Csr<VertexId, EdgeId>;
+
+/// Local subgraph CSR with the paper's 32-bit local encoding.
+using LocalCsrU32 = Csr<LocalId, std::uint32_t>;
+/// Local nn CSR: 32-bit offsets but 64-bit global destinations.
+using LocalCsrU64 = Csr<VertexId, std::uint32_t>;
+
+struct EdgeList;  // graph/edge_list.hpp
+
+/// Build the host CSR of an edge list.
+HostCsr build_host_csr(const EdgeList& g);
+
+}  // namespace dsbfs::graph

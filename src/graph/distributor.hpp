@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/degree.hpp"
+#include "graph/edge_list.hpp"
+#include "sim/cluster.hpp"
+
+/// Algorithm 1: the edge distributor.
+///
+/// Routes every directed edge to exactly one GPU:
+///   * source normal            -> source's owner        (nn or nd edge)
+///   * else destination normal  -> destination's owner   (dn edge)
+///   * both delegates           -> the lower-out-degree endpoint's owner,
+///                                 ties broken by min vertex id (dd edge)
+/// Consequences the tests verify: nd/dn/dd subgraphs are locally symmetric
+/// (each undirected pair lands on one GPU); local indices are bounded by
+/// n/p (normals) and d (delegates); per-GPU edge counts are balanced.
+namespace dsbfs::graph {
+
+enum class EdgeKind : std::uint8_t { kNN = 0, kND = 1, kDN = 2, kDD = 3 };
+
+/// Edges routed to one GPU, already translated to local encodings:
+/// rows of nn/nd are local normal indices; rows of dn/dd are delegate ids;
+/// nn columns are global vertex ids; nd/dd columns are delegate ids; dn
+/// columns are local normal indices.
+struct GpuEdgeSets {
+  std::vector<std::uint64_t> nn_rows;
+  std::vector<VertexId> nn_cols;
+  std::vector<std::uint64_t> nd_rows;
+  std::vector<LocalId> nd_cols;
+  std::vector<std::uint64_t> dn_rows;
+  std::vector<LocalId> dn_cols;
+  std::vector<std::uint64_t> dd_rows;
+  std::vector<LocalId> dd_cols;
+
+  std::uint64_t total_edges() const noexcept {
+    return nn_rows.size() + nd_rows.size() + dn_rows.size() + dd_rows.size();
+  }
+};
+
+struct DistributedEdges {
+  std::vector<GpuEdgeSets> gpus;  // indexed by global GPU
+  std::uint64_t enn = 0, end = 0, edn = 0, edd = 0;
+};
+
+/// Classify one edge (exposed for tests): which GPU and which kind.
+struct EdgeRoute {
+  int gpu = 0;
+  EdgeKind kind = EdgeKind::kNN;
+};
+EdgeRoute route_edge(VertexId u, VertexId v,
+                     const std::vector<std::uint32_t>& degrees,
+                     std::uint32_t threshold, const sim::ClusterSpec& spec);
+
+/// Distribute all edges (parallel two-pass, deterministic output order).
+DistributedEdges distribute_edges(const EdgeList& g,
+                                  const std::vector<std::uint32_t>& degrees,
+                                  const DelegateInfo& delegates,
+                                  const sim::ClusterSpec& spec);
+
+}  // namespace dsbfs::graph

@@ -1,0 +1,55 @@
+#include "graph/edge_list.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace dsbfs::graph {
+
+EdgeList make_symmetric(const EdgeList& g) {
+  EdgeList out;
+  out.num_vertices = g.num_vertices;
+  const std::size_t m = g.size();
+  out.src.resize(2 * m);
+  out.dst.resize(2 * m);
+  util::parallel_for(0, m, [&](std::size_t i) {
+    out.src[i] = g.src[i];
+    out.dst[i] = g.dst[i];
+    out.src[m + i] = g.dst[i];
+    out.dst[m + i] = g.src[i];
+  });
+  return out;
+}
+
+void permute_vertices(EdgeList& g, const util::VertexPermutation& perm) {
+  if (perm.domain_size() < g.num_vertices) {
+    throw std::invalid_argument("permutation domain smaller than vertex count");
+  }
+  util::parallel_for(0, g.size(), [&](std::size_t i) {
+    g.src[i] = perm(g.src[i]);
+    g.dst[i] = perm(g.dst[i]);
+  });
+}
+
+std::vector<std::uint32_t> out_degrees(const EdgeList& g) {
+  std::vector<std::atomic<std::uint32_t>> counts(g.num_vertices);
+  util::parallel_for(0, g.size(), [&](std::size_t i) {
+    counts[g.src[i]].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<std::uint32_t> out(g.num_vertices);
+  util::parallel_for(0, g.num_vertices, [&](std::size_t v) {
+    out[v] = counts[v].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+std::uint64_t count_zero_degree(const std::vector<std::uint32_t>& degrees) {
+  std::uint64_t zeros = 0;
+  for (const std::uint32_t d : degrees) {
+    if (d == 0) ++zeros;
+  }
+  return zeros;
+}
+
+}  // namespace dsbfs::graph

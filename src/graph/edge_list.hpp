@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+/// Edge-list graph representation (construction-time format).
+///
+/// The conventional edge list the paper compares against stores 16 bytes per
+/// directed edge (two 64-bit vertex ids); Table I's point is that the
+/// degree-separated subgraph representation needs about a third of that.
+/// This host-side structure is the input to every partitioner and baseline.
+namespace dsbfs::graph {
+
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<VertexId> src;
+  std::vector<VertexId> dst;
+
+  std::size_t size() const noexcept { return src.size(); }
+  bool empty() const noexcept { return src.empty(); }
+
+  void reserve(std::size_t edges) {
+    src.reserve(edges);
+    dst.reserve(edges);
+  }
+
+  void add(VertexId u, VertexId v) {
+    src.push_back(u);
+    dst.push_back(v);
+  }
+
+  /// Bytes of the conventional 64-bit edge-list encoding (16m).
+  std::uint64_t storage_bytes() const noexcept {
+    return static_cast<std::uint64_t>(size()) * 16;
+  }
+};
+
+/// Edge doubling: returns a graph with both (u,v) and (v,u) for every input
+/// edge.  The paper assumes symmetric graphs throughout (Section II-A); all
+/// generators run through this before partitioning.
+EdgeList make_symmetric(const EdgeList& g);
+
+/// Apply a bijective vertex relabeling in place (Graph500 vertex
+/// randomization).
+void permute_vertices(EdgeList& g, const util::VertexPermutation& perm);
+
+/// Out-degree of every vertex.
+std::vector<std::uint32_t> out_degrees(const EdgeList& g);
+
+/// Number of vertices with out-degree zero (isolated under symmetry).
+std::uint64_t count_zero_degree(const std::vector<std::uint32_t>& degrees);
+
+}  // namespace dsbfs::graph

@@ -1,0 +1,207 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dsbfs::graph {
+
+namespace {
+
+/// Sample a vertex rank proportional to Chung-Lu weights w(r) ~ r^-theta
+/// with theta = 1/(exponent-1), which yields a degree distribution with the
+/// requested power-law exponent.  Inverse CDF of the continuous relaxation
+/// over [1, n]: F(x) = (x^(1-theta) - 1) / (n^(1-theta) - 1).
+std::uint64_t sample_powerlaw_index(double u, std::uint64_t n, double exponent) {
+  const double theta = 1.0 / (exponent - 1.0);
+  const double one_minus = 1.0 - theta;
+  double x;
+  if (std::abs(one_minus) < 1e-9) {
+    // theta == 1: F(x) = log(x)/log(n).
+    x = std::pow(static_cast<double>(n), u);
+  } else {
+    const double top = std::pow(static_cast<double>(n), one_minus) - 1.0;
+    x = std::pow(1.0 + u * top, 1.0 / one_minus);
+  }
+  const std::uint64_t idx = static_cast<std::uint64_t>(x) - 1;
+  return std::min(idx, n - 1);
+}
+
+}  // namespace
+
+EdgeList chung_lu(const ChungLuParams& params) {
+  if (params.num_vertices < 2) {
+    throw std::invalid_argument("chung_lu needs at least 2 vertices");
+  }
+  const double active_fraction = 1.0 - params.isolated_fraction;
+  const std::uint64_t active =
+      std::max<std::uint64_t>(2, static_cast<std::uint64_t>(
+                                     static_cast<double>(params.num_vertices) *
+                                     active_fraction));
+
+  EdgeList out;
+  out.num_vertices = params.num_vertices;
+  out.src.resize(params.num_edges);
+  out.dst.resize(params.num_edges);
+
+  const util::CounterRng rng(params.seed, 0x434c5547 /* "CLUG" */);
+  // Active vertices occupy a random-looking id range via permutation so that
+  // isolated vertices are spread across the id space (as after Graph500
+  // label randomization).
+  int bits = 1;
+  while ((1ULL << bits) < params.num_vertices) ++bits;
+  const util::VertexPermutation perm(bits, params.seed ^ 0x49534f4cULL);
+
+  auto place = [&](std::uint64_t weight_index) {
+    std::uint64_t v = weight_index;  // dense id among active vertices
+    // Map into the full id space, skipping out-of-range cycle-walk results.
+    std::uint64_t mapped = perm(v);
+    while (mapped >= params.num_vertices) mapped = perm(mapped);
+    return mapped;
+  };
+
+  util::parallel_for(0, params.num_edges, [&](std::size_t i) {
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * 2;
+    const std::uint64_t ui =
+        sample_powerlaw_index(rng.uniform(base), active, params.exponent);
+    const std::uint64_t vi =
+        sample_powerlaw_index(rng.uniform(base + 1), active, params.exponent);
+    out.src[i] = place(ui);
+    out.dst[i] = place(vi);
+  });
+  return out;
+}
+
+EdgeList friendster_like(const FriendsterLikeParams& params) {
+  // Friendster per the paper: half the vertices isolated, average directed
+  // degree (over all vertices) ~ 19 before doubling.  We keep those ratios.
+  ChungLuParams cl;
+  cl.num_vertices = 1ULL << params.scale;
+  cl.num_edges = cl.num_vertices * 19;
+  cl.exponent = 2.3;
+  cl.isolated_fraction = 0.5;
+  cl.seed = params.seed;
+  return make_symmetric(chung_lu(cl));
+}
+
+EdgeList webgraph_like(const WebGraphLikeParams& params) {
+  const std::uint64_t csize = static_cast<std::uint64_t>(params.community_size);
+  const std::uint64_t chain = static_cast<std::uint64_t>(params.chain_length);
+  EdgeList g;
+  g.num_vertices = csize * chain;
+  const util::CounterRng rng(params.seed, 0x57454247 /* "WEBG" */);
+  std::uint64_t draw = 0;
+  // Intra-community edges: biased toward the community's hub vertices.
+  for (std::uint64_t cidx = 0; cidx < chain; ++cidx) {
+    const std::uint64_t base = cidx * csize;
+    for (std::uint64_t v = 0; v < csize; ++v) {
+      for (int e = 0; e < params.intra_edges_per_vertex; ++e) {
+        std::uint64_t to;
+        if (rng.uniform(draw) < 0.6) {
+          // hub link
+          to = base + rng.below(draw + 1,
+                                static_cast<std::uint64_t>(
+                                    params.hub_count_per_community));
+        } else {
+          to = base + rng.below(draw + 1, csize);
+        }
+        draw += 2;
+        g.add(base + v, to);
+      }
+    }
+    // Chain link: a handful of bridges to the next community (keeps the BFS
+    // long-tailed: one extra hop per community).
+    if (cidx + 1 < chain) {
+      for (int b = 0; b < 3; ++b) {
+        const std::uint64_t from = base + rng.below(draw, csize);
+        const std::uint64_t to = base + csize + rng.below(draw + 1, csize);
+        draw += 2;
+        g.add(from, to);
+      }
+    }
+  }
+  return make_symmetric(g);
+}
+
+EdgeList path_graph(std::uint64_t n) {
+  EdgeList g;
+  g.num_vertices = n;
+  for (std::uint64_t v = 0; v + 1 < n; ++v) g.add(v, v + 1);
+  return make_symmetric(g);
+}
+
+EdgeList cycle_graph(std::uint64_t n) {
+  EdgeList g;
+  g.num_vertices = n;
+  for (std::uint64_t v = 0; v < n; ++v) g.add(v, (v + 1) % n);
+  return make_symmetric(g);
+}
+
+EdgeList star_graph(std::uint64_t n) {
+  EdgeList g;
+  g.num_vertices = n;
+  for (std::uint64_t v = 1; v < n; ++v) g.add(0, v);
+  return make_symmetric(g);
+}
+
+EdgeList complete_graph(std::uint64_t n) {
+  EdgeList g;
+  g.num_vertices = n;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (u != v) g.add(u, v);
+    }
+  }
+  return g;  // already symmetric
+}
+
+EdgeList grid_graph(std::uint64_t w, std::uint64_t h) {
+  EdgeList g;
+  g.num_vertices = w * h;
+  for (std::uint64_t y = 0; y < h; ++y) {
+    for (std::uint64_t x = 0; x < w; ++x) {
+      const std::uint64_t v = y * w + x;
+      if (x + 1 < w) g.add(v, v + 1);
+      if (y + 1 < h) g.add(v, v + w);
+    }
+  }
+  return make_symmetric(g);
+}
+
+EdgeList binary_tree(std::uint64_t n) {
+  EdgeList g;
+  g.num_vertices = n;
+  for (std::uint64_t v = 1; v < n; ++v) g.add((v - 1) / 2, v);
+  return make_symmetric(g);
+}
+
+EdgeList erdos_renyi(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
+  EdgeList g;
+  g.num_vertices = n;
+  g.src.resize(m);
+  g.dst.resize(m);
+  const util::CounterRng rng(seed, 0x45524e44 /* "ERND" */);
+  util::parallel_for(0, m, [&](std::size_t i) {
+    g.src[i] = rng.below(2 * i, n);
+    g.dst[i] = rng.below(2 * i + 1, n);
+  });
+  return make_symmetric(g);
+}
+
+EdgeList two_cliques(std::uint64_t clique_size) {
+  EdgeList g;
+  g.num_vertices = 2 * clique_size;
+  for (std::uint64_t base : {std::uint64_t{0}, clique_size}) {
+    for (std::uint64_t u = 0; u < clique_size; ++u) {
+      for (std::uint64_t v = 0; v < clique_size; ++v) {
+        if (u != v) g.add(base + u, base + v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace dsbfs::graph

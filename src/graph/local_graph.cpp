@@ -1,0 +1,79 @@
+#include "graph/local_graph.hpp"
+
+#include <stdexcept>
+
+namespace dsbfs::graph {
+
+std::uint64_t local_normal_count(const sim::ClusterSpec& spec, sim::GpuCoord me,
+                                 VertexId num_vertices) {
+  // Vertices owned by (rank, gpu) are those with v mod p == gpu*prank + rank.
+  const std::uint64_t p = static_cast<std::uint64_t>(spec.total_gpus());
+  const std::uint64_t residue =
+      static_cast<std::uint64_t>(me.gpu) * static_cast<std::uint64_t>(spec.num_ranks) +
+      static_cast<std::uint64_t>(me.rank);
+  if (num_vertices <= residue) return 0;
+  return (num_vertices - residue + p - 1) / p;
+}
+
+LocalGraph::LocalGraph(sim::ClusterSpec spec, sim::GpuCoord me,
+                       VertexId num_vertices, LocalId num_delegates,
+                       GpuEdgeSets&& edges)
+    : spec_(spec),
+      me_(me),
+      num_vertices_(num_vertices),
+      num_local_(local_normal_count(spec, me, num_vertices)),
+      num_delegates_(num_delegates) {
+  if (num_local_ > static_cast<std::uint64_t>(kInvalidLocal)) {
+    throw std::invalid_argument(
+        "local normal count exceeds 32-bit local id space; use more GPUs");
+  }
+
+  nn_ = LocalCsrU64::from_edges(num_local_, edges.nn_cols, edges.nn_rows);
+  nd_ = LocalCsrU32::from_edges(num_local_, edges.nd_cols, edges.nd_rows);
+  dn_ = LocalCsrU32::from_edges(num_delegates_, edges.dn_cols, edges.dn_rows);
+  dd_ = LocalCsrU32::from_edges(num_delegates_, edges.dd_cols, edges.dd_rows);
+
+  // Direction-optimization helpers (Section IV-B).
+  nd_source_mask_.resize(num_local_);
+  for (std::uint64_t v = 0; v < num_local_; ++v) {
+    if (nd_.row_length(v) > 0) {
+      nd_sources_.push_back(static_cast<LocalId>(v));
+      nd_source_mask_.set_unsynchronized(v);
+    }
+  }
+  dd_source_mask_.resize(num_delegates_);
+  dn_source_mask_.resize(num_delegates_);
+  for (LocalId t = 0; t < num_delegates_; ++t) {
+    if (dd_.row_length(t) > 0) {
+      dd_source_mask_.set_unsynchronized(t);
+      ++dd_source_count_;
+    }
+    if (dn_.row_length(t) > 0) {
+      dn_source_mask_.set_unsynchronized(t);
+      ++dn_source_count_;
+    }
+  }
+}
+
+MemoryUsage LocalGraph::memory_usage() const noexcept {
+  MemoryUsage m;
+  m.nn_bytes = nn_.storage_bytes();
+  m.nd_bytes = nd_.storage_bytes();
+  m.dn_bytes = dn_.storage_bytes();
+  m.dd_bytes = dd_.storage_bytes();
+  m.aux_bytes = nd_sources_.size() * sizeof(LocalId) +
+                nd_source_mask_.byte_size() + dd_source_mask_.byte_size() +
+                dn_source_mask_.byte_size();
+  return m;
+}
+
+void LocalGraph::register_on(sim::Device& device) const {
+  const MemoryUsage m = memory_usage();
+  device.allocate("graph.nn", m.nn_bytes);
+  device.allocate("graph.nd", m.nd_bytes);
+  device.allocate("graph.dn", m.dn_bytes);
+  device.allocate("graph.dd", m.dd_bytes);
+  device.allocate("graph.aux", m.aux_bytes);
+}
+
+}  // namespace dsbfs::graph

@@ -1,0 +1,74 @@
+#include "graph/partition_stats.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace dsbfs::graph {
+
+PartitionStatsSweeper::PartitionStatsSweeper(const EdgeList& g) {
+  num_vertices_ = g.num_vertices;
+  const std::vector<std::uint32_t> degrees = out_degrees(g);
+  sorted_degrees_ = degrees;
+  std::sort(sorted_degrees_.begin(), sorted_degrees_.end());
+
+  const std::size_t m = g.size();
+  min_degree_.resize(m);
+  max_degree_.resize(m);
+  util::parallel_for(0, m, [&](std::size_t i) {
+    const std::uint32_t du = degrees[g.src[i]];
+    const std::uint32_t dv = degrees[g.dst[i]];
+    min_degree_[i] = std::min(du, dv);
+    max_degree_[i] = std::max(du, dv);
+  });
+  std::sort(min_degree_.begin(), min_degree_.end());
+  std::sort(max_degree_.begin(), max_degree_.end());
+}
+
+PartitionStats PartitionStatsSweeper::at(std::uint32_t threshold) const {
+  PartitionStats s;
+  s.threshold = threshold;
+  s.num_vertices = num_vertices_;
+  s.num_edges = min_degree_.size();
+
+  // delegates: degree > TH
+  s.delegates = sorted_degrees_.end() -
+                std::upper_bound(sorted_degrees_.begin(), sorted_degrees_.end(),
+                                 threshold);
+  // dd: both endpoints delegate  <=>  min degree > TH
+  s.dd_edges = min_degree_.end() - std::upper_bound(min_degree_.begin(),
+                                                    min_degree_.end(), threshold);
+  // nn: both normal  <=>  max degree <= TH
+  s.nn_edges = std::upper_bound(max_degree_.begin(), max_degree_.end(),
+                                threshold) -
+               max_degree_.begin();
+  s.dn_nd_edges = s.num_edges - s.dd_edges - s.nn_edges;
+  return s;
+}
+
+std::uint32_t suggest_threshold(const PartitionStatsSweeper& sweeper,
+                                int total_gpus, const ThresholdPolicy& policy) {
+  const double n = static_cast<double>(sweeper.num_vertices());
+  const double delegate_cap =
+      std::min(policy.max_delegate_factor * n / static_cast<double>(total_gpus),
+               policy.max_delegate_fraction * n);
+
+  // Raising TH only demotes delegates (and grows nn), so the smallest
+  // ladder TH meeting the delegate cap also minimizes the nn fraction among
+  // all compliant choices -- exactly the paper's tuning direction (Fig. 7:
+  // the suggested TH grows ~sqrt(2) per scale along the weak-scaling curve,
+  // because the cap tightens as p grows with the scale).
+  std::uint32_t prev = 0;
+  for (double x = 4.0; x <= 1 << 24; x *= 1.41421356237) {
+    const std::uint32_t th = static_cast<std::uint32_t>(x);
+    if (th == prev) continue;
+    prev = th;
+    const PartitionStats s = sweeper.at(th);
+    if (static_cast<double>(s.delegates) <= delegate_cap) {
+      return th;
+    }
+  }
+  return 64;
+}
+
+}  // namespace dsbfs::graph

@@ -1,0 +1,69 @@
+#include "graph/rmat.hpp"
+
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dsbfs::graph {
+
+EdgeList rmat_edges(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 40) {
+    throw std::invalid_argument("rmat scale out of supported range [1,40]");
+  }
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  if (!(abc < 1.0 + 1e-9) || params.a < 0 || params.b < 0 || params.c < 0) {
+    throw std::invalid_argument("rmat probabilities invalid");
+  }
+
+  EdgeList out;
+  out.num_vertices = params.num_vertices();
+  const std::uint64_t m = params.num_directed_edges();
+  out.src.resize(m);
+  out.dst.resize(m);
+
+  const util::CounterRng rng(params.seed, /*stream=*/0x524d4154 /* "RMAT" */);
+  const int scale = params.scale;
+  const double a = params.a, b = params.b, c = params.c;
+
+  util::parallel_for(0, m, [&](std::size_t i) {
+    std::uint64_t u = 0, v = 0;
+    // One uniform draw per recursion level, addressed as draw (i*scale+l).
+    const std::uint64_t base = static_cast<std::uint64_t>(i) *
+                               static_cast<std::uint64_t>(scale);
+    for (int l = 0; l < scale; ++l) {
+      const double r = rng.uniform(base + static_cast<std::uint64_t>(l));
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // quadrant A: (0,0)
+      } else if (r < a + b) {
+        v |= 1;  // quadrant B: (0,1)
+      } else if (r < a + b + c) {
+        u |= 1;  // quadrant C: (1,0)
+      } else {
+        u |= 1;
+        v |= 1;  // quadrant D: (1,1)
+      }
+    }
+    out.src[i] = u;
+    out.dst[i] = v;
+  });
+  return out;
+}
+
+EdgeList rmat_graph500(const RmatParams& params) {
+  EdgeList g = rmat_edges(params);
+  if (params.permute) {
+    const util::VertexPermutation perm(params.scale, params.seed ^ 0x5045524dULL);
+    permute_vertices(g, perm);
+  }
+  return make_symmetric(g);
+}
+
+std::uint64_t rmat_teps_edges(const RmatParams& params) {
+  return params.num_directed_edges();
+}
+
+}  // namespace dsbfs::graph

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+/// Graph500-conformant RMAT generator (paper Section VI-A3).
+///
+/// Parameters follow the Graph500 specification: edge factor 16 and RMAT
+/// quadrant probabilities A,B,C,D = 0.57, 0.19, 0.19, 0.05.  For scale N the
+/// graph has n = 2^N vertices and (before doubling) 2^N * 16 directed edges;
+/// after edge doubling m = 2^N * 32.  Reported TEPS use m/2 = 2^N * 16
+/// (the undirected input edge count), as the paper does.
+///
+/// Generation is deterministic and parallel: edge i derives all its random
+/// bits from a counter RNG keyed on (seed, i), so any partition of the edge
+/// index space yields the same graph.  Vertex labels are randomized with a
+/// Feistel permutation ("a deterministic hashing function" in the paper).
+namespace dsbfs::graph {
+
+struct RmatParams {
+  int scale = 20;
+  int edge_factor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+  bool permute = true;  // Graph500 vertex randomization
+
+  std::uint64_t num_vertices() const noexcept { return 1ULL << scale; }
+  std::uint64_t num_directed_edges() const noexcept {
+    return num_vertices() * static_cast<std::uint64_t>(edge_factor);
+  }
+};
+
+/// Directed RMAT edges (no doubling, no permutation): the raw generator.
+EdgeList rmat_edges(const RmatParams& params);
+
+/// Full Graph500 pipeline: generate, permute labels, double edges.
+/// The result has 2 * n * edge_factor directed edges.
+EdgeList rmat_graph500(const RmatParams& params);
+
+/// The TEPS denominator for a scale-N graph (m/2 in paper terms).
+std::uint64_t rmat_teps_edges(const RmatParams& params);
+
+}  // namespace dsbfs::graph

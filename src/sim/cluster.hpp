@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+
+/// Simulated cluster topology.
+///
+/// The paper denotes hardware as `nodes x ranks-per-node x gpus-per-rank`
+/// (e.g. 31x2x2 = 124 GPUs).  Communication-wise only two levels matter:
+/// the MPI rank (network endpoint, prank total) and the GPUs within a rank
+/// (pgpu, connected by NVLink).  We therefore model ClusterSpec as
+/// (num_ranks, gpus_per_rank) plus a ranks_per_node field that the network
+/// model uses to decide which rank pairs share a node.
+namespace dsbfs::sim {
+
+struct GpuCoord {
+  int rank = 0;
+  int gpu = 0;  // index within the rank
+
+  bool operator==(const GpuCoord&) const = default;
+};
+
+struct ClusterSpec {
+  int num_ranks = 1;       // prank
+  int gpus_per_rank = 1;   // pgpu
+  int ranks_per_node = 1;  // for the network model (NVLink vs NIC)
+
+  int total_gpus() const noexcept { return num_ranks * gpus_per_rank; }
+  int num_nodes() const noexcept {
+    return (num_ranks + ranks_per_node - 1) / ranks_per_node;
+  }
+
+  /// Flatten (rank, gpu) to a global GPU index in [0, p).
+  int global_gpu(GpuCoord c) const noexcept { return c.rank * gpus_per_rank + c.gpu; }
+  GpuCoord coord_of(int global) const noexcept {
+    return GpuCoord{global / gpus_per_rank, global % gpus_per_rank};
+  }
+
+  /// Paper notation, e.g. "16x2x2" (nodes x ranks/node x gpus/rank).
+  std::string to_string() const;
+
+  /// Parse "AxBxC" notation.
+  static ClusterSpec parse(const std::string& text);
+
+  /// Vertex ownership (Algorithm 1 preliminaries):
+  ///   P(v) = v mod prank,   G(v) = (v / prank) mod pgpu.
+  int owner_rank(std::uint64_t v) const noexcept {
+    return static_cast<int>(v % static_cast<std::uint64_t>(num_ranks));
+  }
+  int owner_gpu(std::uint64_t v) const noexcept {
+    return static_cast<int>((v / static_cast<std::uint64_t>(num_ranks)) %
+                            static_cast<std::uint64_t>(gpus_per_rank));
+  }
+  int owner_global_gpu(std::uint64_t v) const noexcept {
+    return owner_rank(v) * gpus_per_rank + owner_gpu(v);
+  }
+  /// Local index of a normal vertex on its owner (bounded by n/p).
+  std::uint64_t local_index(std::uint64_t v) const noexcept {
+    return v / static_cast<std::uint64_t>(total_gpus());
+  }
+  /// Inverse of (owner, local_index).
+  std::uint64_t global_vertex(int rank, int gpu, std::uint64_t local) const noexcept {
+    return local * static_cast<std::uint64_t>(total_gpus()) +
+           static_cast<std::uint64_t>(gpu) * static_cast<std::uint64_t>(num_ranks) +
+           static_cast<std::uint64_t>(rank);
+  }
+};
+
+/// A set of simulated GPUs matching a ClusterSpec.  Owns the Device objects;
+/// `run` executes one callable per GPU, each on its own OS thread, which is
+/// how every distributed phase in the library runs.
+class Cluster {
+ public:
+  Cluster(ClusterSpec spec, const DeviceMemoryConfig& mem = {});
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+  Device& device(int global_gpu) { return *devices_.at(static_cast<std::size_t>(global_gpu)); }
+  const Device& device(int global_gpu) const {
+    return *devices_.at(static_cast<std::size_t>(global_gpu));
+  }
+  int total_gpus() const noexcept { return spec_.total_gpus(); }
+
+  /// Run `body(coord, device)` once per GPU, concurrently (one thread per
+  /// GPU).  Exceptions thrown by any body are collected and the first is
+  /// rethrown after all threads join.
+  void run(const std::function<void(GpuCoord, Device&)>& body);
+
+ private:
+  ClusterSpec spec_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace dsbfs::sim

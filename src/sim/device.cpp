@@ -1,0 +1,41 @@
+#include "sim/device.hpp"
+
+namespace dsbfs::sim {
+
+void Device::allocate(const std::string& label, std::uint64_t bytes) {
+  {
+    std::lock_guard lock(mu_);
+    by_label_[label] += bytes;
+  }
+  const std::uint64_t now =
+      allocated_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (cfg_.enforce && now > cfg_.capacity_bytes) {
+    throw DeviceOutOfMemory("device " + std::to_string(id_) + " out of memory: " +
+                            std::to_string(now) + " > " +
+                            std::to_string(cfg_.capacity_bytes) + " bytes (" +
+                            label + ")");
+  }
+}
+
+void Device::release(const std::string& label) {
+  std::uint64_t bytes = 0;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = by_label_.find(label);
+    if (it == by_label_.end()) return;
+    bytes = it->second;
+    by_label_.erase(it);
+  }
+  allocated_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t> Device::allocations() const {
+  std::lock_guard lock(mu_);
+  return by_label_;
+}
+
+}  // namespace dsbfs::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+/// Simulated GPU device.
+///
+/// The functional substitute for a CUDA device: it does not make code faster,
+/// it makes memory limits and allocation pressure *observable*.  The paper's
+/// central constraint is the 16 GB P100 memory (Section I); Table I's graph
+/// representation exists to fit scale-26 subgraphs per GPU.  Every
+/// simulated-GPU data structure in the library registers its footprint here,
+/// so the Table-I bench and the feasibility checks ("scale-30 fits on 12
+/// GPUs", Section VI-C) are backed by accounting, not arithmetic on paper.
+namespace dsbfs::sim {
+
+struct DeviceMemoryConfig {
+  /// Device memory budget in bytes.  Default: 16 GB (Tesla P100).
+  std::uint64_t capacity_bytes = 16ULL << 30;
+  /// When true, exceeding capacity throws DeviceOutOfMemory; otherwise the
+  /// overflow is recorded and can be queried (benches use soft mode to
+  /// report "would not fit").
+  bool enforce = false;
+};
+
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Device {
+ public:
+  Device(int id, const DeviceMemoryConfig& cfg) : id_(id), cfg_(cfg) {}
+
+  int id() const noexcept { return id_; }
+
+  /// Record an allocation under a label (e.g. "nn.cols").  Thread-safe.
+  void allocate(const std::string& label, std::uint64_t bytes);
+
+  /// Release a labeled allocation (all bytes under that label).
+  void release(const std::string& label);
+
+  std::uint64_t allocated_bytes() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t capacity_bytes() const noexcept { return cfg_.capacity_bytes; }
+  bool over_capacity() const noexcept {
+    return peak_bytes() > cfg_.capacity_bytes;
+  }
+
+  /// Snapshot of labeled allocations (label -> bytes).
+  std::map<std::string, std::uint64_t> allocations() const;
+
+ private:
+  int id_;
+  DeviceMemoryConfig cfg_;
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> by_label_;
+};
+
+}  // namespace dsbfs::sim

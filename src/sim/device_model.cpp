@@ -1,0 +1,35 @@
+#include "sim/device_model.hpp"
+
+namespace dsbfs::sim {
+
+double DeviceModel::kernel_us(KernelClass k, std::uint64_t edges,
+                              std::uint64_t vertices,
+                              std::uint64_t bytes) const noexcept {
+  double ns = 0.0;
+  switch (k) {
+    case KernelClass::kPrevisit:
+      ns = cfg_.ns_per_vertex * static_cast<double>(vertices);
+      break;
+    case KernelClass::kForwardMerge:
+      ns = cfg_.ns_per_edge_forward_merge * static_cast<double>(edges) +
+           cfg_.ns_per_vertex * static_cast<double>(vertices);
+      break;
+    case KernelClass::kForwardDynamic:
+      ns = cfg_.ns_per_edge_forward_dynamic * static_cast<double>(edges) +
+           cfg_.ns_per_vertex * static_cast<double>(vertices);
+      break;
+    case KernelClass::kBackwardPull:
+      ns = cfg_.ns_per_edge_backward * static_cast<double>(edges) +
+           cfg_.ns_per_vertex * static_cast<double>(vertices);
+      break;
+    case KernelClass::kBinConvert:
+    case KernelClass::kUniquify:
+    case KernelClass::kMaskOp:
+      ns = cfg_.ns_per_byte * static_cast<double>(bytes) +
+           cfg_.ns_per_vertex * static_cast<double>(vertices);
+      break;
+  }
+  return ns / 1000.0 + cfg_.launch_overhead_us;
+}
+
+}  // namespace dsbfs::sim

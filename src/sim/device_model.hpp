@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+/// Analytic device performance model (P100-like defaults).
+///
+/// The functional layer executes traversal with threads and records *exact*
+/// workload counters (edges expanded, vertices processed, kernel launches).
+/// This model converts those counters into microseconds a real GPU would
+/// take, using per-kernel-class rates:
+///
+///   * `dd` visits use merge-based load balancing (Davidson et al.) because
+///     the dd subgraph has wide degree ranges -- modelled as the highest
+///     effective edge rate;
+///   * `nd`/`dn`/`nn` visits use thread-warp-block dynamic mapping (Merrill
+///     et al.) over low-degree lists -- slightly lower effective rate due to
+///     per-vertex scheduling;
+///   * backward (pull) visits read sequential parent lists with early exit,
+///     giving a better per-edge rate than random-destination pushes.
+///
+/// Rates are calibrated so that a single simulated P100 lands in the range
+/// the paper reports for one P100 (Table II, scale 24: ~23 GTEPS reported
+/// TEPS for DOBFS, i.e. a few Gedges/s of raw edge work).
+namespace dsbfs::sim {
+
+enum class KernelClass {
+  kPrevisit,          // queue formation, dedup, workload computation
+  kForwardMerge,      // dd forward: merge-based load balancing
+  kForwardDynamic,    // nd/dn/nn forward: thread-warp-block dynamic
+  kBackwardPull,      // any backward-pull visit
+  kBinConvert,        // binning + 64->32-bit conversion for the exchange
+  kUniquify,          // duplicate removal in send bins
+  kMaskOp,            // bitmask OR/diff operations
+};
+
+struct DeviceModelConfig {
+  // Effective nanoseconds per edge for each traversal class.
+  double ns_per_edge_forward_merge = 0.28;
+  double ns_per_edge_forward_dynamic = 0.36;
+  double ns_per_edge_backward = 0.22;
+  // Nanoseconds per vertex for queue/dedup/marking work.
+  double ns_per_vertex = 1.1;
+  // Nanoseconds per byte for mask / bin post-processing.
+  double ns_per_byte = 0.011;  // ~90 GB/s effective for scattered ops
+  // Fixed kernel launch overhead in microseconds.
+  double launch_overhead_us = 3.5;
+};
+
+class DeviceModel {
+ public:
+  DeviceModel() = default;
+  explicit DeviceModel(const DeviceModelConfig& cfg) : cfg_(cfg) {}
+
+  const DeviceModelConfig& config() const noexcept { return cfg_; }
+
+  /// Microseconds for a kernel touching `edges` edges, `vertices` vertices
+  /// and `bytes` of linear data.  Every launched kernel pays the fixed
+  /// overhead once (the paper leans on this: per-iteration overhead of a few
+  /// microseconds dominates long-tail graphs, Section VI-D).
+  double kernel_us(KernelClass k, std::uint64_t edges, std::uint64_t vertices,
+                   std::uint64_t bytes) const noexcept;
+
+ private:
+  DeviceModelConfig cfg_;
+};
+
+}  // namespace dsbfs::sim

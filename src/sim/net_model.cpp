@@ -1,0 +1,67 @@
+#include "sim/net_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsbfs::sim {
+
+namespace {
+constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+}
+
+double NetModel::nvlink_us(std::uint64_t bytes) const noexcept {
+  if (bytes == 0) return 0.0;
+  return cfg_.nvlink_latency_us +
+         static_cast<double>(bytes) / (cfg_.nvlink_bw_gbytes * kGb) * 1e6;
+}
+
+double NetModel::p2p_us(std::uint64_t bytes, double chunk_bytes) const noexcept {
+  if (bytes == 0) return 0.0;
+  const double size = static_cast<double>(bytes);
+  if (size <= cfg_.eager_threshold_bytes) {
+    // Eager path: staging then wire, one small fixed overhead.
+    return cfg_.eager_overhead_us + cfg_.nic_latency_us +
+           size * (1.0 / (cfg_.nvlink_bw_gbytes * kGb) +
+                   1.0 / (cfg_.nic_bw_gbytes * kGb)) *
+               1e6;
+  }
+  chunk_bytes = std::max(chunk_bytes, 1.0);
+  const double chunks = std::ceil(size / chunk_bytes);
+  const double first_chunk = std::min(size, chunk_bytes);
+  // Rendezvous path, pipelined: every chunk pays the fixed call overhead;
+  // staging of the first chunk over NVLink is exposed, the rest overlaps NIC
+  // transmission; the NIC transmits every byte.
+  const double call_us = chunks * cfg_.chunk_overhead_us;
+  const double stage_us = first_chunk / (cfg_.nvlink_bw_gbytes * kGb) * 1e6;
+  const double wire_us =
+      cfg_.nic_latency_us + size / (cfg_.nic_bw_gbytes * kGb) * 1e6;
+  return call_us + stage_us + wire_us;
+}
+
+int NetModel::tree_rounds(int ranks) noexcept {
+  int rounds = 0;
+  int span = 1;
+  while (span < ranks) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double NetModel::allreduce_us(std::uint64_t bytes, int ranks) const noexcept {
+  if (ranks <= 1 || bytes == 0) return 0.0;
+  const int rounds = tree_rounds(ranks);
+  return static_cast<double>(rounds) * p2p_us(bytes);
+}
+
+double NetModel::iallreduce_us(std::uint64_t bytes, int ranks) const noexcept {
+  if (ranks <= 1 || bytes == 0) return 0.0;
+  const int rounds = tree_rounds(ranks);
+  const double per_round =
+      p2p_us(bytes) + cfg_.iallreduce_round_extra_us +
+      static_cast<double>(bytes) /
+          (cfg_.nic_bw_gbytes * cfg_.iallreduce_bw_derate * kGb) * 1e6;
+  return static_cast<double>(rounds) * per_round;
+}
+
+}  // namespace dsbfs::sim

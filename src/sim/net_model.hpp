@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+/// Analytic network model (CORAL EA "Ray"-like defaults).
+///
+/// Topology facts encoded from the paper (Section VI-A1):
+///   * GPUs within a rank talk over NVLink, 40 GB/s per direction;
+///   * each rank (CPU socket) has one EDR InfiniBand NIC, 100 Gb/s;
+///   * there is no GPU-NIC RDMA on Ray: every remote byte is staged
+///     GPU -> CPU over NVLink, sent with MPI, then CPU -> GPU on the
+///     receiver.  This staging is why the optimal MPI message size is
+///     ~4 MB (Section VI-A1): sends are chunked, and chunk staging
+///     pipelines against NIC transmission, giving the classic
+///     T(c) = (S/c) * alpha + c/B_stage + S/B_nic
+///     U-shape whose minimum sits at c* = sqrt(S * alpha * B_stage).
+///     With alpha = 25 us and B_stage = 40 GB/s, c* = 4 MB for S = 16 MB,
+///     matching the paper's measurement.
+namespace dsbfs::sim {
+
+struct NetModelConfig {
+  double nvlink_bw_gbytes = 40.0;     // per direction, per GPU
+  double nvlink_latency_us = 8.0;     // per transfer operation
+  double nic_bw_gbytes = 12.5;        // EDR 100 Gb/s
+  double nic_latency_us = 2.0;        // wire + software, per message
+  double chunk_overhead_us = 25.0;    // per-chunk MPI call + CPU wakeup
+  double chunk_bytes = 4.0 * 1024 * 1024;  // default MPI chunking granularity
+  // Messages below this ride the eager path: the paper found that under
+  // ~2 MB "the network appears to do a better job with caching, and the
+  // differences between message sizes are not that significant"
+  // (Section VI-A1) -- no chunk staging cost, just a small fixed overhead.
+  double eager_threshold_bytes = 2.0 * 1024 * 1024;
+  double eager_overhead_us = 3.0;
+  // Non-blocking (MPI_Iallreduce) inefficiency: the paper observed the
+  // freshly added Iallreduce to be much slower than Allreduce at >= 8 nodes
+  // (Section VI-B, Fig. 8).  Modelled as a bandwidth derate plus extra
+  // per-round latency; IR remains overlappable with computation, which is
+  // why it still wins at small rank counts.
+  double iallreduce_bw_derate = 0.35;
+  double iallreduce_round_extra_us = 60.0;
+};
+
+class NetModel {
+ public:
+  NetModel() = default;
+  explicit NetModel(const NetModelConfig& cfg) : cfg_(cfg) {}
+
+  const NetModelConfig& config() const noexcept { return cfg_; }
+
+  /// GPU<->GPU copy within a rank (NVLink), microseconds.
+  double nvlink_us(std::uint64_t bytes) const noexcept;
+
+  /// One staged point-to-point message between two ranks, using chunking at
+  /// `chunk_bytes` granularity: GPU->CPU staging pipelined against NIC
+  /// transmission.  Microseconds.
+  double p2p_us(std::uint64_t bytes) const noexcept {
+    return p2p_us(bytes, cfg_.chunk_bytes);
+  }
+
+  /// Same, with an explicit chunk size -- the Section VI-A message-size
+  /// sweep calls this directly.
+  double p2p_us(std::uint64_t bytes, double chunk_bytes) const noexcept;
+
+  /// Blocking tree allreduce of `bytes` across `ranks` ranks, microseconds.
+  double allreduce_us(std::uint64_t bytes, int ranks) const noexcept;
+
+  /// Non-blocking allreduce (MPI_Iallreduce) duration, microseconds.
+  double iallreduce_us(std::uint64_t bytes, int ranks) const noexcept;
+
+  /// Number of tree rounds for a collective over `ranks` ranks.
+  static int tree_rounds(int ranks) noexcept;
+
+ private:
+  NetModelConfig cfg_;
+};
+
+}  // namespace dsbfs::sim

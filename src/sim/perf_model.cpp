@@ -1,0 +1,275 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/timeline.hpp"
+
+namespace dsbfs::sim {
+
+namespace {
+
+KernelClass forward_class_for(bool merge_based) {
+  return merge_based ? KernelClass::kForwardMerge : KernelClass::kForwardDynamic;
+}
+
+double visit_us(const DeviceModel& dev, const KernelCounters& k, bool merge_based) {
+  if (!k.launched) return 0.0;
+  const KernelClass cls =
+      k.backward ? KernelClass::kBackwardPull : forward_class_for(merge_based);
+  return dev.kernel_us(cls, k.edges, k.vertices, 0);
+}
+
+}  // namespace
+
+ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
+  const ClusterSpec& spec = run.spec;
+  const int p = spec.total_gpus();
+  Timeline tl;
+
+  // Resources: per-GPU compute engine, per-GPU NVLink port, per-rank NIC.
+  std::vector<ResourceId> gpu_res, nvlink_res, nic_res, ir_res;
+  gpu_res.reserve(static_cast<std::size_t>(p));
+  nvlink_res.reserve(static_cast<std::size_t>(p));
+  for (int g = 0; g < p; ++g) {
+    gpu_res.push_back(tl.add_resource("gpu" + std::to_string(g)));
+    nvlink_res.push_back(tl.add_resource("nvlink" + std::to_string(g)));
+  }
+  for (int r = 0; r < spec.num_ranks; ++r) {
+    nic_res.push_back(tl.add_resource("nic" + std::to_string(r)));
+    // Non-blocking reductions don't hold the NIC; they serialize only with
+    // themselves (per rank), which this virtual resource expresses.
+    ir_res.push_back(tl.add_resource("ir" + std::to_string(r)));
+  }
+
+  // Carried dependencies from the previous iteration.
+  std::vector<TaskId> prev_mask_bcast(static_cast<std::size_t>(p));  // gates DPrev
+  std::vector<TaskId> prev_recv_done(static_cast<std::size_t>(p));   // gates NPrev
+  std::vector<TaskId> prev_dn_visit(static_cast<std::size_t>(p));    // local discoveries
+
+  const double mask_bytes = static_cast<double>(run.delegate_mask_bytes);
+
+  for (std::size_t it = 0; it < run.iterations.size(); ++it) {
+    const IterationCounters& ic = run.iterations[it];
+    std::vector<TaskId> bin_done(static_cast<std::size_t>(p));
+    std::vector<TaskId> send_done(static_cast<std::size_t>(p));
+    std::vector<TaskId> mask_push(static_cast<std::size_t>(p));
+    std::vector<TaskId> dn_visit(static_cast<std::size_t>(p));
+    std::vector<TaskId> nprev(static_cast<std::size_t>(p));
+    std::vector<TaskId> mask_ready(static_cast<std::size_t>(p));
+    std::vector<TaskId> recv_done(static_cast<std::size_t>(p));
+
+    const bool any_delegate_update = std::any_of(
+        ic.gpu.begin(), ic.gpu.end(),
+        [](const GpuIterationCounters& g) { return g.delegate_update; });
+
+    // ---- Local computation (Fig. 3): two streams per GPU. -------------
+    for (int g = 0; g < p; ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      const GpuIterationCounters& c = ic.gpu[gi];
+      const ResourceId gr = gpu_res[gi];
+
+      // Direction-optimized previsits launch two extra workload-estimation
+      // kernels each (FV reduction + BV pool check).  The FV sum itself is
+      // fused row-length reading, so the charge is the fixed launch cost,
+      // not per-vertex work -- negligible on dense cores, but the dominant
+      // overhead when frontiers are tiny and iterations many, which is
+      // exactly the Section VI-D long-tail effect.
+      const double decision_us =
+          c.direction_decisions
+              ? 2.0 * dev_.kernel_us(KernelClass::kPrevisit, 0, 0, 0)
+              : 0.0;
+
+      std::vector<TaskId> dprev_deps;
+      if (prev_mask_bcast[gi].valid()) dprev_deps.push_back(prev_mask_bcast[gi]);
+      const TaskId dprev = tl.add_task(
+          "dprev", kCatComputation,
+          dev_.kernel_us(KernelClass::kPrevisit, 0, c.dprev_vertices, 0) +
+              decision_us,
+          gr, dprev_deps);
+
+      std::vector<TaskId> nprev_deps;
+      if (prev_recv_done[gi].valid()) nprev_deps.push_back(prev_recv_done[gi]);
+      if (prev_dn_visit[gi].valid()) nprev_deps.push_back(prev_dn_visit[gi]);
+      nprev[gi] = tl.add_task(
+          "nprev", kCatComputation,
+          dev_.kernel_us(KernelClass::kPrevisit, 0, c.nprev_vertices, 0) +
+              decision_us,
+          gr, nprev_deps);
+
+      // Delegate stream: dprev -> dd visit -> dn visit.
+      const TaskId ddv = tl.add_task("dd_visit", kCatComputation,
+                                     visit_us(dev_, c.dd, /*merge_based=*/true),
+                                     gr, {dprev});
+      // dn visit also waits on nprev: both forward (writes level_normal,
+      // which nprev marks first) and backward (reads level_normal) touch the
+      // normal level array (see DESIGN.md).
+      dn_visit[gi] = tl.add_task("dn_visit", kCatComputation,
+                                 visit_us(dev_, c.dn, /*merge_based=*/false), gr,
+                                 {ddv, nprev[gi]});
+
+      // Normal stream: nprev -> nd visit -> nn visit.
+      const TaskId ndv = tl.add_task("nd_visit", kCatComputation,
+                                     visit_us(dev_, c.nd, /*merge_based=*/false),
+                                     gr, {nprev[gi]});
+      const TaskId nnv = tl.add_task("nn_visit", kCatComputation,
+                                     visit_us(dev_, c.nn, /*merge_based=*/false),
+                                     gr, {ndv});
+
+      // Bin + 64->32 conversion of nn outputs (on-GPU computation).
+      bin_done[gi] = tl.add_task(
+          "bin_convert", kCatComputation,
+          dev_.kernel_us(KernelClass::kBinConvert, 0, c.bin_vertices,
+                         c.bin_vertices * 8),
+          gr, {nnv});
+
+      // Delegate mask push to GPU0 of the rank (local phase of reduction).
+      if (any_delegate_update) {
+        const TaskId after_visits = tl.add_task(
+            "mask_finalize", kCatComputation,
+            dev_.kernel_us(KernelClass::kMaskOp, 0, 0, run.delegate_mask_bytes),
+            gr, {dn_visit[gi], ndv});
+        if (spec.coord_of(g).gpu != 0) {
+          mask_push[gi] =
+              tl.add_task("mask_push", kCatLocalComm,
+                          net_.nvlink_us(static_cast<std::uint64_t>(mask_bytes)),
+                          nvlink_res[gi], {after_visits});
+        } else {
+          mask_push[gi] = after_visits;
+        }
+      }
+    }
+
+    // ---- Delegate mask reduction (Fig. 4, delegate stream). ------------
+    std::vector<TaskId> rank_reduce(static_cast<std::size_t>(spec.num_ranks));
+    if (any_delegate_update) {
+      for (int r = 0; r < spec.num_ranks; ++r) {
+        std::vector<TaskId> deps;
+        for (int lg = 0; lg < spec.gpus_per_rank; ++lg) {
+          deps.push_back(mask_push[static_cast<std::size_t>(
+              spec.global_gpu(GpuCoord{r, lg}))]);
+        }
+        // GPU0 ORs pgpu masks in parallel (on-GPU word operations).
+        const int gpu0 = spec.global_gpu(GpuCoord{r, 0});
+        rank_reduce[static_cast<std::size_t>(r)] = tl.add_task(
+            "local_reduce", kCatLocalComm,
+            dev_.kernel_us(KernelClass::kMaskOp, 0, 0,
+                           run.delegate_mask_bytes *
+                               static_cast<std::uint64_t>(spec.gpus_per_rank)),
+            gpu_res[static_cast<std::size_t>(gpu0)], deps);
+      }
+      // Global reduction across ranks: one task per rank so a blocking
+      // Allreduce occupies the rank's NIC (serializing against the normal
+      // exchange), while Iallreduce leaves the NIC free to overlap.
+      const double reduce_us =
+          run.blocking_reduce
+              ? net_.allreduce_us(run.delegate_mask_bytes, spec.num_ranks)
+              : net_.iallreduce_us(run.delegate_mask_bytes, spec.num_ranks);
+      std::vector<TaskId> all_reduces = rank_reduce;
+      for (int r = 0; r < spec.num_ranks; ++r) {
+        const TaskId gr_task = tl.add_task(
+            "global_reduce", kCatDelegateReduce, reduce_us,
+            run.blocking_reduce ? nic_res[static_cast<std::size_t>(r)]
+                                : ir_res[static_cast<std::size_t>(r)],
+            all_reduces);
+        for (int lg = 0; lg < spec.gpus_per_rank; ++lg) {
+          const int g = spec.global_gpu(GpuCoord{r, lg});
+          mask_ready[static_cast<std::size_t>(g)] = tl.add_task(
+              "mask_bcast", kCatLocalComm,
+              net_.nvlink_us(run.delegate_mask_bytes),
+              nvlink_res[static_cast<std::size_t>(g)], {gr_task});
+        }
+      }
+    }
+
+    // ---- Normal vertex exchange (Fig. 4, normal stream). ---------------
+    for (int g = 0; g < p; ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      const GpuIterationCounters& c = ic.gpu[gi];
+      TaskId stage = bin_done[gi];
+
+      if (c.local_all2all_bytes > 0) {
+        stage = tl.add_task("local_all2all", kCatLocalComm,
+                            net_.nvlink_us(c.local_all2all_bytes),
+                            nvlink_res[gi], {stage});
+      }
+      if (c.uniquify_vertices > 0) {
+        stage = tl.add_task(
+            "uniquify", kCatComputation,
+            dev_.kernel_us(KernelClass::kUniquify, 0, c.uniquify_vertices,
+                           c.uniquify_vertices * 4),
+            gpu_res[gi], {stage});
+      }
+      if (c.send_bytes_remote > 0) {
+        const int dests = std::max(1, c.send_dest_ranks);
+        const std::uint64_t per_dest = c.send_bytes_remote /
+                                       static_cast<std::uint64_t>(dests);
+        double send_us = 0;
+        for (int d = 0; d < dests; ++d) send_us += net_.p2p_us(per_dest);
+        send_done[gi] = tl.add_task(
+            "remote_send", kCatNormalExchange, send_us,
+            nic_res[static_cast<std::size_t>(spec.coord_of(g).rank)], {stage});
+      } else {
+        send_done[gi] = stage;
+      }
+    }
+
+    // Receive completion: a GPU's inputs are ready once every other GPU has
+    // finished sending (bulk-synchronous approximation), plus CPU->GPU
+    // staging of its received bytes.
+    for (int g = 0; g < p; ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      std::vector<TaskId> deps;
+      deps.reserve(static_cast<std::size_t>(p));
+      for (int s = 0; s < p; ++s) deps.push_back(send_done[static_cast<std::size_t>(s)]);
+      recv_done[gi] = tl.add_task("recv_stage", kCatNormalExchange,
+                                  net_.nvlink_us(ic.gpu[gi].recv_bytes_remote),
+                                  nvlink_res[gi], deps);
+    }
+
+    // ---- Control allreduce (termination detection). ---------------------
+    {
+      std::vector<TaskId> deps;
+      for (int g = 0; g < p; ++g) {
+        deps.push_back(send_done[static_cast<std::size_t>(g)]);
+        if (mask_ready[static_cast<std::size_t>(g)].valid()) {
+          deps.push_back(mask_ready[static_cast<std::size_t>(g)]);
+        }
+      }
+      const double control_us =
+          static_cast<double>(NetModel::tree_rounds(spec.num_ranks)) *
+          net_.config().nic_latency_us;
+      const TaskId control =
+          tl.add_task("control", kCatControl, control_us, ResourceId{}, deps);
+      // The next iteration cannot start anywhere before global agreement.
+      for (int g = 0; g < p; ++g) {
+        const auto gi = static_cast<std::size_t>(g);
+        prev_recv_done[gi] = tl.add_task("iter_gate", kCatControl, 0.0,
+                                         ResourceId{}, {recv_done[gi], control});
+        prev_mask_bcast[gi] =
+            mask_ready[gi].valid()
+                ? tl.add_task("mask_gate", kCatControl, 0.0, ResourceId{},
+                              {mask_ready[gi], control})
+                : prev_recv_done[gi];
+        prev_dn_visit[gi] = dn_visit[gi];
+      }
+    }
+  }
+
+  tl.schedule();
+
+  ModeledBreakdown out;
+  out.elapsed_ms = tl.makespan_us() / 1000.0;
+  // Per-category load of the busiest resource: what a per-phase wall timer
+  // on the most loaded processor/link would report.  Stacks may exceed
+  // elapsed time because phases overlap (as the paper notes for its
+  // breakdown charts).
+  out.computation_ms = tl.category_critical_us(kCatComputation) / 1000.0;
+  out.local_comm_ms = tl.category_critical_us(kCatLocalComm) / 1000.0;
+  out.normal_exchange_ms = tl.category_critical_us(kCatNormalExchange) / 1000.0;
+  out.delegate_reduce_ms = tl.category_critical_us(kCatDelegateReduce) / 1000.0;
+  out.control_ms = tl.category_critical_us(kCatControl) / 1000.0;
+  return out;
+}
+
+}  // namespace dsbfs::sim

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/device_model.hpp"
+#include "sim/net_model.hpp"
+
+/// Performance model: exact measured counters -> modeled cluster time.
+///
+/// The functional layer (core::DistributedBfs) runs the real algorithm and
+/// records, per GPU per iteration, exactly how many edges/vertices each
+/// kernel touched and how many bytes each communication step moved.  This
+/// model replays those counters on a virtual timeline with the Fig. 3 / 4
+/// dependency structure, P100-like kernel rates and Ray-like link rates,
+/// yielding the elapsed time the paper's cluster would have shown.  Both
+/// the makespan and the per-category sums (the paper's stacked breakdown
+/// charts) are produced.
+namespace dsbfs::sim {
+
+/// Phase categories matching the paper's breakdown figures (Fig. 8, 10).
+enum Category : int {
+  kCatComputation = 0,
+  kCatLocalComm = 1,
+  kCatNormalExchange = 2,
+  kCatDelegateReduce = 3,
+  kCatControl = 4,
+  kCatCount = 5,
+};
+
+/// One visit kernel's measured workload.
+struct KernelCounters {
+  std::uint64_t edges = 0;
+  std::uint64_t vertices = 0;
+  bool backward = false;
+  bool launched = false;
+};
+
+/// Counters for one GPU in one BFS iteration.
+struct GpuIterationCounters {
+  std::uint64_t dprev_vertices = 0;  // delegate previsit queue size
+  std::uint64_t nprev_vertices = 0;  // normal previsit input size
+  /// Direction optimization active: previsits additionally compute the
+  /// forward/backward workload estimates (an extra reduction kernel each).
+  /// This is the "additional workload for direction decisions" that makes
+  /// DOBFS lose to BFS on long-tail graphs (paper Section VI-D).
+  bool direction_decisions = false;
+  KernelCounters dd, dn, nd, nn;
+
+  std::uint64_t bin_vertices = 0;        // nn outputs binned + converted
+  std::uint64_t uniquify_vertices = 0;   // inputs to uniquify (0 = disabled)
+  std::uint64_t local_all2all_bytes = 0; // gathered over NVLink within rank
+  std::uint64_t send_bytes_remote = 0;   // to GPUs in other ranks
+  std::uint64_t recv_bytes_remote = 0;
+  int send_dest_ranks = 0;               // distinct destination ranks
+  bool delegate_update = false;          // participated in mask reduction
+};
+
+struct IterationCounters {
+  std::vector<GpuIterationCounters> gpu;  // size = total GPUs
+};
+
+struct RunCounters {
+  ClusterSpec spec;
+  std::uint64_t delegate_mask_bytes = 0;  // d/8, what a mask reduce moves
+  bool blocking_reduce = true;            // BR vs IR
+  std::vector<IterationCounters> iterations;
+};
+
+struct ModeledBreakdown {
+  double elapsed_ms = 0;  // makespan
+  // Per-category duration sums in ms, averaged per GPU (the paper's stacked
+  // charts); sums may exceed elapsed because phases overlap.
+  double computation_ms = 0;
+  double local_comm_ms = 0;
+  double normal_exchange_ms = 0;
+  double delegate_reduce_ms = 0;
+  double control_ms = 0;
+};
+
+class PerfModel {
+ public:
+  PerfModel() = default;
+  PerfModel(const DeviceModel& dev, const NetModel& net) : dev_(dev), net_(net) {}
+
+  const DeviceModel& device_model() const noexcept { return dev_; }
+  const NetModel& net_model() const noexcept { return net_; }
+
+  /// Replay a run's counters; returns elapsed + per-category breakdown.
+  ModeledBreakdown replay(const RunCounters& run) const;
+
+ private:
+  DeviceModel dev_;
+  NetModel net_;
+};
+
+}  // namespace dsbfs::sim

@@ -1,0 +1,71 @@
+#include "sim/stream.hpp"
+
+namespace dsbfs::sim {
+
+Stream::Stream() : thread_([this] { worker(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+Event Stream::record(std::function<void()> task) {
+  Event e;
+  enqueue([task = std::move(task), e] {
+    task();
+    e.signal();
+  });
+  return e;
+}
+
+Event Stream::record_marker() {
+  Event e;
+  enqueue([e] { e.signal(); });
+  return e;
+}
+
+void Stream::wait_event(const Event& e) {
+  enqueue([e] { e.wait(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+void Stream::worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      busy_ = false;
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dsbfs::sim

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+/// cudaStream / cudaEvent analogue.
+///
+/// The paper's local pipeline (Fig. 3) runs a *delegate stream* and a
+/// *normal stream* per GPU as two cudaStreams: tasks within a stream are
+/// ordered, streams are independent unless an explicit event dependency is
+/// recorded.  This class reproduces those semantics with a worker thread per
+/// stream, so the BFS driver expresses the exact same pipeline structure the
+/// paper describes, and cross-stream races are real (and covered by tests).
+namespace dsbfs::sim {
+
+class Stream;
+
+/// Completion marker for a point in a stream's task sequence.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  void wait() const {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  bool ready() const {
+    std::lock_guard lock(state_->mu);
+    return state_->done;
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  void signal() const {
+    std::lock_guard lock(state_->mu);
+    state_->done = true;
+    state_->cv.notify_all();
+  }
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue a task; tasks run in enqueue order on the stream's thread.
+  void enqueue(std::function<void()> task);
+
+  /// Enqueue and return an event that fires when the task completes.
+  Event record(std::function<void()> task);
+
+  /// Record an event after all currently enqueued tasks.
+  Event record_marker();
+
+  /// Make subsequent tasks in *this* stream wait until `e` has fired
+  /// (cudaStreamWaitEvent).
+  void wait_event(const Event& e);
+
+  /// Block the caller until every enqueued task has run.
+  void synchronize();
+
+ private:
+  void worker();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  bool busy_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dsbfs::sim

@@ -1,0 +1,74 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsbfs::sim {
+
+ResourceId Timeline::add_resource(std::string name) {
+  resources_.push_back(Resource{std::move(name), 0.0, 0.0});
+  return ResourceId{resources_.size() - 1};
+}
+
+TaskId Timeline::add_task(std::string name, int category, double duration_us,
+                          ResourceId resource, const std::vector<TaskId>& deps) {
+  const TaskId id{tasks_.size()};
+  for (const TaskId d : deps) {
+    if (!d.valid() || d.index >= tasks_.size()) {
+      throw std::invalid_argument("task dependency must precede the task");
+    }
+  }
+  Task t;
+  t.name = std::move(name);
+  t.category = category;
+  t.duration_us = std::max(0.0, duration_us);
+  t.resource = resource;
+  t.deps = deps;
+  tasks_.push_back(std::move(t));
+  return id;
+}
+
+void Timeline::schedule() {
+  for (; next_unscheduled_ < tasks_.size(); ++next_unscheduled_) {
+    Task& t = tasks_[next_unscheduled_];
+    double ready = 0.0;
+    for (const TaskId d : t.deps) {
+      ready = std::max(ready, tasks_[d.index].finish_us);
+    }
+    if (t.resource.valid()) {
+      Resource& r = resources_[t.resource.index];
+      t.start_us = std::max(ready, r.free_at_us);
+      t.finish_us = t.start_us + t.duration_us;
+      r.free_at_us = t.finish_us;
+      r.busy_us += t.duration_us;
+    } else {
+      t.start_us = ready;
+      t.finish_us = t.start_us + t.duration_us;
+    }
+    t.scheduled = true;
+    makespan_us_ = std::max(makespan_us_, t.finish_us);
+  }
+}
+
+double Timeline::category_total_us(int category) const {
+  double total = 0.0;
+  for (const Task& t : tasks_) {
+    if (t.category == category) total += t.duration_us;
+  }
+  return total;
+}
+
+double Timeline::category_critical_us(int category) const {
+  std::vector<double> per_resource(resources_.size() + 1, 0.0);
+  for (const Task& t : tasks_) {
+    if (t.category != category) continue;
+    const std::size_t slot =
+        t.resource.valid() ? t.resource.index : resources_.size();
+    per_resource[slot] += t.duration_us;
+  }
+  double best = 0.0;
+  for (const double v : per_resource) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace dsbfs::sim

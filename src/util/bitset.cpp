@@ -1,0 +1,52 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace dsbfs::util {
+
+void AtomicBitset::or_with(const AtomicBitset& other) noexcept {
+  assert(bits_ == other.bits_);
+  const std::size_t nw = word_count();
+  for (std::size_t w = 0; w < nw; ++w) {
+    const std::uint64_t v = other.word(w);
+    if (v != 0) words_[w].v.fetch_or(v, std::memory_order_relaxed);
+  }
+}
+
+std::size_t AtomicBitset::count() const noexcept {
+  std::size_t total = 0;
+  const std::size_t nw = word_count();
+  for (std::size_t w = 0; w < nw; ++w) {
+    total += static_cast<std::size_t>(std::popcount(word(w)));
+  }
+  return total;
+}
+
+bool AtomicBitset::none() const noexcept {
+  const std::size_t nw = word_count();
+  for (std::size_t w = 0; w < nw; ++w) {
+    if (word(w) != 0) return false;
+  }
+  return true;
+}
+
+void AtomicBitset::diff_into(const AtomicBitset& next, const AtomicBitset& prev,
+                             AtomicBitset& out) noexcept {
+  assert(next.bits_ == prev.bits_ && next.bits_ == out.bits_);
+  const std::size_t nw = next.word_count();
+  for (std::size_t w = 0; w < nw; ++w) {
+    out.set_word(w, next.word(w) & ~prev.word(w));
+  }
+}
+
+bool AtomicBitset::operator==(const AtomicBitset& other) const noexcept {
+  if (bits_ != other.bits_) return false;
+  const std::size_t nw = word_count();
+  for (std::size_t w = 0; w < nw; ++w) {
+    if (word(w) != other.word(w)) return false;
+  }
+  return true;
+}
+
+}  // namespace dsbfs::util

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+/// Concurrent fixed-size bitset used for delegate visited masks.
+///
+/// The paper stores the visited status of every delegate in a 1-bit-per-vertex
+/// mask (Section IV-A) and communicates it by OR-reduction (Section V-A).
+/// This class supports the three access patterns that need to coexist:
+///   * concurrent `set()` from visit kernels (relaxed atomic fetch_or),
+///   * word-level bulk operations for reduction/broadcast (or_with, diff),
+///   * read-only tests from backward-pull kernels against a *stable* snapshot.
+namespace dsbfs::util {
+
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+
+  AtomicBitset(const AtomicBitset& other) { copy_from(other); }
+  AtomicBitset& operator=(const AtomicBitset& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  AtomicBitset(AtomicBitset&&) noexcept = default;
+  AtomicBitset& operator=(AtomicBitset&&) noexcept = default;
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign(word_count(), Word{0});
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+  std::size_t word_count() const noexcept { return (bits_ + 63) / 64; }
+  /// Bytes occupied by the payload (what communication would transmit).
+  std::size_t byte_size() const noexcept { return word_count() * 8; }
+
+  /// Set bit i.  Returns true when this call flipped it from 0 to 1.
+  bool set(std::size_t i) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].v.fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  /// Non-atomic set for single-threaded construction phases.
+  void set_unsynchronized(std::size_t i) noexcept {
+    words_[i >> 6].v.store(
+        words_[i >> 6].v.load(std::memory_order_relaxed) | (1ULL << (i & 63)),
+        std::memory_order_relaxed);
+  }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6].v.load(std::memory_order_relaxed) >> (i & 63)) & 1;
+  }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w.v.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t word(std::size_t w) const noexcept {
+    return words_[w].v.load(std::memory_order_relaxed);
+  }
+  void set_word(std::size_t w, std::uint64_t value) noexcept {
+    words_[w].v.store(value, std::memory_order_relaxed);
+  }
+  void or_word(std::size_t w, std::uint64_t value) noexcept {
+    if (value != 0) words_[w].v.fetch_or(value, std::memory_order_relaxed);
+  }
+
+  /// this |= other  (word-parallel; sizes must match).
+  void or_with(const AtomicBitset& other) noexcept;
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+
+  /// True when no bit is set.
+  bool none() const noexcept;
+
+  /// Writes, into `out`, the bits set in `next` but not in `prev`
+  /// (out = next & ~prev).  All three must be the same size.  This extracts
+  /// "newly visited delegates" after a mask reduction.
+  static void diff_into(const AtomicBitset& next, const AtomicBitset& prev,
+                        AtomicBitset& out) noexcept;
+
+  /// Call `fn(index)` for every set bit.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    const std::size_t nw = word_count();
+    for (std::size_t w = 0; w < nw; ++w) {
+      std::uint64_t bitsv = word(w);
+      while (bitsv != 0) {
+        const int b = __builtin_ctzll(bitsv);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bitsv &= bitsv - 1;
+      }
+    }
+  }
+
+  bool operator==(const AtomicBitset& other) const noexcept;
+
+ private:
+  // std::atomic is not copyable; wrap it so vector works, and copy manually.
+  struct Word {
+    std::atomic<std::uint64_t> v{0};
+    Word() = default;
+    Word(std::uint64_t x) : v(x) {}
+    Word(const Word& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Word(Word&& o) noexcept : v(o.v.load(std::memory_order_relaxed)) {}
+    Word& operator=(const Word& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  void copy_from(const AtomicBitset& other) {
+    bits_ = other.bits_;
+    words_ = other.words_;
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace dsbfs::util

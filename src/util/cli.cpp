@@ -1,0 +1,83 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dsbfs::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+std::optional<std::string> Cli::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def,
+                            const std::string& help) {
+  declared_[name] = {help, def};
+  return raw(name).value_or(def);
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  declared_[name] = {help, std::to_string(def)};
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def, const std::string& help) {
+  declared_[name] = {help, std::to_string(def)};
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name, bool def, const std::string& help) {
+  declared_[name] = {help, def ? "1" : "0"};
+  const auto v = raw(name);
+  if (!v) return def;
+  return *v != "0" && *v != "false" && *v != "no";
+}
+
+void Cli::print_help(const std::string& program_description) const {
+  std::printf("%s\n\n%s\n\nOptions:\n", program_.c_str(), program_description.c_str());
+  for (const auto& [name, d] : declared_) {
+    std::printf("  --%-24s %s (default: %s)\n", name.c_str(), d.help.c_str(),
+                d.default_value.c_str());
+  }
+}
+
+std::vector<std::string> Cli::unknown_options() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (declared_.find(name) == declared_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dsbfs::util

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// Minimal command-line option parser shared by benches and examples.
+///
+/// Syntax: --name=value or --name value; bare --flag sets "1".
+/// Unknown options are collected so binaries can reject typos.
+namespace dsbfs::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare an option with a help string and a default; returns the value.
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help);
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help);
+  double get_double(const std::string& name, double def, const std::string& help);
+  bool get_flag(const std::string& name, bool def, const std::string& help);
+
+  /// True when --help was passed; print_help() then describes declared opts.
+  bool help_requested() const noexcept { return help_; }
+  void print_help(const std::string& program_description) const;
+
+  /// Options present on the command line but never declared by the program.
+  std::vector<std::string> unknown_options() const;
+
+ private:
+  struct Declared {
+    std::string help;
+    std::string default_value;
+  };
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, Declared> declared_;
+  std::string program_;
+  bool help_ = false;
+};
+
+}  // namespace dsbfs::util

@@ -1,0 +1,49 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dsbfs::util {
+
+namespace {
+std::atomic<std::size_t> g_worker_override{0};
+
+std::size_t hardware_workers() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : hc;
+}
+}  // namespace
+
+std::size_t parallel_worker_count() noexcept {
+  const std::size_t o = g_worker_override.load(std::memory_order_relaxed);
+  return o != 0 ? o : hardware_workers();
+}
+
+void set_parallel_worker_count(std::size_t n) noexcept {
+  g_worker_override.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::min(parallel_worker_count(), n);
+  // Serial fallback: tiny ranges are not worth thread spawn overhead.
+  constexpr std::size_t kSerialCutoff = 4096;
+  if (workers <= 1 || n < kSerialCutoff) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace dsbfs::util

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+/// Counter-based pseudo-random number generation.
+///
+/// Distributed generators (RMAT, Chung-Lu) must produce the *same* graph
+/// regardless of how work is split across simulated GPUs.  A counter-based
+/// RNG -- value = mix(seed, counter) -- makes every draw addressable by
+/// index, so any worker can generate any slice independently and the result
+/// is bit-identical to a serial run.
+namespace dsbfs::util {
+
+/// Stateless counter RNG: draw i of stream s under seed k is
+/// splitmix64(splitmix64(k ^ s) + i).
+class CounterRng {
+ public:
+  CounterRng(std::uint64_t seed, std::uint64_t stream) noexcept
+      : base_(splitmix64(seed ^ (0xd1342543de82ef95ULL * (stream + 1)))) {}
+
+  /// 64 uniform random bits for draw index `i`.
+  std::uint64_t bits(std::uint64_t i) const noexcept { return splitmix64(base_ + i); }
+
+  /// Uniform double in [0, 1).
+  double uniform(std::uint64_t i) const noexcept {
+    return static_cast<double>(bits(i) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).  Uses 128-bit multiply to avoid modulo bias
+  /// beyond 1/2^64 (negligible for graph generation).
+  std::uint64_t below(std::uint64_t i, std::uint64_t n) const noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(bits(i)) * n) >> 64);
+  }
+
+ private:
+  std::uint64_t base_;
+};
+
+/// Small stateful RNG (xorshift-star flavour) for places where a sequential
+/// stream is natural, e.g. shuffling test fixtures.
+class SequentialRng {
+ public:
+  explicit SequentialRng(std::uint64_t seed) noexcept : state_(splitmix64(seed) | 1) {}
+
+  std::uint64_t next() noexcept {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  std::uint64_t below(std::uint64_t n) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dsbfs::util

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dsbfs::util {
+
+double geometric_mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double harmonic_mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    inv_sum += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / inv_sum;
+}
+
+double arithmetic_mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double min_of(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double sample_stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double mean = arithmetic_mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double percentile(std::vector<double> values, double p) noexcept {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void Summary::add(double v) { values_.push_back(v); }
+double Summary::geomean() const noexcept { return geometric_mean(values_); }
+double Summary::harmean() const noexcept { return harmonic_mean(values_); }
+double Summary::mean() const noexcept { return arithmetic_mean(values_); }
+double Summary::min() const noexcept { return min_of(values_); }
+double Summary::max() const noexcept { return max_of(values_); }
+double Summary::stddev() const noexcept { return sample_stddev(values_); }
+
+}  // namespace dsbfs::util

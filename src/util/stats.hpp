@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// Statistics used for Graph500-style reporting.
+///
+/// The paper reports the geometric mean of traversal rates over 140 random
+/// sources (Section VI-A3); Graph500 proper also uses the harmonic mean of
+/// TEPS.  Both plus simple summaries live here.
+namespace dsbfs::util {
+
+/// Geometric mean of strictly positive values.  Returns 0 for empty input.
+double geometric_mean(std::span<const double> values) noexcept;
+
+/// Harmonic mean of strictly positive values.  Returns 0 for empty input.
+double harmonic_mean(std::span<const double> values) noexcept;
+
+double arithmetic_mean(std::span<const double> values) noexcept;
+
+double min_of(std::span<const double> values) noexcept;
+double max_of(std::span<const double> values) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double sample_stddev(std::span<const double> values) noexcept;
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> values, double p) noexcept;
+
+/// Incremental summary accumulator.
+class Summary {
+ public:
+  void add(double v);
+  std::size_t count() const noexcept { return values_.size(); }
+  double geomean() const noexcept;
+  double harmean() const noexcept;
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double stddev() const noexcept;
+  std::span<const double> values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace dsbfs::util

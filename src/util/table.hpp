@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// Plain-text table printer used by the benchmark harnesses to emit the same
+/// rows/series the paper's tables and figures report.
+namespace dsbfs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row.  Cells are appended with add().
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double v, int precision = 2);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Render as comma-separated values (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format bytes in human units (e.g. "1.50 GB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Format a count with thousands separators (e.g. "12,345,678").
+std::string format_count(std::uint64_t v);
+
+}  // namespace dsbfs::util

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <chrono>
+
+/// Wall-clock timing helpers.  All *measured* times in the library are
+/// reported in milliseconds; *modeled* times (sim::PerfModel) are kept in
+/// microseconds internally and also reported in ms.
+namespace dsbfs::util {
+
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction / last reset.
+  double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  double elapsed_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates exclusive time across start/stop pairs (per-phase timers).
+class StopWatch {
+ public:
+  void start() noexcept { t_.reset(); running_ = true; }
+  void stop() noexcept {
+    if (running_) total_ms_ += t_.elapsed_ms();
+    running_ = false;
+  }
+  double total_ms() const noexcept { return total_ms_; }
+  void clear() noexcept { total_ms_ = 0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ms_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace dsbfs::util

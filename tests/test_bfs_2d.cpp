@@ -1,0 +1,63 @@
+#include "baseline/bfs_2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial_bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace dsbfs::baseline {
+namespace {
+
+TEST(Bfs2d, MatchesSerialOnRmat) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 41});
+  const auto csr = graph::build_host_csr(g);
+  VertexId source = 0;
+  while (csr.row_length(source) == 0) ++source;
+  const auto expected = serial_bfs(csr, source);
+  for (const int p : {1, 4, 9, 16}) {
+    EXPECT_EQ(bfs_2d(g, p, source).distances, expected) << "p=" << p;
+  }
+}
+
+TEST(Bfs2d, MatchesSerialOnNamedGraphs) {
+  for (const auto& g : {graph::path_graph(30), graph::grid_graph(5, 6),
+                        graph::star_graph(25)}) {
+    const auto expected = serial_bfs(graph::build_host_csr(g), 0);
+    EXPECT_EQ(bfs_2d(g, 4, 0).distances, expected);
+  }
+}
+
+TEST(Bfs2d, TrafficGrowsWithGridSize) {
+  // Section II-B: 2D communication scales with sqrt(p) * log(sqrt(p)); the
+  // per-iteration column allgather charges more hops on bigger grids.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 11, .seed = 42});
+  const auto r4 = bfs_2d(g, 4, 1);
+  const auto r64 = bfs_2d(g, 64, 1);
+  EXPECT_GT(r64.bytes_allgather, r4.bytes_allgather);
+}
+
+TEST(Bfs2d, CountsBothPhases) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 43});
+  const auto csr = graph::build_host_csr(g);
+  VertexId source = 0;
+  while (csr.row_length(source) == 0) ++source;
+  const auto r = bfs_2d(g, 16, source);
+  EXPECT_GT(r.bytes_allgather, 0u);
+  EXPECT_GT(r.bytes_reduce, 0u);
+  EXPECT_GT(r.iterations, 1);
+  EXPECT_GT(r.edges_examined, 0u);
+}
+
+TEST(Bfs2d, NonSquareProcessorCount) {
+  // 6 = 2x3 grid; correctness must not require a perfect square.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 8, .seed = 44});
+  const auto csr = graph::build_host_csr(g);
+  VertexId source = 0;
+  while (csr.row_length(source) == 0) ++source;
+  EXPECT_EQ(bfs_2d(g, 6, source).distances, serial_bfs(csr, source));
+}
+
+}  // namespace
+}  // namespace dsbfs::baseline

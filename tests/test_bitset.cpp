@@ -1,0 +1,189 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dsbfs::util {
+namespace {
+
+TEST(Bitset, StartsEmpty) {
+  AtomicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitset, SetReturnsTrueOnlyOnFirstFlip) {
+  AtomicBitset b(64);
+  EXPECT_TRUE(b.set(7));
+  EXPECT_FALSE(b.set(7));
+  EXPECT_TRUE(b.test(7));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitset, SetAcrossWordBoundaries) {
+  AtomicBitset b(130);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(128));
+}
+
+TEST(Bitset, WordCountRounding) {
+  EXPECT_EQ(AtomicBitset(0).word_count(), 0u);
+  EXPECT_EQ(AtomicBitset(1).word_count(), 1u);
+  EXPECT_EQ(AtomicBitset(64).word_count(), 1u);
+  EXPECT_EQ(AtomicBitset(65).word_count(), 2u);
+  EXPECT_EQ(AtomicBitset(65).byte_size(), 16u);
+}
+
+TEST(Bitset, OrWithMergesBits) {
+  AtomicBitset a(200), b(200);
+  a.set(3);
+  a.set(150);
+  b.set(150);
+  b.set(199);
+  a.or_with(b);
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(150));
+  EXPECT_TRUE(a.test(199));
+  EXPECT_EQ(a.count(), 3u);
+  // b unchanged
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, DiffIntoExtractsNewBits) {
+  AtomicBitset next(128), prev(128), out(128);
+  prev.set(1);
+  prev.set(64);
+  next.set(1);
+  next.set(64);
+  next.set(65);
+  next.set(100);
+  AtomicBitset::diff_into(next, prev, out);
+  EXPECT_FALSE(out.test(1));
+  EXPECT_FALSE(out.test(64));
+  EXPECT_TRUE(out.test(65));
+  EXPECT_TRUE(out.test(100));
+  EXPECT_EQ(out.count(), 2u);
+}
+
+TEST(Bitset, DiffIntoOverwritesStaleOutput) {
+  AtomicBitset next(64), prev(64), out(64);
+  out.set(5);  // stale content must be cleared
+  next.set(9);
+  AtomicBitset::diff_into(next, prev, out);
+  EXPECT_FALSE(out.test(5));
+  EXPECT_TRUE(out.test(9));
+}
+
+TEST(Bitset, ForEachSetVisitsExactlySetBits) {
+  AtomicBitset b(300);
+  const std::vector<std::size_t> bits{0, 1, 63, 64, 65, 127, 128, 255, 299};
+  for (const auto i : bits) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, bits);  // ascending order by construction
+}
+
+TEST(Bitset, ClearAllResets) {
+  AtomicBitset b(128);
+  b.set(2);
+  b.set(127);
+  b.clear_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, CopyIsDeep) {
+  AtomicBitset a(64);
+  a.set(10);
+  AtomicBitset b = a;
+  b.set(20);
+  EXPECT_TRUE(a.test(10));
+  EXPECT_FALSE(a.test(20));
+  EXPECT_TRUE(b.test(10));
+  EXPECT_TRUE(b.test(20));
+}
+
+TEST(Bitset, EqualityComparesContent) {
+  AtomicBitset a(64), b(64), c(65);
+  a.set(3);
+  b.set(3);
+  EXPECT_TRUE(a == b);
+  b.set(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);  // different sizes
+}
+
+TEST(Bitset, WordLevelAccess) {
+  AtomicBitset b(128);
+  b.set_word(1, 0xff00ULL);
+  EXPECT_TRUE(b.test(64 + 8));
+  EXPECT_EQ(b.word(1), 0xff00ULL);
+  b.or_word(1, 0x1ULL);
+  EXPECT_EQ(b.word(1), 0xff01ULL);
+}
+
+TEST(Bitset, ConcurrentSetsAreLossless) {
+  // The delegate visit kernels set bits from several GPU threads at once;
+  // every set must land.
+  AtomicBitset b(1 << 16);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < (1 << 16);
+           i += kThreads) {
+        b.set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(b.count(), static_cast<std::size_t>(1 << 16));
+}
+
+TEST(Bitset, ConcurrentSetSameBitsCountOnce) {
+  AtomicBitset b(1024);
+  std::atomic<std::size_t> first_flips{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      std::size_t mine = 0;
+      for (std::size_t i = 0; i < 1024; ++i) mine += b.set(i) ? 1 : 0;
+      first_flips.fetch_add(mine);
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly one thread wins each bit.
+  EXPECT_EQ(first_flips.load(), 1024u);
+  EXPECT_EQ(b.count(), 1024u);
+}
+
+class BitsetSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetSizes, CountMatchesSetPattern) {
+  const std::size_t n = GetParam();
+  AtomicBitset b(n);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; i += 3) {
+    b.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(b.count(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSizes,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           1000, 4096));
+
+}  // namespace
+}  // namespace dsbfs::util

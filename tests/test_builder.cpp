@@ -1,0 +1,104 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace dsbfs::graph {
+namespace {
+
+sim::ClusterSpec spec_of(int ranks, int gpus) {
+  sim::ClusterSpec s;
+  s.num_ranks = ranks;
+  s.gpus_per_rank = gpus;
+  return s;
+}
+
+TEST(Builder, BasicInvariants) {
+  const EdgeList g = rmat_graph500({.scale = 11, .seed = 2});
+  const DistributedGraph dg = build_distributed(g, spec_of(2, 2), 32);
+  EXPECT_EQ(dg.num_vertices(), g.num_vertices);
+  EXPECT_EQ(dg.num_edges(), g.size());
+  EXPECT_EQ(dg.threshold(), 32u);
+  EXPECT_EQ(dg.num_locals(), 4u);
+  EXPECT_EQ(dg.enn() + dg.end() + dg.edn() + dg.edd(), g.size());
+  // Edges preserved across all local CSRs.
+  std::uint64_t stored = 0;
+  for (int gpu = 0; gpu < 4; ++gpu) {
+    const LocalGraph& lg = dg.local(gpu);
+    stored += lg.nn().num_edges() + lg.nd().num_edges() + lg.dn().num_edges() +
+              lg.dd().num_edges();
+  }
+  EXPECT_EQ(stored, g.size());
+}
+
+TEST(Builder, Table1FormulaMatchesActualStorage) {
+  // Table I: total = 8n + 8dp + 4m + 4|Enn| bytes.  Our CSRs have one extra
+  // offset entry per subgraph per GPU (the +1 sentinel), a negligible
+  // difference the test bounds tightly.
+  const EdgeList g = rmat_graph500({.scale = 12, .seed = 3});
+  const DistributedGraph dg = build_distributed(g, spec_of(2, 2), 32);
+  const std::uint64_t actual = dg.total_subgraph_bytes();
+  const std::uint64_t predicted = dg.table1_predicted_bytes();
+  const std::uint64_t sentinel_slack = 16 * 4 * 4;  // 4 subgraphs x 4 GPUs
+  EXPECT_LE(actual, predicted + sentinel_slack);
+  EXPECT_GT(actual, predicted - predicted / 8);
+}
+
+TEST(Builder, MemoryBeatsEdgeListAtSuitableThreshold) {
+  // Section III-C: about one third of the 16m-byte edge list.
+  const EdgeList g = rmat_graph500({.scale = 14, .seed = 4});
+  const sim::ClusterSpec spec = spec_of(2, 2);
+  const std::uint32_t th = 24;  // suitable range for this scale
+  const DistributedGraph dg = build_distributed(g, spec, th);
+  const double ratio = static_cast<double>(dg.total_subgraph_bytes()) /
+                       static_cast<double>(g.storage_bytes());
+  EXPECT_LT(ratio, 0.5);
+  // And a little more than half of plain CSR (8n + 8m).
+  const double vs_csr =
+      static_cast<double>(dg.total_subgraph_bytes()) /
+      static_cast<double>(8 * g.num_vertices + 8 * g.size());
+  EXPECT_LT(vs_csr, 0.85);
+}
+
+TEST(Builder, RegistersOnCluster) {
+  const EdgeList g = rmat_graph500({.scale = 10, .seed = 5});
+  const sim::ClusterSpec spec = spec_of(1, 2);
+  sim::Cluster cluster(spec);
+  const DistributedGraph dg = build_distributed(g, spec, 16, &cluster);
+  for (int gpu = 0; gpu < 2; ++gpu) {
+    EXPECT_EQ(cluster.device(gpu).allocated_bytes(),
+              dg.local(gpu).memory_usage().total_bytes());
+  }
+}
+
+TEST(Builder, SingleGpuDegenerateCase) {
+  const EdgeList g = path_graph(50);
+  const DistributedGraph dg = build_distributed(g, spec_of(1, 1), 4);
+  EXPECT_EQ(dg.num_locals(), 1u);
+  EXPECT_EQ(dg.local(0).num_local_normals(), 50u);
+  EXPECT_EQ(dg.enn(), g.size());  // path has max degree 2 < TH: all nn
+  EXPECT_EQ(dg.num_delegates(), 0u);
+}
+
+TEST(Builder, ZeroThresholdMakesEverythingDelegate) {
+  const EdgeList g = cycle_graph(32);
+  const DistributedGraph dg = build_distributed(g, spec_of(2, 1), 0);
+  EXPECT_EQ(dg.num_delegates(), 32u);
+  EXPECT_EQ(dg.enn(), 0u);
+  EXPECT_EQ(dg.end(), 0u);
+  EXPECT_EQ(dg.edd(), g.size());
+}
+
+TEST(Builder, DegreesExposed) {
+  const EdgeList g = star_graph(16);
+  const DistributedGraph dg = build_distributed(g, spec_of(2, 1), 4);
+  EXPECT_EQ(dg.degrees()[0], 15u);
+  EXPECT_EQ(dg.degrees()[5], 1u);
+  EXPECT_EQ(dg.num_delegates(), 1u);
+  EXPECT_TRUE(dg.delegates().is_delegate(0));
+}
+
+}  // namespace
+}  // namespace dsbfs::graph

@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsbfs::util {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli({"--scale=22"});
+  EXPECT_EQ(cli.get_int("scale", 10, "graph scale"), 22);
+}
+
+TEST(Cli, SpaceSyntax) {
+  Cli cli = make_cli({"--scale", "18"});
+  EXPECT_EQ(cli.get_int("scale", 10, ""), 18);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("scale", 20, ""), 20);
+  EXPECT_EQ(cli.get_string("gpus", "1x1x4", ""), "1x1x4");
+  EXPECT_DOUBLE_EQ(cli.get_double("factor", 0.5, ""), 0.5);
+  EXPECT_FALSE(cli.get_flag("do", false, ""));
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  Cli cli = make_cli({"--uniquify"});
+  EXPECT_TRUE(cli.get_flag("uniquify", false, ""));
+}
+
+TEST(Cli, FlagFalseSpellings) {
+  EXPECT_FALSE(make_cli({"--do=0"}).get_flag("do", true, ""));
+  EXPECT_FALSE(make_cli({"--do=false"}).get_flag("do", true, ""));
+  EXPECT_FALSE(make_cli({"--do=no"}).get_flag("do", true, ""));
+  EXPECT_TRUE(make_cli({"--do=1"}).get_flag("do", false, ""));
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli cli = make_cli({"--alpha=1e-7"});
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0, ""), 1e-7);
+}
+
+TEST(Cli, StringValue) {
+  Cli cli = make_cli({"--gpus=4x2x2"});
+  EXPECT_EQ(cli.get_string("gpus", "", ""), "4x2x2");
+}
+
+TEST(Cli, HelpRequested) {
+  EXPECT_TRUE(make_cli({"--help"}).help_requested());
+  EXPECT_TRUE(make_cli({"-h"}).help_requested());
+  EXPECT_FALSE(make_cli({"--scale=2"}).help_requested());
+}
+
+TEST(Cli, UnknownOptionsReported) {
+  Cli cli = make_cli({"--scale=2", "--tpyo=1"});
+  cli.get_int("scale", 1, "");
+  const auto unknown = cli.unknown_options();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  EXPECT_THROW(make_cli({"oops"}), std::invalid_argument);
+}
+
+TEST(Cli, FlagFollowedByFlag) {
+  Cli cli = make_cli({"--uniquify", "--do"});
+  EXPECT_TRUE(cli.get_flag("uniquify", false, ""));
+  EXPECT_TRUE(cli.get_flag("do", false, ""));
+}
+
+}  // namespace
+}  // namespace dsbfs::util

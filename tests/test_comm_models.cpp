@@ -1,0 +1,92 @@
+#include "baseline/comm_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsbfs::baseline {
+namespace {
+
+CommModelInput weak_scaled(int p) {
+  // Weak scaling: scale-26-per-GPU RMAT equivalents, one GPU per rank.
+  CommModelInput in;
+  in.p = p;
+  in.p_rank = p;
+  in.n = (1ULL << 26) * static_cast<std::uint64_t>(p);
+  in.m = in.n * 32;
+  in.nt = in.n / 64;       // forward-visited vertices
+  in.s_total = 12;
+  in.s_backward = 8;
+  in.s_delegate = 6;
+  in.d = 4 * (in.n / static_cast<std::uint64_t>(p));  // d <= 4n/p
+  in.enn = in.m / 16;                                 // ~6% nn edges
+  return in;
+}
+
+TEST(CommModels, OneDVolumeIsEightM) {
+  CommModelInput in = weak_scaled(4);
+  const CommModelOutput out = comm_model_1d(in);
+  EXPECT_DOUBLE_EQ(out.volume_bytes, 8.0 * static_cast<double>(in.m));
+  EXPECT_DOUBLE_EQ(out.time_us, 8.0 * static_cast<double>(in.m) / 4.0 *
+                                    in.g_us_per_byte);
+}
+
+TEST(CommModels, TwoDFormulaHandComputed) {
+  CommModelInput in;
+  in.p = 16;  // sqrt(p) = 4, log2 = 2
+  in.nt = 1000;
+  in.n = 100000;
+  in.s_backward = 5;
+  in.g_us_per_byte = 1.0;
+  const CommModelOutput out = comm_model_2d(in);
+  EXPECT_DOUBLE_EQ(out.volume_bytes,
+                   8.0 * 1000 * 4 * 2 + 2.0 * 100000 * 5 * 4 * 2 / 8.0);
+  EXPECT_DOUBLE_EQ(out.time_us, (4.0 * 1000 + 100000 * 5 / 8.0) * (2.0 / 4.0));
+}
+
+TEST(CommModels, DelegatesFormulaHandComputed) {
+  CommModelInput in;
+  in.p = 8;
+  in.p_rank = 4;  // log2 = 2
+  in.d = 1024;
+  in.s_delegate = 3;
+  in.enn = 5000;
+  in.g_us_per_byte = 1.0;
+  const CommModelOutput out = comm_model_delegates(in);
+  EXPECT_DOUBLE_EQ(out.volume_bytes, 1024.0 * 4 / 4 * 3 + 4.0 * 5000);
+  EXPECT_DOUBLE_EQ(out.time_us, 1024.0 * 2 / 4 * 3 + 4.0 * 5000 / 8);
+}
+
+TEST(CommModels, WeakScalingGrowthRates) {
+  // The paper's core scalability claim: under weak scaling the 2D model's
+  // per-processor communication time grows ~sqrt(p), while the delegate
+  // model grows ~log(p_rank).
+  const double t2d_4 = comm_model_2d(weak_scaled(4)).time_us;
+  const double t2d_64 = comm_model_2d(weak_scaled(64)).time_us;
+  const double tdel_4 = comm_model_delegates(weak_scaled(4)).time_us;
+  const double tdel_64 = comm_model_delegates(weak_scaled(64)).time_us;
+
+  const double growth_2d = t2d_64 / t2d_4;
+  const double growth_del = tdel_64 / tdel_4;
+  EXPECT_GT(growth_2d, 3.0);   // ~sqrt(16) with log factors
+  EXPECT_LT(growth_del, 3.0);  // logarithmic
+  EXPECT_GT(growth_2d, 1.5 * growth_del);
+}
+
+TEST(CommModels, DelegatesBeatOneDAtScale) {
+  const CommModelInput in = weak_scaled(64);
+  EXPECT_LT(comm_model_delegates(in).volume_bytes,
+            comm_model_1d(in).volume_bytes);
+}
+
+TEST(CommModels, SingleProcessorDegenerates) {
+  CommModelInput in = weak_scaled(1);
+  in.p_rank = 1;
+  const CommModelOutput del = comm_model_delegates(in);
+  // log(1) = 0: only the nn term remains.
+  EXPECT_DOUBLE_EQ(del.time_us,
+                   4.0 * static_cast<double>(in.enn) * in.g_us_per_byte);
+}
+
+}  // namespace
+}  // namespace dsbfs::baseline

@@ -1,0 +1,110 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace dsbfs::graph {
+namespace {
+
+TEST(Csr, FromEdgesBasic) {
+  // rows: 0->{1,2}, 1->{}, 2->{0}
+  const std::vector<std::uint64_t> rows{0, 0, 2};
+  const std::vector<std::uint32_t> cols{1, 2, 0};
+  const auto csr = Csr<std::uint32_t, std::uint32_t>::from_edges(3, cols, rows);
+  EXPECT_EQ(csr.num_rows(), 3u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.row_length(0), 2u);
+  EXPECT_EQ(csr.row_length(1), 0u);
+  EXPECT_EQ(csr.row_length(2), 1u);
+  EXPECT_EQ(csr.row(0)[0], 1u);
+  EXPECT_EQ(csr.row(0)[1], 2u);
+  EXPECT_EQ(csr.row(2)[0], 0u);
+}
+
+TEST(Csr, PreservesInputOrderWithinRow) {
+  const std::vector<std::uint64_t> rows{1, 0, 1, 1};
+  const std::vector<std::uint32_t> cols{9, 5, 7, 8};
+  const auto csr = Csr<std::uint32_t, std::uint32_t>::from_edges(2, cols, rows);
+  const auto r1 = csr.row(1);
+  EXPECT_EQ(r1[0], 9u);
+  EXPECT_EQ(r1[1], 7u);
+  EXPECT_EQ(r1[2], 8u);
+}
+
+TEST(Csr, EmptyGraph) {
+  const auto csr = Csr<std::uint32_t, std::uint32_t>::from_edges(0, {}, {});
+  EXPECT_EQ(csr.num_rows(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(Csr, RowsWithNoEdgesAtEnds) {
+  const std::vector<std::uint64_t> rows{2};
+  const std::vector<std::uint32_t> cols{1};
+  const auto csr = Csr<std::uint32_t, std::uint32_t>::from_edges(5, cols, rows);
+  EXPECT_EQ(csr.row_length(0), 0u);
+  EXPECT_EQ(csr.row_length(2), 1u);
+  EXPECT_EQ(csr.row_length(4), 0u);
+}
+
+TEST(Csr, MismatchedArraysThrow) {
+  const std::vector<std::uint64_t> rows{0, 1};
+  const std::vector<std::uint32_t> cols{1};
+  EXPECT_THROW(
+      (Csr<std::uint32_t, std::uint32_t>::from_edges(2, cols, rows)),
+      std::invalid_argument);
+}
+
+TEST(Csr, StorageBytesAccounting) {
+  // 32-bit cols/offsets: (rows+1)*4 + edges*4.
+  const std::vector<std::uint64_t> rows{0, 1, 2};
+  const std::vector<std::uint32_t> cols{1, 2, 0};
+  const auto csr = Csr<std::uint32_t, std::uint32_t>::from_edges(3, cols, rows);
+  EXPECT_EQ(csr.storage_bytes(), 4u * 4 + 3u * 4);
+
+  // 64-bit columns (the nn subgraph): edges cost 8 bytes.
+  const std::vector<VertexId> cols64{1, 2, 0};
+  const auto csr64 = Csr<VertexId, std::uint32_t>::from_edges(3, cols64, rows);
+  EXPECT_EQ(csr64.storage_bytes(), 4u * 4 + 3u * 8);
+}
+
+TEST(Csr, HostCsrFromEdgeList) {
+  EdgeList g;
+  g.num_vertices = 4;
+  g.add(2, 3);
+  g.add(0, 1);
+  g.add(0, 3);
+  const HostCsr csr = build_host_csr(g);
+  EXPECT_EQ(csr.num_rows(), 4u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.row_length(0), 2u);
+  const auto row0 = csr.row(0);
+  EXPECT_EQ(row0[0], 1u);
+  EXPECT_EQ(row0[1], 3u);
+  EXPECT_EQ(csr.row(2)[0], 3u);
+}
+
+TEST(Csr, LargeRandomAgainstNaive) {
+  util::SequentialRng rng(77);
+  const std::size_t n = 500, m = 5000;
+  std::vector<std::uint64_t> rows(m);
+  std::vector<std::uint32_t> cols(m);
+  std::vector<std::vector<std::uint32_t>> naive(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    rows[i] = rng.below(n);
+    cols[i] = static_cast<std::uint32_t>(rng.below(n));
+    naive[rows[i]].push_back(cols[i]);
+  }
+  const auto csr = Csr<std::uint32_t, std::uint32_t>::from_edges(n, cols, rows);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = csr.row(r);
+    ASSERT_EQ(row.size(), naive[r].size());
+    for (std::size_t j = 0; j < row.size(); ++j) EXPECT_EQ(row[j], naive[r][j]);
+  }
+}
+
+}  // namespace
+}  // namespace dsbfs::graph

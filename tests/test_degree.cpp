@@ -1,0 +1,91 @@
+#include "graph/degree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+
+namespace dsbfs::graph {
+namespace {
+
+TEST(Delegates, ThresholdIsStrict) {
+  // "vertices with out-degree larger than TH" -- degree == TH stays normal.
+  const std::vector<std::uint32_t> degrees{0, 5, 6, 7};
+  const DelegateInfo info = DelegateInfo::select(degrees, 6);
+  EXPECT_EQ(info.count(), 1u);
+  EXPECT_EQ(info.vertex_of(0), 3u);
+  EXPECT_FALSE(info.is_delegate(2));
+  EXPECT_TRUE(info.is_delegate(3));
+}
+
+TEST(Delegates, IdsAscendByVertexId) {
+  // Paper Fig. 2: vertex 7 -> delegate 0, vertex 8 -> delegate 1.
+  const std::vector<std::uint32_t> degrees{1, 9, 1, 9, 9};
+  const DelegateInfo info = DelegateInfo::select(degrees, 5);
+  ASSERT_EQ(info.count(), 3u);
+  EXPECT_EQ(info.vertex_of(0), 1u);
+  EXPECT_EQ(info.vertex_of(1), 3u);
+  EXPECT_EQ(info.vertex_of(2), 4u);
+  EXPECT_EQ(info.delegate_id(1), 0u);
+  EXPECT_EQ(info.delegate_id(3), 1u);
+  EXPECT_EQ(info.delegate_id(4), 2u);
+}
+
+TEST(Delegates, LookupMissReturnsInvalid) {
+  const std::vector<std::uint32_t> degrees{1, 9, 1};
+  const DelegateInfo info = DelegateInfo::select(degrees, 5);
+  EXPECT_EQ(info.delegate_id(0), kInvalidLocal);
+  EXPECT_EQ(info.delegate_id(2), kInvalidLocal);
+  EXPECT_FALSE(info.is_delegate(0));
+}
+
+TEST(Delegates, EmptyWhenThresholdHigh) {
+  const std::vector<std::uint32_t> degrees{3, 4, 5};
+  const DelegateInfo info = DelegateInfo::select(degrees, 100);
+  EXPECT_EQ(info.count(), 0u);
+}
+
+TEST(Delegates, AllWhenThresholdZeroAndDegreesPositive) {
+  const std::vector<std::uint32_t> degrees{1, 2, 3};
+  const DelegateInfo info = DelegateInfo::select(degrees, 0);
+  EXPECT_EQ(info.count(), 3u);
+}
+
+TEST(Delegates, StarGraphCenterOnly) {
+  const EdgeList g = star_graph(64);
+  const auto degrees = out_degrees(g);
+  const DelegateInfo info = DelegateInfo::select(degrees, 8);
+  ASSERT_EQ(info.count(), 1u);
+  EXPECT_EQ(info.vertex_of(0), 0u);
+}
+
+TEST(Delegates, CountDecreasesWithThreshold) {
+  const EdgeList g = erdos_renyi(1 << 12, 1 << 15, 7);
+  const auto degrees = out_degrees(make_symmetric(g));
+  std::size_t prev = degrees.size() + 1;
+  for (const std::uint32_t th : {0u, 4u, 8u, 16u, 32u, 64u}) {
+    const std::size_t count = DelegateInfo::select(degrees, th).count();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(Delegates, PaperFigure2WorkedExample) {
+  // The example graph of Fig. 2: 11 vertices (0..10); vertices 7 and 8 have
+  // out-degree > 5 and become delegates 0 and 1.
+  EdgeList g;
+  g.num_vertices = 11;
+  // Vertex 7 neighbors: 0,1,2,3,4,5 (degree 6); vertex 8: 4,5,6,9,10,3 (6).
+  for (const VertexId v : {0, 1, 2, 3, 4, 5}) g.add(7, v);
+  for (const VertexId v : {4, 5, 6, 9, 10, 3}) g.add(8, v);
+  g.add(0, 1);
+  const EdgeList s = make_symmetric(g);
+  const auto degrees = out_degrees(s);
+  const DelegateInfo info = DelegateInfo::select(degrees, 5);
+  ASSERT_EQ(info.count(), 2u);
+  EXPECT_EQ(info.delegate_id(7), 0u);
+  EXPECT_EQ(info.delegate_id(8), 1u);
+}
+
+}  // namespace
+}  // namespace dsbfs::graph

@@ -1,0 +1,83 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dsbfs::sim {
+namespace {
+
+TEST(Device, TracksAllocations) {
+  Device d(0, DeviceMemoryConfig{});
+  d.allocate("graph", 1000);
+  d.allocate("masks", 500);
+  EXPECT_EQ(d.allocated_bytes(), 1500u);
+  EXPECT_EQ(d.peak_bytes(), 1500u);
+}
+
+TEST(Device, ReleaseByLabel) {
+  Device d(0, DeviceMemoryConfig{});
+  d.allocate("a", 100);
+  d.allocate("b", 200);
+  d.release("a");
+  EXPECT_EQ(d.allocated_bytes(), 200u);
+  EXPECT_EQ(d.peak_bytes(), 300u);  // peak survives release
+}
+
+TEST(Device, ReleaseUnknownLabelIsNoop) {
+  Device d(0, DeviceMemoryConfig{});
+  d.allocate("a", 100);
+  d.release("missing");
+  EXPECT_EQ(d.allocated_bytes(), 100u);
+}
+
+TEST(Device, LabelAccumulates) {
+  Device d(0, DeviceMemoryConfig{});
+  d.allocate("x", 10);
+  d.allocate("x", 20);
+  EXPECT_EQ(d.allocations().at("x"), 30u);
+  d.release("x");
+  EXPECT_EQ(d.allocated_bytes(), 0u);
+}
+
+TEST(Device, SoftModeRecordsOverCapacity) {
+  DeviceMemoryConfig cfg;
+  cfg.capacity_bytes = 100;
+  cfg.enforce = false;
+  Device d(1, cfg);
+  d.allocate("big", 150);
+  EXPECT_TRUE(d.over_capacity());
+  EXPECT_EQ(d.capacity_bytes(), 100u);
+}
+
+TEST(Device, EnforcedModeThrows) {
+  DeviceMemoryConfig cfg;
+  cfg.capacity_bytes = 100;
+  cfg.enforce = true;
+  Device d(2, cfg);
+  d.allocate("ok", 60);
+  EXPECT_THROW(d.allocate("too-much", 60), DeviceOutOfMemory);
+}
+
+TEST(Device, DefaultCapacityIsP100SixteenGb) {
+  Device d(0, DeviceMemoryConfig{});
+  EXPECT_EQ(d.capacity_bytes(), 16ULL << 30);
+}
+
+TEST(Device, ConcurrentAllocationAccounting) {
+  Device d(0, DeviceMemoryConfig{});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&d, t] {
+      for (int i = 0; i < 1000; ++i) {
+        d.allocate("t" + std::to_string(t), 8);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(d.allocated_bytes(), 8u * 1000 * 8);
+}
+
+}  // namespace
+}  // namespace dsbfs::sim

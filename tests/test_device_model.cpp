@@ -1,0 +1,68 @@
+#include "sim/device_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsbfs::sim {
+namespace {
+
+TEST(DeviceModel, LaunchOverheadAlwaysPaid) {
+  DeviceModel m;
+  const double empty = m.kernel_us(KernelClass::kPrevisit, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(empty, m.config().launch_overhead_us);
+}
+
+TEST(DeviceModel, MonotonicInWork) {
+  DeviceModel m;
+  double prev = 0;
+  for (std::uint64_t edges = 0; edges < 1 << 20; edges = edges * 2 + 1) {
+    const double t = m.kernel_us(KernelClass::kForwardDynamic, edges, 100, 0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DeviceModel, MergeBeatsDynamicPerEdge) {
+  // dd visits use merge-based load balancing: better effective edge rate.
+  DeviceModel m;
+  const double merge = m.kernel_us(KernelClass::kForwardMerge, 1 << 20, 0, 0);
+  const double dyn = m.kernel_us(KernelClass::kForwardDynamic, 1 << 20, 0, 0);
+  EXPECT_LT(merge, dyn);
+}
+
+TEST(DeviceModel, BackwardCheaperThanForwardPerEdge) {
+  DeviceModel m;
+  const double back = m.kernel_us(KernelClass::kBackwardPull, 1 << 20, 0, 0);
+  const double fwd = m.kernel_us(KernelClass::kForwardDynamic, 1 << 20, 0, 0);
+  EXPECT_LT(back, fwd);
+}
+
+TEST(DeviceModel, CalibrationInP100Ballpark) {
+  // A P100-class GPU sustains a few billion edge-touches per second; the
+  // model should land between 1 and 10 Gedges/s for large forward kernels.
+  DeviceModel m;
+  const std::uint64_t edges = 1ULL << 28;
+  const double us = m.kernel_us(KernelClass::kForwardDynamic, edges, 0, 0);
+  const double gedges_per_s = static_cast<double>(edges) / us / 1e3;
+  EXPECT_GT(gedges_per_s, 1.0);
+  EXPECT_LT(gedges_per_s, 10.0);
+}
+
+TEST(DeviceModel, ByteCostsApplyToMaskOps) {
+  DeviceModel m;
+  const double small = m.kernel_us(KernelClass::kMaskOp, 0, 0, 1 << 10);
+  const double large = m.kernel_us(KernelClass::kMaskOp, 0, 0, 1 << 24);
+  EXPECT_GT(large, small);
+  // ~90 GB/s effective: 16 MB should take roughly 150-350 us.
+  EXPECT_GT(large, 100.0);
+  EXPECT_LT(large, 500.0);
+}
+
+TEST(DeviceModel, ConfigOverridesRespected) {
+  DeviceModelConfig cfg;
+  cfg.launch_overhead_us = 100.0;
+  DeviceModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.kernel_us(KernelClass::kPrevisit, 0, 0, 0), 100.0);
+}
+
+}  // namespace
+}  // namespace dsbfs::sim

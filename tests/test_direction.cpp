@@ -1,0 +1,90 @@
+#include "core/direction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsbfs::core {
+namespace {
+
+TEST(BackwardWorkload, MatchesPaperFormula) {
+  // BV = |U| (q + s) / q.
+  EXPECT_DOUBLE_EQ(backward_workload(100, 10, 90), 100.0 * (10 + 90) / 10);
+  EXPECT_DOUBLE_EQ(backward_workload(1, 1, 0), 1.0);
+}
+
+TEST(BackwardWorkload, EmptyFrontierIsInfinite) {
+  EXPECT_TRUE(std::isinf(backward_workload(100, 0, 50)));
+}
+
+TEST(BackwardWorkload, ShrinksAsFrontierGrows) {
+  // More newly visited parents -> higher hit probability -> cheaper pull.
+  const double small_frontier = backward_workload(1000, 10, 990);
+  const double large_frontier = backward_workload(1000, 900, 100);
+  EXPECT_GT(small_frontier, large_frontier);
+}
+
+TEST(DirectionState, StartsForward) {
+  DirectionState s(DirectionFactors{0.5, 0.05});
+  EXPECT_FALSE(s.backward());
+}
+
+TEST(DirectionState, SwitchesToBackwardWhenForwardCostly) {
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  // FV > 0.5 * BV -> switch.
+  EXPECT_TRUE(s.update(/*fv=*/100.0, /*bv=*/100.0, true));
+  EXPECT_TRUE(s.backward());
+}
+
+TEST(DirectionState, StaysForwardWhenCheap) {
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  EXPECT_FALSE(s.update(10.0, 100.0, true));
+}
+
+TEST(DirectionState, SwitchesBackWithPositiveFactor1) {
+  DirectionState s(DirectionFactors{0.5, 0.05});
+  s.update(100.0, 100.0, true);  // -> backward
+  ASSERT_TRUE(s.backward());
+  // FV < 0.05 * BV -> back to forward.
+  EXPECT_FALSE(s.update(1.0, 1000.0, true));
+}
+
+TEST(DirectionState, NeverSwitchesBackWithZeroFactor1) {
+  // The paper's RMAT setting: once backward, stay backward.
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  s.update(100.0, 100.0, true);
+  EXPECT_TRUE(s.update(0.0, 1e9, true));
+  EXPECT_TRUE(s.backward());
+}
+
+TEST(DirectionState, TinyFactorSwitchesAlmostImmediately) {
+  // The nd subgraph's 1e-7 factor: any nonzero forward workload triggers
+  // the pull direction once BV is finite.
+  DirectionState s(DirectionFactors{1e-7, 0.0});
+  EXPECT_TRUE(s.update(1.0, 1000.0, true));
+}
+
+TEST(DirectionState, DisabledDoForcesForward) {
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  s.update(100.0, 1.0, true);  // would switch
+  ASSERT_TRUE(s.backward());
+  // With DO disabled the kernel must run forward regardless of state.
+  EXPECT_FALSE(s.update(1e9, 1.0, false));
+  EXPECT_FALSE(s.backward());
+}
+
+TEST(DirectionState, InfiniteBvKeepsForward) {
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  EXPECT_FALSE(s.update(1e12, backward_workload(10, 0, 10), true));
+}
+
+TEST(DirectionState, ResetRestoresForward) {
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  s.update(10.0, 1.0, true);
+  ASSERT_TRUE(s.backward());
+  s.reset();
+  EXPECT_FALSE(s.backward());
+}
+
+}  // namespace
+}  // namespace dsbfs::core

@@ -1,0 +1,103 @@
+#include "baseline/dobfs_single.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial_bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace dsbfs::baseline {
+namespace {
+
+using graph::build_host_csr;
+
+class DobfsGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(DobfsGraphs, MatchesSerialOnRmat) {
+  const graph::EdgeList g =
+      graph::rmat_graph500({.scale = 10, .seed = GetParam() * 7ULL + 1});
+  const auto csr = build_host_csr(g);
+  for (VertexId source = 1; source < 40; source += 13) {
+    if (csr.row_length(source) == 0) continue;
+    const auto expected = serial_bfs(csr, source);
+    const DobfsResult got = dobfs_single(csr, source);
+    EXPECT_EQ(got.distances, expected) << "source " << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DobfsGraphs, ::testing::Values(1, 2, 3));
+
+TEST(Dobfs, MatchesSerialOnNamedGraphs) {
+  for (const auto& g :
+       {graph::path_graph(64), graph::star_graph(64), graph::cycle_graph(33),
+        graph::grid_graph(8, 8), graph::binary_tree(63)}) {
+    const auto csr = build_host_csr(g);
+    EXPECT_EQ(dobfs_single(csr, 0).distances, serial_bfs(csr, 0));
+  }
+}
+
+TEST(Dobfs, SwitchesToBottomUpOnDenseGraphs) {
+  // RMAT's dense core should trigger the bottom-up phase.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 12, .seed = 5});
+  const auto csr = build_host_csr(g);
+  const DobfsResult r = dobfs_single(csr, 1);
+  EXPECT_GT(r.bottom_up_iterations, 0);
+  EXPECT_LE(r.bottom_up_iterations, r.iterations);
+}
+
+TEST(Dobfs, ReducesWorkloadOnScaleFreeGraphs) {
+  // The whole point of direction optimization (Section II-B): m' << m and
+  // far below the top-down workload.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 13, .seed = 6});
+  const auto csr = build_host_csr(g);
+  VertexId source = 0;
+  while (csr.row_length(source) == 0) ++source;
+  const std::uint64_t top_down = serial_bfs_workload(csr, source);
+  const DobfsResult r = dobfs_single(csr, source);
+  EXPECT_LT(r.edges_examined, top_down / 2);
+}
+
+TEST(Dobfs, StaysTopDownOnPathGraphs) {
+  // Long-diameter graphs keep tiny frontiers: apart from the tail (where
+  // the unexplored-edge pool shrinks below the alpha threshold), the whole
+  // traversal stays top-down (Section VI-D's long-tail observation).
+  const auto csr = build_host_csr(graph::path_graph(4096));
+  const DobfsResult r = dobfs_single(csr, 0);
+  EXPECT_LT(r.bottom_up_iterations, 32);
+  EXPECT_EQ(r.iterations, 4096);  // one per frontier, incl. the final empty
+  // With switching disabled entirely, behaviour is pure top-down.
+  DobfsParams no_switch;
+  no_switch.alpha = 1e-9;  // frontier_edges never exceed unexplored/alpha
+  const DobfsResult pure = dobfs_single(csr, 0, no_switch);
+  EXPECT_EQ(pure.bottom_up_iterations, 0);
+  EXPECT_EQ(pure.distances, r.distances);
+}
+
+TEST(Dobfs, UnreachableComponentUntouched) {
+  const auto csr = build_host_csr(graph::two_cliques(8));
+  const DobfsResult r = dobfs_single(csr, 0);
+  for (VertexId v = 8; v < 16; ++v) EXPECT_EQ(r.distances[v], kUnvisited);
+}
+
+TEST(Dobfs, AlphaControlsSwitching) {
+  // Beamer's rule: switch bottom-up when frontier_edges > unexplored/alpha;
+  // tiny alpha makes the threshold unreachable, huge alpha trips it at once.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 9});
+  const auto csr = build_host_csr(g);
+  VertexId source = 0;
+  while (csr.row_length(source) == 0) ++source;
+  DobfsParams params;
+  params.alpha = 1e-9;  // never switch
+  const DobfsResult never = dobfs_single(csr, source, params);
+  EXPECT_EQ(never.bottom_up_iterations, 0);
+  params.alpha = 1e9;  // switch immediately
+  params.beta = 1e9;   // and never switch back (n/beta ~ 0 > no frontier)
+  const DobfsResult always = dobfs_single(csr, source, params);
+  EXPECT_GT(always.bottom_up_iterations, never.bottom_up_iterations);
+  EXPECT_EQ(always.bottom_up_iterations, always.iterations);
+  // Both remain correct.
+  EXPECT_EQ(never.distances, always.distances);
+}
+
+}  // namespace
+}  // namespace dsbfs::baseline

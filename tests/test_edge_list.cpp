@@ -1,0 +1,116 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dsbfs::graph {
+namespace {
+
+TEST(EdgeList, AddAndSize) {
+  EdgeList g;
+  g.num_vertices = 4;
+  g.add(0, 1);
+  g.add(1, 2);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_FALSE(g.empty());
+  EXPECT_EQ(g.storage_bytes(), 32u);  // 16 bytes per edge
+}
+
+TEST(EdgeList, MakeSymmetricDoublesEdges) {
+  EdgeList g;
+  g.num_vertices = 3;
+  g.add(0, 1);
+  g.add(1, 2);
+  const EdgeList s = make_symmetric(g);
+  EXPECT_EQ(s.size(), 4u);
+  std::multiset<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t i = 0; i < s.size(); ++i) edges.insert({s.src[i], s.dst[i]});
+  EXPECT_EQ(edges.count({0, 1}), 1u);
+  EXPECT_EQ(edges.count({1, 0}), 1u);
+  EXPECT_EQ(edges.count({1, 2}), 1u);
+  EXPECT_EQ(edges.count({2, 1}), 1u);
+}
+
+TEST(EdgeList, MakeSymmetricPreservesSelfLoops) {
+  EdgeList g;
+  g.num_vertices = 2;
+  g.add(1, 1);
+  const EdgeList s = make_symmetric(g);
+  EXPECT_EQ(s.size(), 2u);  // self loop doubled (as Graph500 generators do)
+  EXPECT_EQ(s.src[0], 1u);
+  EXPECT_EQ(s.dst[0], 1u);
+}
+
+TEST(EdgeList, SymmetricGraphHasSymmetricDegrees) {
+  EdgeList g;
+  g.num_vertices = 5;
+  g.add(0, 1);
+  g.add(0, 2);
+  g.add(3, 4);
+  const EdgeList s = make_symmetric(g);
+  const auto deg = out_degrees(s);
+  // In a symmetric graph out-degree == in-degree.
+  EXPECT_EQ(deg[0], 2u);
+  EXPECT_EQ(deg[1], 1u);
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(deg[3], 1u);
+  EXPECT_EQ(deg[4], 1u);
+}
+
+TEST(EdgeList, PermuteRelabelsConsistently) {
+  EdgeList g;
+  g.num_vertices = 8;
+  g.add(0, 1);
+  g.add(1, 2);
+  g.add(2, 0);
+  const util::VertexPermutation perm(3, 42);
+  EdgeList h = g;
+  permute_vertices(h, perm);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(h.src[i], perm(g.src[i]));
+    EXPECT_EQ(h.dst[i], perm(g.dst[i]));
+  }
+}
+
+TEST(EdgeList, PermutePreservesDegreeMultiset) {
+  EdgeList g;
+  g.num_vertices = 16;
+  for (VertexId v = 1; v < 16; ++v) g.add(0, v);  // star: degree 15 + zeros
+  const util::VertexPermutation perm(4, 9);
+  EdgeList h = g;
+  permute_vertices(h, perm);
+  auto dg = out_degrees(g);
+  auto dh = out_degrees(h);
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}
+
+TEST(EdgeList, PermuteRejectsSmallDomain) {
+  EdgeList g;
+  g.num_vertices = 100;
+  const util::VertexPermutation perm(4, 1);  // domain 16 < 100
+  EXPECT_THROW(permute_vertices(g, perm), std::invalid_argument);
+}
+
+TEST(EdgeList, OutDegreesEmptyGraph) {
+  EdgeList g;
+  g.num_vertices = 3;
+  const auto deg = out_degrees(g);
+  EXPECT_EQ(deg, (std::vector<std::uint32_t>{0, 0, 0}));
+  EXPECT_EQ(count_zero_degree(deg), 3u);
+}
+
+TEST(EdgeList, CountZeroDegree) {
+  EdgeList g;
+  g.num_vertices = 4;
+  g.add(0, 1);
+  g.add(1, 0);
+  const auto deg = out_degrees(g);
+  EXPECT_EQ(count_zero_degree(deg), 2u);  // vertices 2 and 3
+}
+
+}  // namespace
+}  // namespace dsbfs::graph

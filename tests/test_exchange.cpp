@@ -1,0 +1,341 @@
+#include "comm/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace dsbfs::comm {
+namespace {
+
+struct ExchangeSetup {
+  sim::ClusterSpec spec;
+  ExchangeOptions options;
+};
+
+/// Run one collective exchange where GPU g sends value (g*1000 + dest) to
+/// every destination GPU `dest`, and return everyone's received vectors.
+std::vector<std::vector<LocalId>> run_exchange(
+    const ExchangeSetup& setup, std::vector<ExchangeCounters>* counters_out,
+    int duplicates = 1) {
+  const int p = setup.spec.total_gpus();
+  Transport t(setup.spec);
+  NormalExchange ex(t, setup.spec);
+  std::vector<std::vector<LocalId>> received(static_cast<std::size_t>(p));
+  std::vector<ExchangeCounters> counters(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<LocalId>> bins(static_cast<std::size_t>(p));
+      for (int dest = 0; dest < p; ++dest) {
+        for (int dup = 0; dup < duplicates; ++dup) {
+          bins[static_cast<std::size_t>(dest)].push_back(
+              static_cast<LocalId>(g * 1000 + dest));
+        }
+      }
+      received[static_cast<std::size_t>(g)] =
+          ex.exchange(setup.spec.coord_of(g), bins, /*iteration=*/0,
+                      setup.options, counters[static_cast<std::size_t>(g)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (counters_out != nullptr) *counters_out = std::move(counters);
+  return received;
+}
+
+void expect_correct_delivery(const sim::ClusterSpec& spec,
+                             std::vector<std::vector<LocalId>> received,
+                             int copies = 1) {
+  const int p = spec.total_gpus();
+  for (int g = 0; g < p; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    std::sort(r.begin(), r.end());
+    std::vector<LocalId> expected;
+    for (int sender = 0; sender < p; ++sender) {
+      for (int c = 0; c < copies; ++c) {
+        expected.push_back(static_cast<LocalId>(sender * 1000 + g));
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(r, expected) << "gpu " << g;
+  }
+}
+
+struct NamedCase {
+  const char* name;
+  int ranks, gpus;
+  bool local_all2all, uniquify;
+};
+
+class ExchangePatterns : public ::testing::TestWithParam<NamedCase> {};
+
+TEST_P(ExchangePatterns, EveryIdReachesItsOwner) {
+  const NamedCase c = GetParam();
+  ExchangeSetup setup;
+  setup.spec.num_ranks = c.ranks;
+  setup.spec.gpus_per_rank = c.gpus;
+  setup.options = {c.local_all2all, c.uniquify};
+  auto received = run_exchange(setup, nullptr);
+  expect_correct_delivery(setup.spec, std::move(received));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ExchangePatterns,
+    ::testing::Values(NamedCase{"direct_1x1", 1, 1, false, false},
+                      NamedCase{"direct_1x4", 1, 4, false, false},
+                      NamedCase{"direct_4x1", 4, 1, false, false},
+                      NamedCase{"direct_2x2", 2, 2, false, false},
+                      NamedCase{"direct_3x3", 3, 3, false, false},
+                      NamedCase{"l_2x2", 2, 2, true, false},
+                      NamedCase{"l_4x2", 4, 2, true, false},
+                      NamedCase{"l_3x3", 3, 3, true, false},
+                      NamedCase{"lu_2x2", 2, 2, true, true},
+                      NamedCase{"lu_4x4", 4, 4, true, true},
+                      NamedCase{"u_only_2x2", 2, 2, false, true}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Exchange, UniquifyRemovesDuplicates) {
+  ExchangeSetup setup;
+  setup.spec.num_ranks = 2;
+  setup.spec.gpus_per_rank = 2;
+  setup.options = {true, true};
+  std::vector<ExchangeCounters> counters;
+  auto received = run_exchange(setup, &counters, /*duplicates=*/3);
+  // Remote bins deduplicate to one copy; the local loopback bin and
+  // same-rank traffic keep duplicates (uniquify targets remote sends).
+  const int p = setup.spec.total_gpus();
+  std::uint64_t removed = 0;
+  for (const auto& c : counters) removed += c.duplicates_removed;
+  // Each GPU sends to 1 remote rank after L (2 ranks total): that column
+  // bin had 2 senders' worth with 3 copies each -> duplicates exist.
+  EXPECT_GT(removed, 0u);
+  for (int g = 0; g < p; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    // After dedup, each remote sender's id appears once; local copies stay.
+    std::sort(r.begin(), r.end());
+    EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+  }
+}
+
+TEST(Exchange, NoUniquifyKeepsDuplicates) {
+  ExchangeSetup setup;
+  setup.spec.num_ranks = 2;
+  setup.spec.gpus_per_rank = 1;
+  setup.options = {false, false};
+  auto received = run_exchange(setup, nullptr, /*duplicates=*/2);
+  expect_correct_delivery(setup.spec, std::move(received), /*copies=*/2);
+}
+
+TEST(Exchange, LocalAll2AllEliminatesCrossColumnRemotePairs) {
+  // With L, remote messages only connect GPUs with equal local index:
+  // message count per iteration drops from p*(p-pgpu) to pgpu*prank*(prank-1)
+  // (p^2 -> p^2/pgpu scaling, Section V-B).
+  ExchangeSetup direct;
+  direct.spec.num_ranks = 4;
+  direct.spec.gpus_per_rank = 4;
+  direct.options = {false, false};
+
+  ExchangeSetup with_l = direct;
+  with_l.options = {true, false};
+
+  Transport td(direct.spec);
+  {
+    NormalExchange ex(td, direct.spec);
+    std::vector<std::thread> threads;
+    for (int g = 0; g < direct.spec.total_gpus(); ++g) {
+      threads.emplace_back([&, g] {
+        std::vector<std::vector<LocalId>> bins(
+            static_cast<std::size_t>(direct.spec.total_gpus()));
+        for (auto& b : bins) b.push_back(1);
+        ExchangeCounters c;
+        ex.exchange(direct.spec.coord_of(g), bins, 0, direct.options, c);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  Transport tl(with_l.spec);
+  {
+    NormalExchange ex(tl, with_l.spec);
+    std::vector<std::thread> threads;
+    for (int g = 0; g < with_l.spec.total_gpus(); ++g) {
+      threads.emplace_back([&, g] {
+        std::vector<std::vector<LocalId>> bins(
+            static_cast<std::size_t>(with_l.spec.total_gpus()));
+        for (auto& b : bins) b.push_back(1);
+        ExchangeCounters c;
+        ex.exchange(with_l.spec.coord_of(g), bins, 0, with_l.options, c);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  // Count cross-rank messages: direct = p * (p - pgpu) = 16*12 = 192;
+  // with L = p * (prank - 1) = 16*3 = 48.
+  // (Transport counts all messages; same-rank ones differ too, but the
+  // cross-rank byte counter isolates the remote pattern.)
+  EXPECT_GT(td.bytes_cross_rank(), tl.bytes_cross_rank() * 2);
+}
+
+TEST(Exchange, CountersTrackRemoteBytes) {
+  ExchangeSetup setup;
+  setup.spec.num_ranks = 2;
+  setup.spec.gpus_per_rank = 1;
+  setup.options = {false, false};
+  std::vector<ExchangeCounters> counters;
+  run_exchange(setup, &counters);
+  // GPU 0 sends exactly one id (4 bytes) to GPU 1 (other rank) and vice
+  // versa.
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.send_bytes_remote, 4u);
+    EXPECT_EQ(c.recv_bytes_remote, 4u);
+    EXPECT_EQ(c.send_dest_ranks, 1);
+    EXPECT_EQ(c.bin_vertices, 2u);  // one per destination (incl. loopback)
+  }
+}
+
+TEST(Exchange, LoopbackOnlySingleGpu) {
+  ExchangeSetup setup;
+  setup.spec.num_ranks = 1;
+  setup.spec.gpus_per_rank = 1;
+  setup.options = {false, false};
+  std::vector<ExchangeCounters> counters;
+  auto received = run_exchange(setup, &counters);
+  ASSERT_EQ(received[0].size(), 1u);
+  EXPECT_EQ(received[0][0], 0u);  // 0*1000 + 0
+  EXPECT_EQ(counters[0].send_bytes_remote, 0u);
+}
+
+TEST(Exchange, EmptyBinsStillCompleteCollectively) {
+  ExchangeSetup setup;
+  setup.spec.num_ranks = 3;
+  setup.spec.gpus_per_rank = 2;
+  const int p = setup.spec.total_gpus();
+  Transport t(setup.spec);
+  NormalExchange ex(t, setup.spec);
+  std::vector<std::thread> threads;
+  std::atomic<int> completed{0};
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<LocalId>> bins(static_cast<std::size_t>(p));
+      ExchangeCounters c;
+      const auto r = ex.exchange(setup.spec.coord_of(g), bins, 0,
+                                 {true, true}, c);
+      EXPECT_TRUE(r.empty());
+      completed.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completed.load(), p);
+}
+
+TEST(UpdateExchange, PairsReachOwners) {
+  // The (id, value) exchange behind CC labels and PageRank contributions.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  const int p = spec.total_gpus();
+  Transport t(spec);
+  std::vector<std::vector<VertexUpdate>> received(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<VertexUpdate>> bins(static_cast<std::size_t>(p));
+      for (int dest = 0; dest < p; ++dest) {
+        bins[static_cast<std::size_t>(dest)].push_back(VertexUpdate{
+            static_cast<LocalId>(dest),
+            static_cast<std::uint64_t>(g) << 32 | 0xabcdu});
+      }
+      ExchangeCounters c;
+      received[static_cast<std::size_t>(g)] =
+          exchange_updates(t, spec, spec.coord_of(g), bins, 0, c);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int g = 0; g < p; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    ASSERT_EQ(r.size(), static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> senders;
+    for (const VertexUpdate& u : r) {
+      EXPECT_EQ(u.vertex, static_cast<LocalId>(g));
+      EXPECT_EQ(u.value & 0xffffffffu, 0xabcdu);
+      senders.push_back(u.value >> 32);
+    }
+    std::sort(senders.begin(), senders.end());
+    for (int sndr = 0; sndr < p; ++sndr) {
+      EXPECT_EQ(senders[static_cast<std::size_t>(sndr)],
+                static_cast<std::uint64_t>(sndr));
+    }
+  }
+}
+
+TEST(UpdateExchange, CountersUseTwelveBytesPerUpdate) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  Transport t(spec);
+  std::vector<ExchangeCounters> counters(2);
+  std::vector<std::thread> threads;
+  for (int g = 0; g < 2; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<VertexUpdate>> bins(2);
+      bins[static_cast<std::size_t>(1 - g)].assign(10, VertexUpdate{1, 2});
+      exchange_updates(t, spec, spec.coord_of(g), bins, 0,
+                       counters[static_cast<std::size_t>(g)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.send_bytes_remote, 120u);  // 10 updates x 12 bytes
+    EXPECT_EQ(c.recv_bytes_remote, 120u);
+    EXPECT_EQ(c.send_dest_ranks, 1);
+  }
+}
+
+TEST(UpdateExchange, EmptyBinsComplete) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 3;
+  spec.gpus_per_rank = 1;
+  Transport t(spec);
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int g = 0; g < 3; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<VertexUpdate>> bins(3);
+      ExchangeCounters c;
+      EXPECT_TRUE(
+          exchange_updates(t, spec, spec.coord_of(g), bins, 0, c).empty());
+      done.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(Exchange, OddIdValuesSurvivePacking) {
+  // The 2-ids-per-word packing must handle odd counts and large id values.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  Transport t(spec);
+  NormalExchange ex(t, spec);
+  std::vector<std::vector<LocalId>> received(2);
+  std::vector<std::thread> threads;
+  for (int g = 0; g < 2; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<LocalId>> bins(2);
+      if (g == 0) {
+        bins[1] = {0xffffffffu, 1u, 0x80000000u};  // odd count, extreme values
+      }
+      ExchangeCounters c;
+      received[static_cast<std::size_t>(g)] =
+          ex.exchange(spec.coord_of(g), bins, 0, {}, c);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(received[1],
+            (std::vector<LocalId>{0xffffffffu, 1u, 0x80000000u}));
+}
+
+}  // namespace
+}  // namespace dsbfs::comm

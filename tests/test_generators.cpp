@@ -1,0 +1,176 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/serial_bfs.hpp"
+#include "graph/csr.hpp"
+
+namespace dsbfs::graph {
+namespace {
+
+TEST(SmallGraphs, PathShape) {
+  const EdgeList g = path_graph(5);
+  EXPECT_EQ(g.num_vertices, 5u);
+  EXPECT_EQ(g.size(), 8u);  // 4 undirected edges doubled
+  const auto deg = out_degrees(g);
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[2], 2u);
+  EXPECT_EQ(deg[4], 1u);
+}
+
+TEST(SmallGraphs, PathDistances) {
+  const EdgeList g = path_graph(6);
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 0);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(dist[v], static_cast<Depth>(v));
+  }
+}
+
+TEST(SmallGraphs, CycleDegreesAllTwo) {
+  const EdgeList g = cycle_graph(7);
+  for (const auto d : out_degrees(g)) EXPECT_EQ(d, 2u);
+}
+
+TEST(SmallGraphs, StarCenterDegree) {
+  const EdgeList g = star_graph(10);
+  const auto deg = out_degrees(g);
+  EXPECT_EQ(deg[0], 9u);
+  for (VertexId v = 1; v < 10; ++v) EXPECT_EQ(deg[v], 1u);
+}
+
+TEST(SmallGraphs, CompleteGraphAllPairs) {
+  const EdgeList g = complete_graph(5);
+  EXPECT_EQ(g.size(), 20u);  // 5*4 directed
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 2);
+  int at_one = 0;
+  for (VertexId v = 0; v < 5; ++v) {
+    if (dist[v] == 1) ++at_one;
+  }
+  EXPECT_EQ(at_one, 4);
+}
+
+TEST(SmallGraphs, GridDiameter) {
+  const EdgeList g = grid_graph(4, 3);
+  EXPECT_EQ(g.num_vertices, 12u);
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 0);
+  // Manhattan distance to opposite corner.
+  EXPECT_EQ(dist[11], 3 + 2);
+}
+
+TEST(SmallGraphs, BinaryTreeDepth) {
+  const EdgeList g = binary_tree(15);  // complete, 4 levels
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 0);
+  EXPECT_EQ(dist[14], 3);
+  EXPECT_EQ(*std::max_element(dist.begin(), dist.end()), 3);
+}
+
+TEST(SmallGraphs, TwoCliquesDisconnected) {
+  const EdgeList g = two_cliques(4);
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 0);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_NE(dist[v], kUnvisited);
+  for (VertexId v = 4; v < 8; ++v) EXPECT_EQ(dist[v], kUnvisited);
+}
+
+TEST(ErdosRenyi, SizeAndRange) {
+  const EdgeList g = erdos_renyi(100, 400, 3);
+  EXPECT_EQ(g.num_vertices, 100u);
+  EXPECT_EQ(g.size(), 800u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_LT(g.src[i], 100u);
+    EXPECT_LT(g.dst[i], 100u);
+  }
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const EdgeList a = erdos_renyi(50, 100, 9);
+  const EdgeList b = erdos_renyi(50, 100, 9);
+  EXPECT_EQ(a.src, b.src);
+  const EdgeList c = erdos_renyi(50, 100, 10);
+  EXPECT_NE(a.src, c.src);
+}
+
+TEST(ChungLu, EdgeCountAndRange) {
+  ChungLuParams p;
+  p.num_vertices = 1 << 12;
+  p.num_edges = 1 << 15;
+  const EdgeList g = chung_lu(p);
+  EXPECT_EQ(g.size(), static_cast<std::size_t>(1 << 15));
+  for (std::size_t i = 0; i < g.size(); i += 97) {
+    EXPECT_LT(g.src[i], p.num_vertices);
+    EXPECT_LT(g.dst[i], p.num_vertices);
+  }
+}
+
+TEST(ChungLu, PowerLawSkew) {
+  ChungLuParams p;
+  p.num_vertices = 1 << 14;
+  p.num_edges = 1 << 18;
+  p.exponent = 2.2;
+  const EdgeList g = chung_lu(p);
+  auto deg = out_degrees(g);
+  std::sort(deg.begin(), deg.end(), std::greater<>());
+  std::uint64_t top = 0, total = 0;
+  for (std::size_t i = 0; i < deg.size(); ++i) {
+    total += deg[i];
+    if (i < deg.size() / 100) top += deg[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.25);
+}
+
+TEST(ChungLu, IsolatedFractionRespected) {
+  ChungLuParams p;
+  p.num_vertices = 1 << 14;
+  p.num_edges = 1 << 17;
+  p.isolated_fraction = 0.5;
+  const EdgeList g = make_symmetric(chung_lu(p));
+  const auto deg = out_degrees(g);
+  const double isolated = static_cast<double>(count_zero_degree(deg)) /
+                          static_cast<double>(p.num_vertices);
+  // At least the excluded half is isolated (plus unlucky actives).
+  EXPECT_GT(isolated, 0.45);
+  EXPECT_LT(isolated, 0.75);
+}
+
+TEST(FriendsterLike, MatchesPaperShape) {
+  // Section VI-D: about half the vertices isolated; dense scale-free core.
+  const EdgeList g = friendster_like({.scale = 14, .seed = 1});
+  const auto deg = out_degrees(g);
+  const double isolated = static_cast<double>(count_zero_degree(deg)) /
+                          static_cast<double>(g.num_vertices);
+  EXPECT_GT(isolated, 0.4);
+  EXPECT_LT(isolated, 0.75);
+  // Symmetric by construction.
+  std::uint64_t sum = 0;
+  for (const auto d : deg) sum += d;
+  EXPECT_EQ(sum, g.size());
+}
+
+TEST(WebGraphLike, LongDiameter) {
+  WebGraphLikeParams p;
+  p.chain_length = 50;
+  p.community_size = 64;
+  const EdgeList g = webgraph_like(p);
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 0);
+  Depth max_depth = 0;
+  for (const Depth d : dist) max_depth = std::max(max_depth, d);
+  // BFS must walk the community chain: depth at least ~chain length.
+  EXPECT_GE(max_depth, 49);
+}
+
+TEST(WebGraphLike, MostVerticesReachable) {
+  WebGraphLikeParams p;
+  p.chain_length = 10;
+  p.community_size = 128;
+  const EdgeList g = webgraph_like(p);
+  const auto dist = baseline::serial_bfs(build_host_csr(g), 0);
+  std::uint64_t reached = 0;
+  for (const Depth d : dist) reached += d != kUnvisited ? 1 : 0;
+  EXPECT_GT(static_cast<double>(reached) / static_cast<double>(g.num_vertices),
+            0.95);
+}
+
+}  // namespace
+}  // namespace dsbfs::graph

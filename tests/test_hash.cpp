@@ -1,0 +1,88 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+namespace dsbfs::util {
+namespace {
+
+TEST(Splitmix, Deterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Splitmix, AvalancheFlipsManyBits) {
+  // Adjacent inputs should differ in roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    total += std::popcount(splitmix64(x) ^ splitmix64(x + 1));
+  }
+  const double avg = total / 256.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+class PermutationBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationBits, IsBijectiveExhaustively) {
+  const int bits = GetParam();
+  VertexPermutation perm(bits, /*seed=*/7);
+  const std::uint64_t n = perm.domain_size();
+  std::vector<bool> hit(n, false);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const std::uint64_t y = perm(x);
+    ASSERT_LT(y, n);
+    ASSERT_FALSE(hit[y]) << "collision at " << x;
+    hit[y] = true;
+  }
+}
+
+TEST_P(PermutationBits, InverseRoundTrips) {
+  const int bits = GetParam();
+  VertexPermutation perm(bits, /*seed=*/99);
+  for (std::uint64_t x = 0; x < perm.domain_size(); ++x) {
+    EXPECT_EQ(perm.inverse(perm(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, PermutationBits,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 10, 12, 13));
+
+TEST(Permutation, LargeWidthSampledRoundTrip) {
+  VertexPermutation perm(33, /*seed=*/5);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t x = splitmix64(i) & ((1ULL << 33) - 1);
+    const std::uint64_t y = perm(x);
+    ASSERT_LT(y, perm.domain_size());
+    ASSERT_EQ(perm.inverse(y), x);
+  }
+}
+
+TEST(Permutation, SeedsProduceDifferentPermutations) {
+  VertexPermutation a(16, 1), b(16, 2);
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a(x) != b(x)) ++differing;
+  }
+  EXPECT_GT(differing, 900);
+}
+
+TEST(Permutation, ActuallyScrambles) {
+  // Identity-like permutations would defeat Graph500 randomization.
+  VertexPermutation perm(20, 3);
+  int fixed_points = 0;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    if (perm(x) == x) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 8);
+}
+
+}  // namespace
+}  // namespace dsbfs::util

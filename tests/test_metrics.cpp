@@ -1,0 +1,126 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace dsbfs::core {
+namespace {
+
+graph::DistributedGraph small_graph(sim::ClusterSpec spec) {
+  return graph::build_distributed(
+      graph::rmat_graph500({.scale = 9, .seed = 61}), spec, 16);
+}
+
+std::vector<std::vector<sim::GpuIterationCounters>> synthetic_histories(
+    int gpus, int iterations, bool delegate_on_even) {
+  std::vector<std::vector<sim::GpuIterationCounters>> h(
+      static_cast<std::size_t>(gpus));
+  for (int g = 0; g < gpus; ++g) {
+    for (int it = 0; it < iterations; ++it) {
+      sim::GpuIterationCounters c;
+      c.dd.edges = 100;
+      c.dd.launched = true;
+      c.nn.edges = 50;
+      c.nn.vertices = 10;
+      c.nn.launched = true;
+      c.bin_vertices = 10;
+      c.send_bytes_remote = 40;
+      c.local_all2all_bytes = 8;
+      c.delegate_update = delegate_on_even && (it % 2 == 0);
+      h[static_cast<std::size_t>(g)].push_back(c);
+    }
+  }
+  return h;
+}
+
+TEST(Metrics, AggregatesTotals) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  const auto dg = small_graph(spec);
+  const BfsOptions options;
+  auto m = assemble_metrics(dg, options, synthetic_histories(4, 6, true),
+                            /*measured_ms=*/10.0);
+  EXPECT_EQ(m.iterations, 6);
+  EXPECT_EQ(m.delegate_reduce_iterations, 3);  // even iterations only
+  EXPECT_EQ(m.edges_traversed, 4u * 6 * 150);
+  EXPECT_EQ(m.exchange_remote_bytes, 4u * 6 * 40);
+  EXPECT_EQ(m.exchange_local_bytes, 4u * 6 * 8);
+  EXPECT_EQ(m.teps_edges, dg.num_edges() / 2);
+  EXPECT_DOUBLE_EQ(m.measured_ms, 10.0);
+  EXPECT_GT(m.measured_gteps, 0.0);
+}
+
+TEST(Metrics, MaskVolumeUsesPaperFormula) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  const auto dg = small_graph(spec);
+  auto m = assemble_metrics(dg, {}, synthetic_histories(4, 4, true), 1.0);
+  const std::uint64_t d_bytes = (dg.num_delegates() + 7) / 8;
+  EXPECT_EQ(m.mask_reduce_bytes, 2 * d_bytes * 2 * 2);  // 2 ranks, S' = 2
+}
+
+TEST(Metrics, PerIterationTraceToggle) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 1;
+  spec.gpus_per_rank = 2;
+  const auto dg = small_graph(spec);
+  BfsOptions with_trace;
+  with_trace.collect_per_iteration = true;
+  auto m = assemble_metrics(dg, with_trace, synthetic_histories(2, 5, false),
+                            1.0);
+  EXPECT_EQ(m.per_iteration.size(), 5u);
+  BfsOptions without;
+  without.collect_per_iteration = false;
+  m = assemble_metrics(dg, without, synthetic_histories(2, 5, false), 1.0);
+  EXPECT_TRUE(m.per_iteration.empty());
+}
+
+TEST(Metrics, ModeledBreakdownPopulated) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const auto dg = small_graph(spec);
+  auto m = assemble_metrics(dg, {}, synthetic_histories(2, 8, true), 1.0);
+  EXPECT_GT(m.modeled_ms, 0.0);
+  EXPECT_GT(m.modeled_gteps, 0.0);
+  EXPECT_GT(m.modeled.computation_ms, 0.0);
+  EXPECT_GT(m.modeled.delegate_reduce_ms, 0.0);
+  EXPECT_DOUBLE_EQ(m.modeled.elapsed_ms, m.modeled_ms);
+}
+
+TEST(Metrics, CountersPreservedForReplay) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 1;
+  spec.gpus_per_rank = 2;
+  const auto dg = small_graph(spec);
+  BfsOptions options;
+  options.reduce_mode = comm::ReduceMode::kNonBlocking;
+  auto m = assemble_metrics(dg, options, synthetic_histories(2, 3, true), 1.0);
+  EXPECT_EQ(m.counters.iterations.size(), 3u);
+  EXPECT_EQ(m.counters.spec.total_gpus(), 2);
+  EXPECT_FALSE(m.counters.blocking_reduce);
+  EXPECT_EQ(m.counters.delegate_mask_bytes, (dg.num_delegates() + 7) / 8);
+  // A PerfModel replay of the preserved counters equals the stored result.
+  const sim::PerfModel model{sim::DeviceModel{options.device_model},
+                             sim::NetModel{options.net_model}};
+  const auto replayed = model.replay(m.counters);
+  EXPECT_DOUBLE_EQ(replayed.elapsed_ms, m.modeled_ms);
+}
+
+TEST(Metrics, EmptyHistoriesProduceZeroRun) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 1;
+  spec.gpus_per_rank = 1;
+  const auto dg = small_graph(spec);
+  std::vector<std::vector<sim::GpuIterationCounters>> empty(1);
+  auto m = assemble_metrics(dg, {}, std::move(empty), 0.5);
+  EXPECT_EQ(m.iterations, 0);
+  EXPECT_EQ(m.edges_traversed, 0u);
+}
+
+}  // namespace
+}  // namespace dsbfs::core

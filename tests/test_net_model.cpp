@@ -1,0 +1,99 @@
+#include "sim/net_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace dsbfs::sim {
+namespace {
+
+TEST(NetModel, NvlinkLatencyPlusBandwidth) {
+  NetModel m;
+  EXPECT_DOUBLE_EQ(m.nvlink_us(0), 0.0);
+  const double t = m.nvlink_us(40ULL << 30);  // 40 GB at 40 GB/s ~ 1 s
+  EXPECT_NEAR(t, 1e6 + m.config().nvlink_latency_us, 1e3);
+}
+
+TEST(NetModel, TreeRounds) {
+  EXPECT_EQ(NetModel::tree_rounds(1), 0);
+  EXPECT_EQ(NetModel::tree_rounds(2), 1);
+  EXPECT_EQ(NetModel::tree_rounds(3), 2);
+  EXPECT_EQ(NetModel::tree_rounds(4), 2);
+  EXPECT_EQ(NetModel::tree_rounds(5), 3);
+  EXPECT_EQ(NetModel::tree_rounds(62), 6);
+  EXPECT_EQ(NetModel::tree_rounds(64), 6);
+}
+
+TEST(NetModel, AllreduceScalesLogarithmically) {
+  NetModel m;
+  const std::uint64_t bytes = 1 << 20;
+  const double t4 = m.allreduce_us(bytes, 4);
+  const double t16 = m.allreduce_us(bytes, 16);
+  const double t64 = m.allreduce_us(bytes, 64);
+  // log2: 2, 4, 6 rounds -> ratios 2x and 1.5x.
+  EXPECT_NEAR(t16 / t4, 2.0, 1e-9);
+  EXPECT_NEAR(t64 / t16, 1.5, 1e-9);
+}
+
+TEST(NetModel, AllreduceTrivialCases) {
+  NetModel m;
+  EXPECT_DOUBLE_EQ(m.allreduce_us(100, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.allreduce_us(0, 8), 0.0);
+}
+
+TEST(NetModel, IallreduceSlowerThanAllreduce) {
+  // The paper's Fig. 8 observation: the fresh MPI_Iallreduce implementation
+  // is substantially slower per call than MPI_Allreduce.
+  NetModel m;
+  EXPECT_GT(m.iallreduce_us(1 << 20, 16), m.allreduce_us(1 << 20, 16));
+}
+
+TEST(NetModel, P2pMonotonicInSize) {
+  NetModel m;
+  double prev = 0;
+  for (std::uint64_t b = 1024; b <= (64ULL << 20); b *= 4) {
+    const double t = m.p2p_us(b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetModel, MessageSizeSweepHasInteriorOptimumNearFourMb) {
+  // Section VI-A: for 16 MB of data the best chunk size is ~4 MB --
+  // per-chunk overhead vs exposed staging trade-off.
+  NetModel m;
+  const std::uint64_t total = 16ULL << 20;
+  std::map<double, double> by_chunk;
+  double best_chunk = 0, best_time = 1e18;
+  for (double chunk = 128.0 * 1024; chunk <= 16.0 * 1024 * 1024; chunk *= 2) {
+    const double t = m.p2p_us(total, chunk);
+    by_chunk[chunk] = t;
+    if (t < best_time) {
+      best_time = t;
+      best_chunk = chunk;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_chunk, 4.0 * 1024 * 1024);
+  // And the curve is genuinely U-shaped: both extremes are worse.
+  EXPECT_GT(by_chunk[128.0 * 1024], best_time);
+  EXPECT_GT(by_chunk[16.0 * 1024 * 1024], best_time);
+}
+
+TEST(NetModel, P2pZeroBytesFree) {
+  NetModel m;
+  EXPECT_DOUBLE_EQ(m.p2p_us(0), 0.0);
+}
+
+TEST(NetModel, ConfigurableBandwidth) {
+  NetModelConfig cfg;
+  cfg.nic_bw_gbytes = 25.0;  // double the EDR default
+  NetModel fast(cfg);
+  NetModel slow;
+  // Large transfers should approach a 2x gap.
+  const std::uint64_t bytes = 256ULL << 20;
+  EXPECT_LT(fast.p2p_us(bytes), slow.p2p_us(bytes));
+}
+
+}  // namespace
+}  // namespace dsbfs::sim

@@ -1,0 +1,69 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dsbfs::util {
+namespace {
+
+TEST(Parallel, CoversEveryIndexOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ChunksPartitionTheRange) {
+  std::atomic<std::size_t> total{0};
+  parallel_for_chunks(10, 100010, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    total.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100000u);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for_chunks(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SmallRangeRunsSerially) {
+  // Under the serial cutoff the callback runs exactly once, inline.
+  int calls = 0;
+  parallel_for_chunks(0, 100, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, WorkerOverrideRespected) {
+  set_parallel_worker_count(3);
+  EXPECT_EQ(parallel_worker_count(), 3u);
+  set_parallel_worker_count(0);
+  EXPECT_GE(parallel_worker_count(), 1u);
+}
+
+TEST(Parallel, ResultIndependentOfWorkerCount) {
+  constexpr std::size_t kN = 50000;
+  auto run = [&](std::size_t workers) {
+    set_parallel_worker_count(workers);
+    std::vector<std::uint64_t> out(kN);
+    parallel_for(0, kN, [&](std::size_t i) { out[i] = i * 3 + 1; });
+    set_parallel_worker_count(0);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+}  // namespace
+}  // namespace dsbfs::util

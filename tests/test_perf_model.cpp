@@ -1,0 +1,183 @@
+#include "sim/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsbfs::sim {
+namespace {
+
+/// Build a RunCounters with identical per-GPU work each iteration.
+RunCounters uniform_run(ClusterSpec spec, int iterations,
+                        std::uint64_t edges_per_kernel,
+                        std::uint64_t exchange_bytes, bool delegate_updates,
+                        bool blocking_reduce = true) {
+  RunCounters run;
+  run.spec = spec;
+  run.delegate_mask_bytes = 1 << 16;
+  run.blocking_reduce = blocking_reduce;
+  run.iterations.resize(static_cast<std::size_t>(iterations));
+  for (auto& ic : run.iterations) {
+    ic.gpu.resize(static_cast<std::size_t>(spec.total_gpus()));
+    for (auto& g : ic.gpu) {
+      g.dprev_vertices = 100;
+      g.nprev_vertices = 100;
+      for (KernelCounters* k : {&g.dd, &g.dn, &g.nd, &g.nn}) {
+        k->edges = edges_per_kernel;
+        k->vertices = 100;
+        k->launched = edges_per_kernel > 0;
+      }
+      g.bin_vertices = exchange_bytes / 4;
+      g.send_bytes_remote = exchange_bytes;
+      g.recv_bytes_remote = exchange_bytes;
+      g.send_dest_ranks = spec.num_ranks - 1;
+      g.delegate_update = delegate_updates;
+    }
+  }
+  return run;
+}
+
+TEST(PerfModel, EmptyRunHasZeroTime) {
+  PerfModel model;
+  RunCounters run;
+  run.spec = ClusterSpec{1, 1, 1};
+  const ModeledBreakdown b = model.replay(run);
+  EXPECT_DOUBLE_EQ(b.elapsed_ms, 0.0);
+}
+
+TEST(PerfModel, MoreWorkTakesLonger) {
+  PerfModel model;
+  const ClusterSpec spec{4, 2, 2};
+  const auto small = model.replay(uniform_run(spec, 5, 1000, 1000, true));
+  const auto large = model.replay(uniform_run(spec, 5, 1000000, 1000, true));
+  EXPECT_GT(large.elapsed_ms, small.elapsed_ms);
+  EXPECT_GT(large.computation_ms, small.computation_ms);
+}
+
+TEST(PerfModel, MoreIterationsTakeLonger) {
+  PerfModel model;
+  const ClusterSpec spec{2, 1, 2};
+  const auto few = model.replay(uniform_run(spec, 3, 10000, 1000, true));
+  const auto many = model.replay(uniform_run(spec, 30, 10000, 1000, true));
+  EXPECT_GT(many.elapsed_ms, 5.0 * few.elapsed_ms);
+}
+
+TEST(PerfModel, OverlapKeepsElapsedNearCategorySums) {
+  PerfModel model;
+  const ClusterSpec spec{8, 2, 2};
+  const auto b = model.replay(uniform_run(spec, 10, 500000, 1 << 20, true));
+  const double sum = b.computation_ms + b.local_comm_ms + b.normal_exchange_ms +
+                     b.delegate_reduce_ms + b.control_ms;
+  // The paper: "the sum of all parts in one column is more than the elapsed
+  // time of BFS, because different parts may overlap."  Cross-resource
+  // dependency stalls (a receive waiting on the slowest sender) can push the
+  // makespan marginally past the per-resource sums, hence the small slack.
+  EXPECT_LT(b.elapsed_ms, sum * 1.10);
+  // No single phase alone accounts for the elapsed time.
+  EXPECT_GT(b.elapsed_ms, b.computation_ms);
+  EXPECT_GT(b.elapsed_ms, b.normal_exchange_ms);
+}
+
+TEST(PerfModel, DelegatePathFreeWhenNoUpdates) {
+  PerfModel model;
+  const ClusterSpec spec{4, 1, 2};
+  const auto with = model.replay(uniform_run(spec, 5, 10000, 1000, true));
+  const auto without = model.replay(uniform_run(spec, 5, 10000, 1000, false));
+  EXPECT_GT(with.delegate_reduce_ms, 0.0);
+  EXPECT_DOUBLE_EQ(without.delegate_reduce_ms, 0.0);
+  EXPECT_LT(without.elapsed_ms, with.elapsed_ms);
+}
+
+TEST(PerfModel, BlockingVsNonblockingReduceDiffer) {
+  // Functional outputs are identical; modeled time must differ, and the
+  // non-blocking variant must be chargeable as slower at many ranks
+  // (Fig. 8's BR-vs-IR effect).
+  PerfModel model;
+  const ClusterSpec spec{16, 2, 2};  // 32 ranks
+  const auto br = model.replay(uniform_run(spec, 8, 100000, 1 << 18, true, true));
+  const auto ir = model.replay(uniform_run(spec, 8, 100000, 1 << 18, true, false));
+  EXPECT_GT(ir.delegate_reduce_ms, br.delegate_reduce_ms);
+}
+
+TEST(PerfModel, SingleGpuHasNoNetworkTime) {
+  PerfModel model;
+  const ClusterSpec spec{1, 1, 1};
+  auto run = uniform_run(spec, 5, 100000, 0, true);
+  for (auto& ic : run.iterations) {
+    for (auto& g : ic.gpu) {
+      g.send_bytes_remote = 0;
+      g.recv_bytes_remote = 0;
+      g.send_dest_ranks = 0;
+    }
+  }
+  const auto b = model.replay(run);
+  EXPECT_DOUBLE_EQ(b.normal_exchange_ms, 0.0);
+  EXPECT_DOUBLE_EQ(b.delegate_reduce_ms, 0.0);  // allreduce over 1 rank free
+  EXPECT_GT(b.computation_ms, 0.0);
+}
+
+TEST(PerfModel, WeakScalingElapsedGrowsSlowly) {
+  // Same per-GPU work, growing cluster: elapsed should grow roughly with
+  // log(p) (delegate reduce) not linearly.
+  PerfModel model;
+  const auto t2 =
+      model.replay(uniform_run(ClusterSpec{2, 1, 4}, 10, 200000, 1 << 18, true));
+  const auto t16 =
+      model.replay(uniform_run(ClusterSpec{16, 1, 4}, 10, 200000, 1 << 18, true));
+  EXPECT_GT(t16.elapsed_ms, t2.elapsed_ms);
+  EXPECT_LT(t16.elapsed_ms, 3.0 * t2.elapsed_ms);
+}
+
+TEST(PerfModel, IrBeatsBrAtFewRanksLosesAtMany) {
+  // The Fig. 8 crossover: non-blocking reduction wins below ~8 nodes by
+  // overlapping the normal exchange, and loses at scale because the
+  // unoptimized MPI_Iallreduce costs more per round.
+  PerfModel model;
+  const auto elapsed = [&](int ranks, bool blocking) {
+    // Heavy exchange alongside the reduce so overlap has something to hide.
+    return model
+        .replay(uniform_run(ClusterSpec{ranks, 1, 2}, 10, 50000, 1 << 21,
+                            true, blocking))
+        .elapsed_ms;
+  };
+  EXPECT_LT(elapsed(4, false), elapsed(4, true) * 1.02);   // IR competitive
+  EXPECT_GT(elapsed(32, false), elapsed(32, true));        // BR wins at scale
+}
+
+TEST(PerfModel, DirectionDecisionsCostFixedOverheadPerIteration) {
+  // Section VI-D's long-tail effect in the model: with DO flagged, each
+  // iteration charges two extra kernel launches per previsit -- decisive
+  // over many tiny iterations, negligible over few large ones.
+  PerfModel model;
+  const ClusterSpec spec{1, 1, 1};
+  auto tiny = uniform_run(spec, 400, 10, 0, false);
+  auto tiny_do = tiny;
+  for (auto& ic : tiny_do.iterations) {
+    for (auto& gc : ic.gpu) gc.direction_decisions = true;
+  }
+  const double plain = model.replay(tiny).elapsed_ms;
+  const double with_do = model.replay(tiny_do).elapsed_ms;
+  EXPECT_GT(with_do, plain * 1.2);
+
+  auto large = uniform_run(spec, 8, 2000000, 0, false);
+  auto large_do = large;
+  for (auto& ic : large_do.iterations) {
+    for (auto& gc : ic.gpu) gc.direction_decisions = true;
+  }
+  EXPECT_LT(model.replay(large_do).elapsed_ms,
+            model.replay(large).elapsed_ms * 1.05);
+}
+
+TEST(PerfModel, BackwardKernelsCheaper) {
+  PerfModel model;
+  const ClusterSpec spec{2, 1, 2};
+  auto fw = uniform_run(spec, 5, 500000, 1000, false);
+  auto bw = fw;
+  for (auto& ic : bw.iterations) {
+    for (auto& g : ic.gpu) {
+      g.dd.backward = g.dn.backward = g.nd.backward = true;
+    }
+  }
+  EXPECT_LT(model.replay(bw).computation_ms, model.replay(fw).computation_ms);
+}
+
+}  // namespace
+}  // namespace dsbfs::sim

@@ -1,0 +1,132 @@
+#include "graph/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace dsbfs::graph {
+namespace {
+
+TEST(Rmat, SizesFollowGraph500Spec) {
+  RmatParams p;
+  p.scale = 10;
+  EXPECT_EQ(p.num_vertices(), 1024u);
+  EXPECT_EQ(p.num_directed_edges(), 1024u * 16);
+  const EdgeList raw = rmat_edges(p);
+  EXPECT_EQ(raw.num_vertices, 1024u);
+  EXPECT_EQ(raw.size(), 1024u * 16);
+  const EdgeList full = rmat_graph500(p);
+  EXPECT_EQ(full.size(), 1024u * 32);  // doubled
+  EXPECT_EQ(rmat_teps_edges(p), 1024u * 16);
+}
+
+TEST(Rmat, VerticesInRange) {
+  RmatParams p;
+  p.scale = 8;
+  const EdgeList g = rmat_graph500(p);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_LT(g.src[i], 256u);
+    EXPECT_LT(g.dst[i], 256u);
+  }
+}
+
+TEST(Rmat, DeterministicForSameSeed) {
+  RmatParams p;
+  p.scale = 9;
+  p.seed = 5;
+  const EdgeList a = rmat_graph500(p);
+  const EdgeList b = rmat_graph500(p);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  RmatParams p;
+  p.scale = 9;
+  p.seed = 1;
+  const EdgeList a = rmat_edges(p);
+  p.seed = 2;
+  const EdgeList b = rmat_edges(p);
+  EXPECT_NE(a.src, b.src);
+}
+
+TEST(Rmat, IndependentOfWorkerCount) {
+  // Counter-based RNG: the same graph regardless of parallel split.
+  RmatParams p;
+  p.scale = 10;
+  util::set_parallel_worker_count(1);
+  const EdgeList serial = rmat_edges(p);
+  util::set_parallel_worker_count(13);
+  const EdgeList parallel = rmat_edges(p);
+  util::set_parallel_worker_count(0);
+  EXPECT_EQ(serial.src, parallel.src);
+  EXPECT_EQ(serial.dst, parallel.dst);
+}
+
+TEST(Rmat, PowerLawDegreeSkew) {
+  // RMAT with A=0.57 concentrates edges: the top 1% of vertices should own
+  // a large share of edges, and many vertices should be isolated.
+  RmatParams p;
+  p.scale = 14;
+  const EdgeList g = rmat_graph500(p);
+  auto degrees = out_degrees(g);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const std::size_t top1pct = degrees.size() / 100;
+  std::uint64_t top_edges = 0, total = 0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    total += degrees[i];
+    if (i < top1pct) top_edges += degrees[i];
+  }
+  EXPECT_GT(static_cast<double>(top_edges) / static_cast<double>(total), 0.3);
+  EXPECT_GT(count_zero_degree(degrees), degrees.size() / 10);
+}
+
+TEST(Rmat, PermutationTogglesLabelLocality) {
+  // Without permutation, low vertex ids dominate high degrees (quadrant A
+  // bias).  With permutation the degree mass spreads across the id space.
+  RmatParams p;
+  p.scale = 12;
+  p.permute = false;
+  const auto deg_raw = out_degrees(rmat_graph500(p));
+  p.permute = true;
+  const auto deg_perm = out_degrees(rmat_graph500(p));
+
+  auto mass_in_low_quarter = [](const std::vector<std::uint32_t>& deg) {
+    std::uint64_t low = 0, total = 0;
+    for (std::size_t v = 0; v < deg.size(); ++v) {
+      total += deg[v];
+      if (v < deg.size() / 4) low += deg[v];
+    }
+    return static_cast<double>(low) / static_cast<double>(total);
+  };
+  EXPECT_GT(mass_in_low_quarter(deg_raw), 0.5);
+  EXPECT_LT(mass_in_low_quarter(deg_perm), 0.5);
+}
+
+TEST(Rmat, SymmetryAfterDoubling) {
+  RmatParams p;
+  p.scale = 8;
+  const EdgeList g = rmat_graph500(p);
+  // Every (u,v) must have a matching (v,u).
+  std::multiset<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t i = 0; i < g.size(); ++i) edges.insert({g.src[i], g.dst[i]});
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_TRUE(edges.count({g.dst[i], g.src[i]}) > 0);
+  }
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+  p.scale = 10;
+  p.a = 0.9;
+  p.b = 0.3;
+  p.c = 0.3;
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsbfs::graph

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsbfs::util {
+namespace {
+
+TEST(CounterRng, DeterministicAcrossInstances) {
+  CounterRng a(123, 0), b(123, 0);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.bits(i), b.bits(i));
+  }
+}
+
+TEST(CounterRng, AddressableOutOfOrder) {
+  // Any worker must be able to generate any draw independently: draw i must
+  // not depend on having generated draws < i.
+  CounterRng rng(7, 1);
+  const std::uint64_t forward = rng.bits(500);
+  CounterRng rng2(7, 1);
+  std::uint64_t x = 0;
+  for (std::uint64_t i = 1000; i-- > 0;) {
+    if (i == 500) x = rng2.bits(i);
+  }
+  EXPECT_EQ(forward, x);
+}
+
+TEST(CounterRng, StreamsIndependent) {
+  CounterRng a(5, 0), b(5, 1);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.bits(i) == b.bits(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng(11, 0);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CounterRng, BelowRespectsBound) {
+  CounterRng rng(13, 0);
+  std::vector<int> histogram(10, 0);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(i, 10);
+    ASSERT_LT(v, 10u);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (const int count : histogram) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(CounterRng, BelowOneAlwaysZero) {
+  CounterRng rng(17, 0);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(rng.below(i, 1), 0u);
+}
+
+TEST(SequentialRng, ReproducibleSequence) {
+  SequentialRng a(3), b(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SequentialRng, UniformAndBelow) {
+  SequentialRng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    ASSERT_LT(rng.below(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace dsbfs::util

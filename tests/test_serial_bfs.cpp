@@ -1,0 +1,71 @@
+#include "baseline/serial_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dsbfs::baseline {
+namespace {
+
+using graph::build_host_csr;
+
+TEST(SerialBfs, PathDistances) {
+  const auto csr = build_host_csr(graph::path_graph(6));
+  const auto dist = serial_bfs(csr, 2);
+  EXPECT_EQ(dist, (std::vector<Depth>{2, 1, 0, 1, 2, 3}));
+}
+
+TEST(SerialBfs, StarFromCenterAndLeaf) {
+  const auto csr = build_host_csr(graph::star_graph(5));
+  const auto from_center = serial_bfs(csr, 0);
+  EXPECT_EQ(from_center, (std::vector<Depth>{0, 1, 1, 1, 1}));
+  const auto from_leaf = serial_bfs(csr, 3);
+  EXPECT_EQ(from_leaf, (std::vector<Depth>{1, 2, 2, 0, 2}));
+}
+
+TEST(SerialBfs, CycleWrapsBothWays) {
+  const auto csr = build_host_csr(graph::cycle_graph(6));
+  const auto dist = serial_bfs(csr, 0);
+  EXPECT_EQ(dist, (std::vector<Depth>{0, 1, 2, 3, 2, 1}));
+}
+
+TEST(SerialBfs, UnreachableStaysUnvisited) {
+  const auto csr = build_host_csr(graph::two_cliques(3));
+  const auto dist = serial_bfs(csr, 1);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_NE(dist[v], kUnvisited);
+  for (VertexId v = 3; v < 6; ++v) EXPECT_EQ(dist[v], kUnvisited);
+}
+
+TEST(SerialBfs, GridManhattanDistances) {
+  const auto csr = build_host_csr(graph::grid_graph(5, 4));
+  const auto dist = serial_bfs(csr, 0);
+  for (std::uint64_t y = 0; y < 4; ++y) {
+    for (std::uint64_t x = 0; x < 5; ++x) {
+      EXPECT_EQ(dist[y * 5 + x], static_cast<Depth>(x + y));
+    }
+  }
+}
+
+TEST(SerialBfs, SelfLoopHarmless) {
+  graph::EdgeList g;
+  g.num_vertices = 3;
+  g.add(0, 0);
+  g.add(0, 1);
+  g.add(1, 0);
+  const auto dist = serial_bfs(build_host_csr(g), 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnvisited);
+}
+
+TEST(SerialBfs, WorkloadSumsVisitedDegrees) {
+  const auto csr = build_host_csr(graph::star_graph(5));
+  // From the center: all 5 vertices visited; degrees 4 + 1*4 = 8.
+  EXPECT_EQ(serial_bfs_workload(csr, 0), 8u);
+  // Two cliques: only the source's clique is visited.
+  const auto cliques = build_host_csr(graph::two_cliques(3));
+  EXPECT_EQ(serial_bfs_workload(cliques, 0), 3u * 2);
+}
+
+}  // namespace
+}  // namespace dsbfs::baseline

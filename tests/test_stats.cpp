@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace dsbfs::util {
+namespace {
+
+TEST(Stats, GeometricMeanKnownValues) {
+  const std::array<double, 3> v{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
+  const std::array<double, 2> w{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(w), 4.0, 1e-9);
+}
+
+TEST(Stats, GeometricMeanEdgeCases) {
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  const std::array<double, 2> with_zero{0.0, 5.0};
+  EXPECT_EQ(geometric_mean(with_zero), 0.0);
+}
+
+TEST(Stats, HarmonicMeanKnownValues) {
+  const std::array<double, 2> v{1.0, 3.0};
+  EXPECT_NEAR(harmonic_mean(v), 1.5, 1e-9);
+  // Harmonic mean of equal values is the value.
+  const std::array<double, 4> w{7.0, 7.0, 7.0, 7.0};
+  EXPECT_NEAR(harmonic_mean(w), 7.0, 1e-9);
+}
+
+TEST(Stats, MeanOrderingInequality) {
+  // harmonic <= geometric <= arithmetic for positive values.
+  const std::array<double, 5> v{1.0, 2.0, 3.0, 4.0, 100.0};
+  const double h = harmonic_mean(v);
+  const double g = geometric_mean(v);
+  const double a = arithmetic_mean(v);
+  EXPECT_LT(h, g);
+  EXPECT_LT(g, a);
+}
+
+TEST(Stats, MinMax) {
+  const std::array<double, 4> v{3.0, -1.0, 7.0, 2.0};
+  EXPECT_EQ(min_of(v), -1.0);
+  EXPECT_EQ(max_of(v), 7.0);
+}
+
+TEST(Stats, SampleStddev) {
+  const std::array<double, 4> v{2.0, 4.0, 4.0, 6.0};
+  // mean 4, squared deviations 4+0+0+4 = 8, / 3 -> sqrt(8/3)
+  EXPECT_NEAR(sample_stddev(v), std::sqrt(8.0 / 3.0), 1e-9);
+  const std::array<double, 1> single{5.0};
+  EXPECT_EQ(sample_stddev(single), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(percentile(v, 0), 10.0, 1e-9);
+  EXPECT_NEAR(percentile(v, 100), 40.0, 1e-9);
+  EXPECT_NEAR(percentile(v, 50), 25.0, 1e-9);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_NEAR(percentile(v, 100), 40.0, 1e-9);
+  EXPECT_NEAR(percentile(v, 0), 10.0, 1e-9);
+}
+
+TEST(Stats, SummaryAccumulates) {
+  Summary s;
+  s.add(2.0);
+  s.add(8.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_NEAR(s.geomean(), 4.0, 1e-9);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-9);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 8.0);
+}
+
+}  // namespace
+}  // namespace dsbfs::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dsbfs::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5, 1);
+  t.row().add("b").add(std::uint64_t{12345});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value  |"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12,345"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"v"});
+  t.row().add(3.14159, 3);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KB");
+  EXPECT_EQ(format_bytes(1ULL << 20), "1.00 MB");
+  EXPECT_EQ(format_bytes(1ULL << 30), "1.00 GB");
+  EXPECT_EQ(format_bytes(3ULL << 40), "3.00 TB");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(1000000000ULL), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace dsbfs::util

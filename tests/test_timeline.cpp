@@ -1,0 +1,116 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsbfs::sim {
+namespace {
+
+TEST(Timeline, IndependentTasksOverlap) {
+  Timeline tl;
+  tl.add_task("a", 0, 10.0, ResourceId{}, {});
+  tl.add_task("b", 0, 20.0, ResourceId{}, {});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 20.0);
+}
+
+TEST(Timeline, DependenciesSerialize) {
+  Timeline tl;
+  const TaskId a = tl.add_task("a", 0, 10.0, ResourceId{}, {});
+  const TaskId b = tl.add_task("b", 0, 5.0, ResourceId{}, {a});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.task_start_us(b), 10.0);
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 15.0);
+}
+
+TEST(Timeline, DiamondDependency) {
+  Timeline tl;
+  const TaskId a = tl.add_task("a", 0, 4.0, ResourceId{}, {});
+  const TaskId b = tl.add_task("b", 0, 10.0, ResourceId{}, {a});
+  const TaskId c = tl.add_task("c", 0, 2.0, ResourceId{}, {a});
+  const TaskId d = tl.add_task("d", 0, 1.0, ResourceId{}, {b, c});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.task_start_us(d), 14.0);
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 15.0);
+}
+
+TEST(Timeline, ResourceContentionSerializes) {
+  Timeline tl;
+  const ResourceId gpu = tl.add_resource("gpu");
+  tl.add_task("k1", 0, 10.0, gpu, {});
+  tl.add_task("k2", 0, 10.0, gpu, {});
+  tl.schedule();
+  // Same resource: no overlap even without dependencies.
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 20.0);
+  EXPECT_DOUBLE_EQ(tl.resource_busy_us(gpu), 20.0);
+}
+
+TEST(Timeline, DistinctResourcesOverlap) {
+  Timeline tl;
+  const ResourceId gpu = tl.add_resource("gpu");
+  const ResourceId nic = tl.add_resource("nic");
+  tl.add_task("compute", 0, 10.0, gpu, {});
+  tl.add_task("send", 1, 10.0, nic, {});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 10.0);
+}
+
+TEST(Timeline, CategorySumsIgnoreOverlap) {
+  // Matches the paper's stacked charts: sums may exceed elapsed time.
+  Timeline tl;
+  const ResourceId gpu = tl.add_resource("gpu");
+  const ResourceId nic = tl.add_resource("nic");
+  tl.add_task("compute", 0, 10.0, gpu, {});
+  tl.add_task("send", 1, 8.0, nic, {});
+  tl.add_task("compute2", 0, 5.0, gpu, {});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.category_total_us(0), 15.0);
+  EXPECT_DOUBLE_EQ(tl.category_total_us(1), 8.0);
+  EXPECT_LT(tl.makespan_us(), 15.0 + 8.0);
+}
+
+TEST(Timeline, CommOverlapsComputeViaDependencyStructure) {
+  // Pipeline shape: compute(iter1) -> send(iter1) while compute(iter2) runs.
+  Timeline tl;
+  const ResourceId gpu = tl.add_resource("gpu");
+  const ResourceId nic = tl.add_resource("nic");
+  const TaskId c1 = tl.add_task("c1", 0, 10.0, gpu, {});
+  tl.add_task("s1", 1, 10.0, nic, {c1});
+  tl.add_task("c2", 0, 10.0, gpu, {c1});
+  tl.schedule();
+  // send(1) and compute(2) overlap perfectly.
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 20.0);
+}
+
+TEST(Timeline, IncrementalScheduling) {
+  Timeline tl;
+  const TaskId a = tl.add_task("a", 0, 5.0, ResourceId{}, {});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 5.0);
+  tl.add_task("b", 0, 5.0, ResourceId{}, {a});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.makespan_us(), 10.0);
+}
+
+TEST(Timeline, RejectsForwardDependencies) {
+  Timeline tl;
+  EXPECT_THROW(tl.add_task("bad", 0, 1.0, ResourceId{}, {TaskId{5}}),
+               std::invalid_argument);
+}
+
+TEST(Timeline, ZeroDurationTasksChain) {
+  Timeline tl;
+  const TaskId a = tl.add_task("a", 0, 0.0, ResourceId{}, {});
+  const TaskId b = tl.add_task("b", 0, 0.0, ResourceId{}, {a});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.task_finish_us(b), 0.0);
+}
+
+TEST(Timeline, NegativeDurationClampedToZero) {
+  Timeline tl;
+  const TaskId a = tl.add_task("a", 0, -5.0, ResourceId{}, {});
+  tl.schedule();
+  EXPECT_DOUBLE_EQ(tl.task_finish_us(a), 0.0);
+}
+
+}  // namespace
+}  // namespace dsbfs::sim

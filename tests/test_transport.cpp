@@ -1,0 +1,168 @@
+#include "comm/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dsbfs::comm {
+namespace {
+
+sim::ClusterSpec spec_2x2() {
+  sim::ClusterSpec s;
+  s.num_ranks = 2;
+  s.gpus_per_rank = 2;
+  return s;
+}
+
+TEST(Transport, SendThenRecv) {
+  Transport t(spec_2x2());
+  t.send(0, 1, kTagUser, {1, 2, 3});
+  const auto got = t.recv(1, 0, kTagUser);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Transport, RecvBlocksUntilSend) {
+  Transport t(spec_2x2());
+  std::vector<std::uint64_t> got;
+  std::thread receiver([&] { got = t.recv(2, 3, kTagUser); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.send(3, 2, kTagUser, {42});
+  receiver.join();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{42}));
+}
+
+TEST(Transport, FifoPerSourceAndTag) {
+  Transport t(spec_2x2());
+  t.send(0, 1, kTagUser, {1});
+  t.send(0, 1, kTagUser, {2});
+  t.send(0, 1, kTagUser, {3});
+  EXPECT_EQ(t.recv(1, 0, kTagUser)[0], 1u);
+  EXPECT_EQ(t.recv(1, 0, kTagUser)[0], 2u);
+  EXPECT_EQ(t.recv(1, 0, kTagUser)[0], 3u);
+}
+
+TEST(Transport, TagsIsolateMessageStreams) {
+  Transport t(spec_2x2());
+  t.send(0, 1, kTagUser, {10});
+  t.send(0, 1, kTagUser + 1, {20});
+  // Receive in reverse tag order.
+  EXPECT_EQ(t.recv(1, 0, kTagUser + 1)[0], 20u);
+  EXPECT_EQ(t.recv(1, 0, kTagUser)[0], 10u);
+}
+
+TEST(Transport, SourcesIsolateMessageStreams) {
+  Transport t(spec_2x2());
+  t.send(0, 3, kTagUser, {100});
+  t.send(2, 3, kTagUser, {200});
+  EXPECT_EQ(t.recv(3, 2, kTagUser)[0], 200u);
+  EXPECT_EQ(t.recv(3, 0, kTagUser)[0], 100u);
+}
+
+TEST(Transport, Probe) {
+  Transport t(spec_2x2());
+  EXPECT_FALSE(t.probe(1, 0, kTagUser));
+  t.send(0, 1, kTagUser, {1});
+  EXPECT_TRUE(t.probe(1, 0, kTagUser));
+  t.recv(1, 0, kTagUser);
+  EXPECT_FALSE(t.probe(1, 0, kTagUser));
+}
+
+TEST(Transport, EmptyPayloadAllowed) {
+  Transport t(spec_2x2());
+  t.send(0, 1, kTagUser, {});
+  EXPECT_TRUE(t.recv(1, 0, kTagUser).empty());
+}
+
+TEST(Transport, CountersSplitByLocality) {
+  // GPUs 0,1 are rank 0; GPUs 2,3 are rank 1.
+  Transport t(spec_2x2());
+  t.send(0, 1, kTagUser, {1, 2});       // same rank: 16 bytes
+  t.send(0, 2, kTagUser, {1, 2, 3});    // cross rank: 24 bytes
+  EXPECT_EQ(t.bytes_same_rank(), 16u);
+  EXPECT_EQ(t.bytes_cross_rank(), 24u);
+  EXPECT_EQ(t.messages_sent(), 2u);
+  t.reset_counters();
+  EXPECT_EQ(t.messages_sent(), 0u);
+}
+
+TEST(Transport, EndpointRangeChecked) {
+  Transport t(spec_2x2());
+  EXPECT_THROW(t.send(0, 99, kTagUser, {}), std::out_of_range);
+  EXPECT_THROW(t.send(-1, 0, kTagUser, {}), std::out_of_range);
+}
+
+TEST(Transport, BarrierReleasesAllTogether) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 4;
+  spec.gpus_per_rank = 1;
+  Transport t(spec);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (int g = 0; g < 4; ++g) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      t.barrier();
+      after.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(before.load(), 4);
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(Transport, BarrierIsReusable) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 3;
+  spec.gpus_per_rank = 1;
+  Transport t(spec);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::thread> threads;
+    for (int g = 0; g < 3; ++g) {
+      threads.emplace_back([&] { t.barrier(); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  SUCCEED();
+}
+
+TEST(Transport, ConcurrentPairwiseStress) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 4;
+  spec.gpus_per_rank = 2;
+  Transport t(spec);
+  const int p = spec.total_gpus();
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> checksum{0};
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      // Everyone sends 50 messages to everyone, then receives.
+      for (int round = 0; round < 50; ++round) {
+        for (int o = 0; o < p; ++o) {
+          if (o == g) continue;
+          t.send(g, o, kTagUser,
+                 {static_cast<std::uint64_t>(g * 1000 + round)});
+        }
+      }
+      for (int round = 0; round < 50; ++round) {
+        for (int o = 0; o < p; ++o) {
+          if (o == g) continue;
+          const auto m = t.recv(g, o, kTagUser);
+          checksum.fetch_add(m[0]);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every message (g*1000 + round) received exactly once by p-1 receivers.
+  std::uint64_t expected = 0;
+  for (int g = 0; g < p; ++g) {
+    for (int round = 0; round < 50; ++round) {
+      expected += static_cast<std::uint64_t>(g * 1000 + round) *
+                  static_cast<std::uint64_t>(p - 1);
+    }
+  }
+  EXPECT_EQ(checksum.load(), expected);
+}
+
+}  // namespace
+}  // namespace dsbfs::comm

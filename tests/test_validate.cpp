@@ -1,0 +1,103 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/serial_bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace dsbfs::core {
+namespace {
+
+TEST(Validate, AcceptsCorrectDistances) {
+  const graph::EdgeList g = graph::grid_graph(5, 5);
+  const auto dist = baseline::serial_bfs(graph::build_host_csr(g), 0);
+  const ValidationReport r = validate_distances(g, 0, dist);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.reached, 25u);
+  EXPECT_EQ(r.max_depth, 8);
+}
+
+TEST(Validate, RejectsWrongSourceLevel) {
+  const graph::EdgeList g = graph::path_graph(4);
+  auto dist = baseline::serial_bfs(graph::build_host_csr(g), 0);
+  dist[0] = 1;
+  EXPECT_FALSE(validate_distances(g, 0, dist).ok);
+}
+
+TEST(Validate, RejectsLevelJumpAcrossEdge) {
+  const graph::EdgeList g = graph::path_graph(5);
+  auto dist = baseline::serial_bfs(graph::build_host_csr(g), 0);
+  dist[3] = 5;  // neighbor of level-2 vertex can't be at 5
+  const ValidationReport r = validate_distances(g, 0, dist);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("edge"), std::string::npos);
+}
+
+TEST(Validate, RejectsVisitedNextToUnvisited) {
+  const graph::EdgeList g = graph::path_graph(5);
+  auto dist = baseline::serial_bfs(graph::build_host_csr(g), 0);
+  dist[4] = kUnvisited;  // reachable vertex marked unvisited
+  EXPECT_FALSE(validate_distances(g, 0, dist).ok);
+}
+
+TEST(Validate, RejectsOrphanLevel) {
+  // A vertex whose closest neighbor is 2 levels away (no valid parent).
+  const graph::EdgeList g = graph::path_graph(5);
+  auto dist = baseline::serial_bfs(graph::build_host_csr(g), 0);
+  dist[3] = 4;  // neighbors at 2 and 4: |4-2|>1 caught as edge violation
+  EXPECT_FALSE(validate_distances(g, 0, dist).ok);
+}
+
+TEST(Validate, RejectsMissingParent) {
+  // Craft a subtler error: two adjacent vertices both shifted +1 keeps edge
+  // consistency locally but orphans the earlier one from its real parent.
+  graph::EdgeList g;
+  g.num_vertices = 4;
+  g.add(0, 1);
+  g.add(1, 0);
+  g.add(1, 2);
+  g.add(2, 1);
+  g.add(2, 3);
+  g.add(3, 2);
+  std::vector<Depth> dist{0, 1, 3, 4};  // 2 and 3 shifted by +1
+  EXPECT_FALSE(validate_distances(g, 0, dist).ok);
+}
+
+TEST(Validate, RandomGraphRoundTrip) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 55});
+  const auto csr = graph::build_host_csr(g);
+  VertexId source = 0;
+  while (csr.row_length(source) == 0) ++source;
+  const auto dist = baseline::serial_bfs(csr, source);
+  const ValidationReport r = validate_distances(g, source, dist);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.reached, 0u);
+}
+
+TEST(ValidateReference, ExactMatchRequired) {
+  const std::vector<Depth> a{0, 1, 2, kUnvisited};
+  EXPECT_TRUE(validate_against_reference(a, a).ok);
+  std::vector<Depth> b = a;
+  b[2] = 3;
+  const ValidationReport r = validate_against_reference(b, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("vertex 2"), std::string::npos);
+}
+
+TEST(ValidateReference, SizeMismatch) {
+  const std::vector<Depth> a{0, 1};
+  const std::vector<Depth> b{0, 1, 2};
+  EXPECT_FALSE(validate_against_reference(a, b).ok);
+}
+
+TEST(ValidateReference, CountsReached) {
+  const std::vector<Depth> a{0, 1, kUnvisited, 2};
+  const ValidationReport r = validate_against_reference(a, a);
+  EXPECT_EQ(r.reached, 3u);
+  EXPECT_EQ(r.max_depth, 2);
+}
+
+}  // namespace
+}  // namespace dsbfs::core
