@@ -1,14 +1,16 @@
 // Section VI-D: "for large scale-free graphs, the increases in computation
 // and communication are roughly in the same order, and our computation and
 // communication models should still be scalable" for applications beyond
-// BFS.  This bench runs connected components and PageRank (delegate values
-// reduced globally, normal values exchanged point-to-point) along a small
-// weak-scaling curve next to DOBFS.
+// BFS.  This bench runs connected components, PageRank and SSSP (delegate
+// values reduced globally, normal values exchanged point-to-point -- all
+// three sharing the IterativeEngine driver) along a small weak-scaling
+// curve next to DOBFS.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/components.hpp"
 #include "core/pagerank.hpp"
+#include "core/sssp.hpp"
 #include "graph/partition_stats.hpp"
 #include "graph/rmat.hpp"
 #include "util/table.hpp"
@@ -23,11 +25,12 @@ int main(int argc, char** argv) {
     cli.print_help("Applications beyond BFS (Section VI-D): CC and PageRank");
     return 0;
   }
-  bench::print_banner("Applications beyond BFS -- CC and PageRank",
+  bench::print_banner("Applications beyond BFS -- CC, PageRank and SSSP",
                       "Section VI-D: value-carrying delegates generalize");
 
   util::Table table({"scale", "gpus", "DOBFS_ms", "CC_ms", "CC_iters",
-                     "PR_ms_per_iter", "PR_reduce_bytes", "PR_update_bytes"});
+                     "PR_ms_per_iter", "PR_reduce_bytes", "PR_update_bytes",
+                     "SSSP_ms", "SSSP_iters"});
   for (int step = 0; step < steps; ++step) {
     const int scale = base + step;
     const int p = 1 << step;
@@ -53,6 +56,9 @@ int main(int argc, char** argv) {
     core::DistributedPagerank pr(dg, cluster, pr_options);
     const core::PagerankResult prr = pr.run();
 
+    core::DistributedSssp sssp(dg, cluster);
+    const core::SsspResult sr = sssp.run(/*source=*/1);
+
     table.row()
         .add(scale)
         .add(p)
@@ -61,7 +67,9 @@ int main(int argc, char** argv) {
         .add(ccr.iterations)
         .add(prr.modeled_ms / prr.iterations, 3)
         .add(prr.reduce_bytes)
-        .add(prr.update_bytes_remote);
+        .add(prr.update_bytes_remote)
+        .add(sr.modeled_ms, 3)
+        .add(sr.iterations);
   }
   table.print(std::cout);
   std::cout << "\nExpected (paper Section VI-D): per-iteration times grow"

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <deque>
 
+#include "util/hash.hpp"
+
 namespace dsbfs::baseline {
 
 std::vector<VertexId> serial_components(const graph::HostCsr& graph) {
@@ -55,6 +57,32 @@ std::vector<double> serial_pagerank(const graph::HostCsr& graph,
     if (delta < params.tolerance) break;
   }
   return rank;
+}
+
+std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
+                                       VertexId source,
+                                       std::uint32_t max_weight) {
+  const std::size_t n = graph.num_rows();
+  std::vector<std::uint64_t> dist(n, kInfiniteDistance);
+  dist[source] = 0;
+  // Plain round-based relaxation to a fixpoint: simple enough to be
+  // obviously correct, which is the point of a reference.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (dist[u] == kInfiniteDistance) continue;
+      for (const VertexId v : graph.row(u)) {
+        const std::uint64_t cand =
+            dist[u] + util::edge_weight(u, v, max_weight);
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
 }
 
 }  // namespace dsbfs::baseline

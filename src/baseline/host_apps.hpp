@@ -26,4 +26,12 @@ struct SerialPagerankParams {
 std::vector<double> serial_pagerank(const graph::HostCsr& graph,
                                     const SerialPagerankParams& params = {});
 
+/// Bellman-Ford shortest paths with util::edge_weight(u, v, max_weight)
+/// edge weights -- the exact weight scheme DistributedSssp recomputes, so
+/// distances must match bit for bit.  Unreachable vertices hold
+/// kInfiniteDistance.
+std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
+                                       VertexId source,
+                                       std::uint32_t max_weight = 15);
+
 }  // namespace dsbfs::baseline

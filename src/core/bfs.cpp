@@ -3,16 +3,13 @@
 #include <memory>
 #include <stdexcept>
 
-#include "comm/collectives.hpp"
-#include "comm/exchange.hpp"
-#include "comm/mask_reduce.hpp"
-#include "comm/transport.hpp"
 #include "core/frontier.hpp"
+#include "core/packing.hpp"
 #include "core/previsit.hpp"
 #include "core/visit.hpp"
+#include "engine/iterative_engine.hpp"
 #include "sim/stream.hpp"
 #include "util/hash.hpp"
-#include "util/timer.hpp"
 
 namespace dsbfs::core {
 
@@ -23,14 +20,249 @@ namespace {
 /// amount of new normal work (local discoveries + binned vertices).
 constexpr std::uint64_t kDelegateFlagUnit = 1ULL << 40;
 
+/// The paper's BFS expressed as engine phases (Fig. 3 pipeline): previsit
+/// forms the queues, visit enqueues the four kernels on the two streams,
+/// exchange enqueues the normal exchange behind them, contribution joins the
+/// delegate stream for the control word, and the post-control mask
+/// reduction overlaps the exchange still running on the normal stream.
+class BfsAlgorithm {
+ public:
+  static constexpr const char* kStateLabel = "bfs.state";
+
+  struct State {
+    State(const graph::LocalGraph& lg, int total_gpus) : gpu(lg, total_gpus) {}
+
+    GpuState gpu;
+    sim::Stream delegate_stream;
+    sim::Stream normal_stream;
+    sim::Event bins_ready;
+    std::uint64_t bins_total = 0;
+  };
+
+  BfsAlgorithm(const graph::DistributedGraph& graph, const BfsOptions& options,
+               VertexId source)
+      : graph_(graph), options_(options), source_(source) {}
+
+  std::unique_ptr<State> init(engine::GpuContext& ctx) {
+    const sim::ClusterSpec& spec = graph_.spec();
+    auto state = std::make_unique<State>(graph_.local(ctx.gpu), ctx.total_gpus);
+    GpuState& s = state->gpu;
+    s.record_parents = options_.compute_parents;
+
+    // Seed the source.
+    const LocalId src_delegate = graph_.delegates().delegate_id(source_);
+    if (src_delegate != kInvalidLocal) {
+      s.delegate_new.set_unsynchronized(src_delegate);
+      s.delegate_visited.set_unsynchronized(src_delegate);
+      s.level_delegate[src_delegate] = 0;
+      if (s.record_parents) s.set_delegate_parent(src_delegate, source_);
+      if (graph_.local(ctx.gpu).dd_source_mask().test(src_delegate)) {
+        --s.unvisited_dd_sources;
+      }
+      if (graph_.local(ctx.gpu).dn_source_mask().test(src_delegate)) {
+        --s.unvisited_dn_sources;
+      }
+    } else if (spec.owner_global_gpu(source_) == ctx.gpu) {
+      const LocalId local = static_cast<LocalId>(spec.local_index(source_));
+      s.set_normal_level(local, 0);
+      if (s.record_parents) s.parent_normal[local] = source_;
+      s.next_local.push_back(local);
+    }
+    return state;
+  }
+
+  std::uint64_t state_bytes(const engine::GpuContext& ctx,
+                            const State& s) const {
+    // Level arrays plus the three delegate masks.
+    return graph_.local(ctx.gpu).num_local_normals() * sizeof(Depth) +
+           static_cast<std::uint64_t>(graph_.num_delegates()) * sizeof(Depth) +
+           3 * s.gpu.delegate_visited.byte_size();
+  }
+
+  void previsit(engine::GpuContext&, State& s, int) {
+    s.gpu.begin_iteration();
+    // Queue formation, dedup, workload estimation, direction decisions --
+    // sequential per GPU, ahead of the stream kernels.
+    delegate_previsit(s.gpu, options_);
+    normal_previsit(s.gpu, options_);
+  }
+
+  void visit(engine::GpuContext& ctx, State& s, int) {
+    GpuState& gs = s.gpu;
+
+    // Delegate stream: dd then dn visits.
+    s.delegate_stream.enqueue([&gs] { visit_dd(gs); });
+    s.delegate_stream.enqueue([&gs] { visit_dn(gs); });
+
+    // Normal stream: nd, nn, then bin accounting (the exchange hook appends
+    // the exchange itself behind these).
+    const sim::ClusterSpec& spec = ctx.comm.spec();
+    s.normal_stream.enqueue([&gs] { visit_nd(gs); });
+    s.normal_stream.enqueue([&gs, &spec] { visit_nn(gs, spec); });
+    s.bins_ready = s.normal_stream.record([&s] {
+      s.bins_total = 0;
+      for (const auto& bin : s.gpu.bins) s.bins_total += bin.size();
+    });
+  }
+
+  void reduce(engine::GpuContext&, State&, int) {}  // post-control only
+
+  void exchange(engine::GpuContext& ctx, State& s, int iteration) {
+    // Enqueued behind the visits; overlaps the driver's mask reduction.
+    const comm::ExchangeOptions xopts{options_.local_all2all,
+                                      options_.uniquify};
+    s.normal_stream.enqueue([&ctx, &s, iteration, xopts] {
+      GpuState& gs = s.gpu;
+      comm::ExchangeCounters ec;
+      gs.received = ctx.comm.normal_exchange().exchange(ctx.me, gs.bins,
+                                                        iteration, xopts, ec);
+      gs.iter.bin_vertices = ec.bin_vertices;
+      gs.iter.uniquify_vertices = ec.uniquify_vertices;
+      gs.iter.local_all2all_bytes = ec.local_bytes;
+      gs.iter.send_bytes_remote = ec.send_bytes_remote;
+      gs.iter.recv_bytes_remote = ec.recv_bytes_remote;
+      gs.iter.send_dest_ranks = ec.send_dest_ranks;
+    });
+  }
+
+  std::uint64_t contribution(engine::GpuContext&, State& s, int) {
+    // Join the delegate stream and the bin accounting; the exchange keeps
+    // running on the normal stream through the control allreduce.
+    s.delegate_stream.synchronize();
+    s.bins_ready.wait();
+    const bool delegate_updates = !s.gpu.delegate_out.none();
+    return (delegate_updates ? kDelegateFlagUnit : 0) +
+           static_cast<std::uint64_t>(s.gpu.next_local.size()) + s.bins_total;
+  }
+
+  void post_reduce(engine::GpuContext& ctx, State& s, int iteration,
+                   std::uint64_t control) {
+    GpuState& gs = s.gpu;
+    // Delegate mask reduction (overlaps the normal exchange).
+    if (control >= kDelegateFlagUnit) {
+      gs.iter.delegate_update = true;
+      util::AtomicBitset reduced = gs.delegate_visited;
+      reduced.or_with(gs.delegate_out);
+      ctx.comm.mask_reducer().reduce(ctx.me, reduced, iteration,
+                                     options_.reduce_mode);
+      util::AtomicBitset::diff_into(reduced, gs.delegate_visited,
+                                    gs.delegate_new);
+      gs.delegate_visited = reduced;
+
+      const graph::LocalGraph& lg = graph_.local(ctx.gpu);
+      const Depth next_depth = gs.depth + 1;
+      gs.delegate_new.for_each_set([&](std::size_t t) {
+        gs.level_delegate[t] = next_depth;
+        if (lg.dd_source_mask().test(t)) --gs.unvisited_dd_sources;
+        if (lg.dn_source_mask().test(t)) --gs.unvisited_dn_sources;
+      });
+    } else {
+      gs.delegate_new.clear_all();
+    }
+  }
+
+  bool end_iteration(engine::GpuContext&, State& s, int,
+                     std::uint64_t control) {
+    s.normal_stream.synchronize();  // exchange complete; gpu.received filled
+    s.gpu.end_iteration();
+    s.gpu.depth += 1;
+    const bool any_delegate_update = control >= kDelegateFlagUnit;
+    const std::uint64_t normal_work = control % kDelegateFlagUnit;
+    return !any_delegate_update && normal_work == 0;
+  }
+
+  bool collect_counters() const { return true; }
+  sim::GpuIterationCounters iteration_counters(const State& s) const {
+    return s.gpu.iter;
+  }
+
+  /// BFS-tree completion (Section VI-A3): traversal sent 4-byte ids only,
+  /// so vertices discovered through nn edges do not know their parent yet;
+  /// one extra exchange resolves them.  Delegates may have been discovered
+  /// on another GPU; one min-reduction of global parent ids settles every
+  /// copy identically.
+  void finalize(engine::GpuContext& ctx, State& state, int iterations) {
+    if (!options_.compute_parents) return;
+    GpuState& s = state.gpu;
+    const sim::ClusterSpec& spec = graph_.spec();
+    const int p = ctx.total_gpus;
+    const int g = ctx.gpu;
+    const sim::GpuCoord me = ctx.me;
+    comm::Transport& transport = ctx.comm.transport();
+    const graph::LocalGraph& lg = graph_.local(g);
+    const std::uint64_t n_local = lg.num_local_normals();
+    const int parent_block = engine::TagBlocks::after_loop(iterations);
+    const int parent_tag = engine::TagBlocks::user(parent_block);
+
+    // Pack (dest_local, my_level) + my_global for every nn edge out of a
+    // visited vertex; the receiver accepts the first sender exactly one
+    // level above it.
+    std::vector<std::vector<std::uint64_t>> tuples(static_cast<std::size_t>(p));
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      const Depth lvl = s.normal_level(static_cast<LocalId>(v));
+      if (lvl == kUnvisited) continue;
+      const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
+      for (const VertexId dst : lg.nn().row(v)) {
+        const int owner = spec.owner_global_gpu(dst);
+        auto& bin = tuples[static_cast<std::size_t>(owner)];
+        bin.push_back(
+            pack_parent_probe(dst / static_cast<std::uint64_t>(p), lvl));
+        bin.push_back(v_global);
+      }
+    }
+    auto apply_tuples = [&](const std::vector<std::uint64_t>& words) {
+      for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
+        const LocalId local = parent_probe_local(words[i]);
+        const Depth lvl = parent_probe_level(words[i]);
+        if (s.parent_normal[local] == kParentViaNn &&
+            s.normal_level(local) == lvl + 1) {
+          s.parent_normal[local] = words[i + 1];
+        }
+      }
+    };
+    for (int o = 0; o < p; ++o) {
+      if (o == g) continue;
+      transport.send(g, o, parent_tag,
+                     std::move(tuples[static_cast<std::size_t>(o)]));
+    }
+    apply_tuples(tuples[static_cast<std::size_t>(g)]);
+    for (int o = 0; o < p; ++o) {
+      if (o == g) continue;
+      apply_tuples(transport.recv(g, o, parent_tag));
+    }
+
+    // Delegate parents: encoded candidates -> global ids -> min-reduce.
+    const LocalId d = graph_.num_delegates();
+    std::vector<std::uint64_t> parents(d);
+    for (LocalId t = 0; t < d; ++t) {
+      VertexId enc = s.parent_delegate[t].load(std::memory_order_relaxed);
+      if (enc != kParentNone && (enc & kParentDelegateTag) != 0) {
+        enc = graph_.delegates().vertex_of(
+            static_cast<LocalId>(enc & ~kParentDelegateTag));
+      }
+      parents[t] = enc;  // kParentNone == UINT64_MAX: identity for min
+    }
+    if (p > 1) {
+      ctx.comm.allreduce_min_words(
+          g, parents, engine::TagBlocks::user(parent_block, 4));
+    }
+    for (LocalId t = 0; t < d; ++t) {
+      s.parent_delegate[t].store(parents[t], std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  const graph::DistributedGraph& graph_;
+  const BfsOptions& options_;
+  VertexId source_;
+};
+
 }  // namespace
 
 DistributedBfs::DistributedBfs(const graph::DistributedGraph& graph,
                                sim::Cluster& cluster, BfsOptions options)
     : graph_(graph), cluster_(cluster), options_(options) {
-  if (graph.spec().total_gpus() != cluster.total_gpus()) {
-    throw std::invalid_argument("graph and cluster specs disagree");
-  }
+  engine::check_specs_match(graph, cluster);
 }
 
 VertexId DistributedBfs::sample_source(std::uint64_t k) const {
@@ -49,208 +281,15 @@ BfsResult DistributedBfs::run(VertexId source) {
   const sim::ClusterSpec spec = graph_.spec();
   const int p = spec.total_gpus();
 
-  comm::Transport transport(spec);
-  comm::MaskReducer reducer(transport, spec);
-  comm::NormalExchange exchanger(transport, spec);
-
-  std::vector<int> everyone(static_cast<std::size_t>(p));
-  for (int g = 0; g < p; ++g) everyone[static_cast<std::size_t>(g)] = g;
-
-  std::vector<std::unique_ptr<GpuState>> states(static_cast<std::size_t>(p));
-
-  util::Timer wall;
-  cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
-    const int g = spec.global_gpu(me);
-    auto state_ptr = std::make_unique<GpuState>(graph_.local(g), p);
-    GpuState& s = *state_ptr;
-    s.record_parents = options_.compute_parents;
-    states[static_cast<std::size_t>(g)] = std::move(state_ptr);
-
-    // Register traversal state on the simulated device: level arrays plus
-    // the three delegate masks.
-    const std::uint64_t state_bytes =
-        graph_.local(g).num_local_normals() * sizeof(Depth) +
-        static_cast<std::uint64_t>(graph_.num_delegates()) * sizeof(Depth) +
-        3 * s.delegate_visited.byte_size();
-    device.allocate("bfs.state", state_bytes);
-
-    // Seed the source.
-    const LocalId src_delegate = graph_.delegates().delegate_id(source);
-    if (src_delegate != kInvalidLocal) {
-      s.delegate_new.set_unsynchronized(src_delegate);
-      s.delegate_visited.set_unsynchronized(src_delegate);
-      s.level_delegate[src_delegate] = 0;
-      if (s.record_parents) s.set_delegate_parent(src_delegate, source);
-      if (graph_.local(g).dd_source_mask().test(src_delegate)) {
-        --s.unvisited_dd_sources;
-      }
-      if (graph_.local(g).dn_source_mask().test(src_delegate)) {
-        --s.unvisited_dn_sources;
-      }
-    } else if (spec.owner_global_gpu(source) == g) {
-      const LocalId local = static_cast<LocalId>(spec.local_index(source));
-      s.set_normal_level(local, 0);
-      if (s.record_parents) s.parent_normal[local] = source;
-      s.next_local.push_back(local);
-    }
-
-    sim::Stream delegate_stream;
-    sim::Stream normal_stream;
-
-    const comm::ExchangeOptions xopts{options_.local_all2all, options_.uniquify};
-    const comm::ReduceMode rmode = options_.reduce_mode;
-
-    std::uint64_t bins_total = 0;
-    bool done = false;
-    for (int iteration = 0; !done; ++iteration) {
-      s.begin_iteration();
-
-      // Previsits (queue formation, dedup, workload estimation, direction
-      // decisions) -- sequential per GPU, ahead of the stream kernels.
-      delegate_previsit(s, options_);
-      normal_previsit(s, options_);
-
-      // Delegate stream: dd then dn visits.
-      delegate_stream.enqueue([&s] { visit_dd(s); });
-      delegate_stream.enqueue([&s] { visit_dn(s); });
-
-      // Normal stream: nd, nn, bin accounting, then the exchange (which
-      // overlaps the driver's mask reduction below).
-      normal_stream.enqueue([&s] { visit_nd(s); });
-      normal_stream.enqueue([&s, &spec] { visit_nn(s, spec); });
-      const sim::Event bins_ready = normal_stream.record([&s, &bins_total] {
-        bins_total = 0;
-        for (const auto& bin : s.bins) bins_total += bin.size();
-      });
-      normal_stream.enqueue([&, iteration] {
-        comm::ExchangeCounters ec;
-        s.received = exchanger.exchange(me, s.bins, iteration, xopts, ec);
-        s.iter.bin_vertices = ec.bin_vertices;
-        s.iter.uniquify_vertices = ec.uniquify_vertices;
-        s.iter.local_all2all_bytes = ec.local_bytes;
-        s.iter.send_bytes_remote = ec.send_bytes_remote;
-        s.iter.recv_bytes_remote = ec.recv_bytes_remote;
-        s.iter.send_dest_ranks = ec.send_dest_ranks;
-      });
-
-      // Control allreduce: delegate updates + new normal work, cluster-wide.
-      delegate_stream.synchronize();
-      bins_ready.wait();
-      const bool delegate_updates = !s.delegate_out.none();
-      const std::uint64_t contribution =
-          (delegate_updates ? kDelegateFlagUnit : 0) +
-          static_cast<std::uint64_t>(s.next_local.size()) + bins_total;
-      const std::uint64_t control = comm::allreduce_sum(
-          transport, everyone, g, contribution,
-          comm::kTagControl + iteration * comm::kTagBlock);
-      const bool any_delegate_update = control >= kDelegateFlagUnit;
-      const std::uint64_t normal_work = control % kDelegateFlagUnit;
-
-      // Delegate mask reduction (overlaps the normal exchange).
-      if (any_delegate_update) {
-        s.iter.delegate_update = true;
-        util::AtomicBitset reduced = s.delegate_visited;
-        reduced.or_with(s.delegate_out);
-        reducer.reduce(me, reduced, iteration, rmode);
-        util::AtomicBitset::diff_into(reduced, s.delegate_visited,
-                                      s.delegate_new);
-        s.delegate_visited = reduced;
-
-        const graph::LocalGraph& lg = graph_.local(g);
-        const Depth next_depth = s.depth + 1;
-        s.delegate_new.for_each_set([&](std::size_t t) {
-          s.level_delegate[t] = next_depth;
-          if (lg.dd_source_mask().test(t)) --s.unvisited_dd_sources;
-          if (lg.dn_source_mask().test(t)) --s.unvisited_dn_sources;
-        });
-      } else {
-        s.delegate_new.clear_all();
-      }
-
-      normal_stream.synchronize();  // exchange complete; s.received filled
-      s.end_iteration();
-      s.depth += 1;
-      done = !any_delegate_update && normal_work == 0;
-    }
-
-    // ---- BFS-tree completion (Section VI-A3). -------------------------
-    // Traversal sent 4-byte ids only, so vertices discovered through nn
-    // edges do not know their parent yet; one extra exchange resolves them.
-    // Delegates may have been discovered on another GPU; one min-reduction
-    // of global parent ids settles every copy identically.
-    if (options_.compute_parents) {
-      const graph::LocalGraph& lg = graph_.local(g);
-      const std::uint64_t n_local = lg.num_local_normals();
-      const int parent_tag =
-          comm::kTagUser + (s.depth + 2) * comm::kTagBlock;
-
-      // Pack (dest_local, my_level) + my_global for every nn edge out of a
-      // visited vertex; the receiver accepts the first sender exactly one
-      // level above it.
-      std::vector<std::vector<std::uint64_t>> tuples(
-          static_cast<std::size_t>(p));
-      for (std::uint64_t v = 0; v < n_local; ++v) {
-        const Depth lvl = s.normal_level(static_cast<LocalId>(v));
-        if (lvl == kUnvisited) continue;
-        const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
-        for (const VertexId dst : lg.nn().row(v)) {
-          const int owner = spec.owner_global_gpu(dst);
-          auto& bin = tuples[static_cast<std::size_t>(owner)];
-          bin.push_back((dst / static_cast<std::uint64_t>(p)) << 21 |
-                        static_cast<std::uint64_t>(lvl));
-          bin.push_back(v_global);
-        }
-      }
-      auto apply_tuples = [&](const std::vector<std::uint64_t>& words) {
-        for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
-          const LocalId local = static_cast<LocalId>(words[i] >> 21);
-          const Depth lvl = static_cast<Depth>(words[i] & 0x1fffff);
-          if (s.parent_normal[local] == kParentViaNn &&
-              s.normal_level(local) == lvl + 1) {
-            s.parent_normal[local] = words[i + 1];
-          }
-        }
-      };
-      for (int o = 0; o < p; ++o) {
-        if (o == g) continue;
-        transport.send(g, o, parent_tag,
-                       std::move(tuples[static_cast<std::size_t>(o)]));
-      }
-      apply_tuples(tuples[static_cast<std::size_t>(g)]);
-      for (int o = 0; o < p; ++o) {
-        if (o == g) continue;
-        apply_tuples(transport.recv(g, o, parent_tag));
-      }
-
-      // Delegate parents: encoded candidates -> global ids -> min-reduce.
-      const LocalId d = graph_.num_delegates();
-      std::vector<std::uint64_t> parents(d);
-      for (LocalId t = 0; t < d; ++t) {
-        VertexId enc = s.parent_delegate[t].load(std::memory_order_relaxed);
-        if (enc != kParentNone && (enc & kParentDelegateTag) != 0) {
-          enc = graph_.delegates().vertex_of(
-              static_cast<LocalId>(enc & ~kParentDelegateTag));
-        }
-        parents[t] = enc;  // kParentNone == UINT64_MAX: identity for min
-      }
-      if (p > 1) {
-        comm::allreduce_min_words(transport, everyone, g, parents,
-                                  parent_tag + 4);
-      }
-      for (LocalId t = 0; t < d; ++t) {
-        s.parent_delegate[t].store(parents[t], std::memory_order_relaxed);
-      }
-    }
-
-    device.release("bfs.state");
-  });
-  const double measured_ms = wall.elapsed_ms();
+  BfsAlgorithm algo(graph_, options_, source);
+  engine::IterativeEngine<BfsAlgorithm> engine(graph_, cluster_);
+  auto run = engine.run(algo);
 
   // ---- Gather distances and metrics on the host. -----------------------
   BfsResult result;
   result.distances.assign(graph_.num_vertices(), kUnvisited);
   for (int g = 0; g < p; ++g) {
-    const GpuState& s = *states[static_cast<std::size_t>(g)];
+    const GpuState& s = run.state(g).gpu;
     const sim::GpuCoord me = spec.coord_of(g);
     const std::uint64_t n_local = graph_.local(g).num_local_normals();
     for (std::uint64_t v = 0; v < n_local; ++v) {
@@ -260,7 +299,7 @@ BfsResult DistributedBfs::run(VertexId source) {
       }
     }
   }
-  const GpuState& s0 = *states[0];
+  const GpuState& s0 = run.state(0).gpu;
   for (LocalId t = 0; t < graph_.num_delegates(); ++t) {
     if (s0.level_delegate[t] != kUnvisited) {
       result.distances[graph_.delegates().vertex_of(t)] = s0.level_delegate[t];
@@ -270,7 +309,7 @@ BfsResult DistributedBfs::run(VertexId source) {
   if (options_.compute_parents) {
     result.parents.assign(graph_.num_vertices(), kInvalidVertex);
     for (int g = 0; g < p; ++g) {
-      const GpuState& s = *states[static_cast<std::size_t>(g)];
+      const GpuState& s = run.state(g).gpu;
       const sim::GpuCoord me = spec.coord_of(g);
       const std::uint64_t n_local = graph_.local(g).num_local_normals();
       for (std::uint64_t v = 0; v < n_local; ++v) {
@@ -292,13 +331,8 @@ BfsResult DistributedBfs::run(VertexId source) {
     }
   }
 
-  std::vector<std::vector<sim::GpuIterationCounters>> histories;
-  histories.reserve(static_cast<std::size_t>(p));
-  for (int g = 0; g < p; ++g) {
-    histories.push_back(std::move(states[static_cast<std::size_t>(g)]->history));
-  }
-  result.metrics =
-      assemble_metrics(graph_, options_, std::move(histories), measured_ms);
+  result.metrics = assemble_metrics(graph_, options_, std::move(run.histories),
+                                    run.measured_ms);
   return result;
 }
 

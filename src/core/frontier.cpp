@@ -38,7 +38,6 @@ void GpuState::begin_iteration() {
 }
 
 void GpuState::end_iteration() {
-  history.push_back(iter);
   // next_local and received carry the next iteration's frontier inputs; the
   // next normal previsit consumes and clears them.
   delegate_out.clear_all();

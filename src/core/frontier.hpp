@@ -89,12 +89,13 @@ class GpuState {
 
   // --- bookkeeping --------------------------------------------------------
   Depth depth = 0;
-  sim::GpuIterationCounters iter;                 // current iteration
-  std::vector<sim::GpuIterationCounters> history; // all iterations
+  sim::GpuIterationCounters iter;  // current iteration (history is kept by
+                                   // the IterativeEngine)
 
   /// Reset iteration-scoped scratch (bins stay allocated).
   void begin_iteration();
-  /// Push the iteration counters into history.
+  /// Close the iteration (clears the delegate out-mask; `iter` stays valid
+  /// until the next begin_iteration so the engine can snapshot it).
   void end_iteration();
 
  private:

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+/// Wire packing of the end-of-run parent-exchange tuples (paper Section
+/// VI-A3).
+///
+/// Traversal sends bare 4-byte local ids (visit_nn), so nn-discovered
+/// vertices learn their parent in one extra exchange of
+/// (destination local id, sender level) probes.  Both fields share one
+/// 64-bit word: the low kParentDepthBits carry the level, the rest the
+/// destination's local id.  The split must fit the visit path's id width --
+/// local ids are 32-bit (util/types.hpp), so every id the exchange can
+/// deliver must survive the packing, checked below at the maximum local-id
+/// width.
+namespace dsbfs::core {
+
+/// Bits of BFS level in a packed parent probe (bounds the supported
+/// diameter at 2^21 - 1 hops; Graph500-style graphs stay far below).
+inline constexpr int kParentDepthBits = 21;
+inline constexpr std::uint64_t kParentDepthMask =
+    (1ULL << kParentDepthBits) - 1;
+/// Bits left for the destination local id.
+inline constexpr int kParentLocalBits = 64 - kParentDepthBits;
+
+constexpr std::uint64_t pack_parent_probe(std::uint64_t dest_local,
+                                          Depth level) noexcept {
+  return (dest_local << kParentDepthBits) |
+         (static_cast<std::uint64_t>(level) & kParentDepthMask);
+}
+
+constexpr LocalId parent_probe_local(std::uint64_t word) noexcept {
+  return static_cast<LocalId>(word >> kParentDepthBits);
+}
+
+constexpr Depth parent_probe_level(std::uint64_t word) noexcept {
+  return static_cast<Depth>(word & kParentDepthMask);
+}
+
+// The packing must round-trip every 32-bit local id at the deepest
+// representable level.
+static_assert(kParentLocalBits >= 32,
+              "parent probes must carry any 32-bit local id");
+static_assert(parent_probe_local(pack_parent_probe(
+                  kInvalidLocal, static_cast<Depth>(kParentDepthMask))) ==
+              kInvalidLocal);
+static_assert(parent_probe_level(pack_parent_probe(
+                  kInvalidLocal, static_cast<Depth>(kParentDepthMask))) ==
+              static_cast<Depth>(kParentDepthMask));
+static_assert(parent_probe_local(pack_parent_probe(0, 0)) == 0 &&
+              parent_probe_level(pack_parent_probe(0, 0)) == 0);
+
+}  // namespace dsbfs::core

@@ -1,26 +1,234 @@
 #include "core/pagerank.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <memory>
 
-#include "comm/collectives.hpp"
-#include "comm/exchange.hpp"
-#include "comm/mask_reduce.hpp"
-#include "comm/transport.hpp"
-#include "util/timer.hpp"
+#include "engine/iterative_engine.hpp"
 
 namespace dsbfs::core {
 
 namespace {
 
-struct PrState {
-  std::vector<double> rank_normal;
-  std::vector<double> rank_delegate;  // replicated
-  std::vector<double> acc_normal;
-  std::vector<double> acc_delegate;   // local contributions, then reduced
-  std::vector<std::vector<comm::VertexUpdate>> bins;
-  std::vector<sim::GpuIterationCounters> history;
+/// Push-style PageRank as engine phases: every vertex distributes
+/// rank / out_degree along its edges each iteration; delegate inflows meet
+/// in a global SUM reduction, nn inflows travel through the update
+/// exchange, and the contribution hook folds dangling mass, applies the
+/// new ranks and turns the globally reduced L1 delta into the engine's
+/// converged/not-converged control word.
+class PagerankAlgorithm {
+ public:
+  static constexpr const char* kStateLabel = "pagerank.state";
+
+  /// Reduction channels within one iteration (TagBlocks::reduce_channel).
+  enum Channel : int { kInflow = 0, kDangling = 1, kDelta = 2 };
+
+  struct State {
+    std::vector<double> rank_normal;
+    std::vector<double> rank_delegate;  // replicated
+    std::vector<double> acc_normal;
+    std::vector<double> acc_delegate;  // local contributions, then reduced
+    std::vector<bool> dead;            // normal slots owned by delegates
+    std::vector<std::vector<comm::VertexUpdate>> bins;
+    sim::GpuIterationCounters iter;
+    double dangling = 0.0;
+    double last_delta = 0.0;
+  };
+
+  PagerankAlgorithm(const graph::DistributedGraph& graph,
+                    const PagerankOptions& options,
+                    const std::vector<double>& delegate_inv_degree)
+      : graph_(graph),
+        options_(options),
+        delegate_inv_degree_(delegate_inv_degree) {}
+
+  std::unique_ptr<State> init(engine::GpuContext& ctx) {
+    const sim::ClusterSpec& spec = graph_.spec();
+    const LocalId d = graph_.num_delegates();
+    const std::uint64_t n_local = graph_.local(ctx.gpu).num_local_normals();
+    const double n = static_cast<double>(graph_.num_vertices());
+
+    auto state = std::make_unique<State>();
+    State& s = *state;
+
+    // A delegate's original vertex id still owns a (dead) normal slot on
+    // this GPU; its rank lives in the replicated delegate array instead.
+    s.dead.assign(n_local, false);
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      s.dead[v] = graph_.delegates().is_delegate(
+          spec.global_vertex(ctx.me.rank, ctx.me.gpu, v));
+    }
+
+    s.rank_normal.assign(n_local, 0.0);
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      if (!s.dead[v]) s.rank_normal[v] = 1.0 / n;
+    }
+    s.rank_delegate.assign(d, 1.0 / n);
+    s.acc_normal.assign(n_local, 0.0);
+    s.acc_delegate.assign(d, 0.0);
+    s.bins.resize(static_cast<std::size_t>(ctx.total_gpus));
+    return state;
+  }
+
+  std::uint64_t state_bytes(const engine::GpuContext& ctx,
+                            const State&) const {
+    return (2 * graph_.local(ctx.gpu).num_local_normals() +
+            2ULL * graph_.num_delegates()) *
+           8;
+  }
+
+  void previsit(engine::GpuContext&, State& s, int) {
+    s.iter = sim::GpuIterationCounters{};
+    std::fill(s.acc_normal.begin(), s.acc_normal.end(), 0.0);
+    std::fill(s.acc_delegate.begin(), s.acc_delegate.end(), 0.0);
+    s.dangling = 0.0;
+  }
+
+  void visit(engine::GpuContext& ctx, State& s, int) {
+    const sim::ClusterSpec& spec = graph_.spec();
+    const graph::LocalGraph& lg = graph_.local(ctx.gpu);
+    const std::uint64_t n_local = lg.num_local_normals();
+    const LocalId d = graph_.num_delegates();
+    const std::uint64_t p = static_cast<std::uint64_t>(ctx.total_gpus);
+
+    // Normal vertices: full adjacency lives here (nn + nd rows).
+    s.iter.nprev_vertices = n_local;
+    s.iter.nn.launched = s.iter.nd.launched = n_local > 0;
+    s.iter.nn.vertices = s.iter.nd.vertices = n_local;
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      if (s.dead[v]) continue;
+      const std::uint32_t degree =
+          lg.nn().row_length(v) + lg.nd().row_length(v);
+      if (degree == 0) {
+        s.dangling += s.rank_normal[v];
+        continue;
+      }
+      const double share = s.rank_normal[v] / degree;
+      const auto nn_row = lg.nn().row(v);
+      s.iter.nn.edges += nn_row.size();
+      for (const VertexId dst : nn_row) {
+        s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))].push_back(
+            comm::VertexUpdate{static_cast<LocalId>(dst / p),
+                               std::bit_cast<std::uint64_t>(share)});
+      }
+      const auto nd_row = lg.nd().row(v);
+      s.iter.nd.edges += nd_row.size();
+      for (const LocalId c : nd_row) s.acc_delegate[c] += share;
+    }
+
+    // Delegates: replicated rank, scattered adjacency; each GPU pushes
+    // the delegate's share along its local dd/dn portions.
+    s.iter.dprev_vertices = d;
+    s.iter.dd.launched = s.iter.dn.launched = d > 0;
+    s.iter.dd.vertices = s.iter.dn.vertices = d;
+    for (LocalId t = 0; t < d; ++t) {
+      const double share = s.rank_delegate[t] * delegate_inv_degree_[t];
+      const auto dd_row = lg.dd().row(t);
+      s.iter.dd.edges += dd_row.size();
+      for (const LocalId c : dd_row) s.acc_delegate[c] += share;
+      const auto dn_row = lg.dn().row(t);
+      s.iter.dn.edges += dn_row.size();
+      for (const LocalId v : dn_row) s.acc_normal[v] += share;
+    }
+  }
+
+  void reduce(engine::GpuContext& ctx, State& s, int iteration) {
+    // Global delegate inflow reduction (d doubles).
+    const LocalId d = graph_.num_delegates();
+    std::vector<std::uint64_t> words(d);
+    for (LocalId t = 0; t < d; ++t) {
+      words[t] = std::bit_cast<std::uint64_t>(s.acc_delegate[t]);
+    }
+    ctx.comm.value_reducer().reduce(
+        ctx.me, words, comm::ValueReducer::Op::kSumDouble,
+        engine::TagBlocks::reduce_channel(iteration, kInflow));
+    for (LocalId t = 0; t < d; ++t) {
+      s.acc_delegate[t] = std::bit_cast<double>(words[t]);
+    }
+    s.iter.delegate_update = true;
+  }
+
+  void exchange(engine::GpuContext& ctx, State& s, int iteration) {
+    // nn inflow exchange.
+    comm::ExchangeCounters ec;
+    const auto updates = comm::exchange_updates(
+        ctx.comm.transport(), graph_.spec(), ctx.me, s.bins, iteration, ec);
+    s.iter.bin_vertices = ec.bin_vertices;
+    s.iter.send_bytes_remote = ec.send_bytes_remote;
+    s.iter.recv_bytes_remote = ec.recv_bytes_remote;
+    s.iter.send_dest_ranks = ec.send_dest_ranks;
+    s.iter.local_all2all_bytes = ec.local_bytes;
+    for (const comm::VertexUpdate& u : updates) {
+      s.acc_normal[u.vertex] += std::bit_cast<double>(u.value);
+    }
+  }
+
+  std::uint64_t contribution(engine::GpuContext& ctx, State& s,
+                             int iteration) {
+    const double n = static_cast<double>(graph_.num_vertices());
+    const double damping = options_.damping;
+    const LocalId d = graph_.num_delegates();
+    const std::uint64_t n_local = graph_.local(ctx.gpu).num_local_normals();
+
+    // Dangling mass: summed globally; everyone then computes identical
+    // delegate ranks from the identical reduced inflows.
+    std::uint64_t dangling_word = std::bit_cast<std::uint64_t>(s.dangling);
+    ctx.comm.value_reducer().reduce(
+        ctx.me, std::span<std::uint64_t>(&dangling_word, 1),
+        comm::ValueReducer::Op::kSumDouble,
+        engine::TagBlocks::reduce_channel(iteration, kDangling));
+    const double dangling_total = std::bit_cast<double>(dangling_word);
+
+    const double base = (1.0 - damping) / n + damping * dangling_total / n;
+    double delta = 0.0;
+    for (std::uint64_t v = 0; v < n_local; ++v) {
+      if (s.dead[v]) continue;
+      const double next = base + damping * s.acc_normal[v];
+      delta += std::abs(next - s.rank_normal[v]);
+      s.rank_normal[v] = next;
+    }
+    double delegate_delta = 0.0;
+    for (LocalId t = 0; t < d; ++t) {
+      const double next = base + damping * s.acc_delegate[t];
+      delegate_delta += std::abs(next - s.rank_delegate[t]);
+      s.rank_delegate[t] = next;
+    }
+
+    // Convergence: L1 change across normals (each counted once at its
+    // owner) plus delegates (identical everywhere; counted on GPU 0).
+    std::uint64_t delta_word = std::bit_cast<std::uint64_t>(
+        delta + (ctx.gpu == 0 ? delegate_delta : 0.0));
+    ctx.comm.value_reducer().reduce(
+        ctx.me, std::span<std::uint64_t>(&delta_word, 1),
+        comm::ValueReducer::Op::kSumDouble,
+        engine::TagBlocks::reduce_channel(iteration, kDelta));
+    s.last_delta = std::bit_cast<double>(delta_word);
+
+    // The reduced delta is identical on every GPU, so every GPU casts the
+    // same still-running / converged vote.
+    const bool stop = s.last_delta < options_.tolerance ||
+                      iteration + 1 >= options_.max_iterations;
+    return stop ? 0 : 1;
+  }
+
+  void post_reduce(engine::GpuContext&, State&, int, std::uint64_t) {}
+
+  bool end_iteration(engine::GpuContext&, State&, int, std::uint64_t control) {
+    return control == 0;
+  }
+
+  bool collect_counters() const { return options_.collect_counters; }
+  sim::GpuIterationCounters iteration_counters(const State& s) const {
+    return s.iter;
+  }
+
+  void finalize(engine::GpuContext&, State&, int) {}
+
+ private:
+  const graph::DistributedGraph& graph_;
+  const PagerankOptions& options_;
+  const std::vector<double>& delegate_inv_degree_;
 };
 
 }  // namespace
@@ -29,17 +237,23 @@ DistributedPagerank::DistributedPagerank(const graph::DistributedGraph& graph,
                                          sim::Cluster& cluster,
                                          PagerankOptions options)
     : graph_(graph), cluster_(cluster), options_(options) {
-  if (graph.spec().total_gpus() != cluster.total_gpus()) {
-    throw std::invalid_argument("graph and cluster specs disagree");
-  }
+  engine::check_specs_match(graph, cluster);
 }
 
 PagerankResult DistributedPagerank::run() {
   const sim::ClusterSpec spec = graph_.spec();
   const int p = spec.total_gpus();
   const LocalId d = graph_.num_delegates();
-  const double n = static_cast<double>(graph_.num_vertices());
-  const double damping = options_.damping;
+
+  if (options_.max_iterations <= 0) {
+    // The engine loop always runs at least one iteration; zero iterations
+    // means "return the uniform initial ranks", as the pre-engine driver
+    // did.
+    PagerankResult result;
+    result.ranks.assign(graph_.num_vertices(),
+                        1.0 / static_cast<double>(graph_.num_vertices()));
+    return result;
+  }
 
   // Replicated delegate out-degrees (every GPU would hold these on device).
   std::vector<double> delegate_inv_degree(d);
@@ -48,165 +262,24 @@ PagerankResult DistributedPagerank::run() {
         1.0 / graph_.degrees()[graph_.delegates().vertex_of(t)];
   }
 
-  comm::Transport transport(spec);
-  comm::ValueReducer reducer(transport, spec);
-
-  std::vector<std::unique_ptr<PrState>> states(static_cast<std::size_t>(p));
-  std::vector<int> iterations_out(static_cast<std::size_t>(p), 0);
-  std::vector<double> delta_out(static_cast<std::size_t>(p), 0);
-
-  util::Timer wall;
-  cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
-    const int g = spec.global_gpu(me);
-    const graph::LocalGraph& lg = graph_.local(g);
-    const std::uint64_t n_local = lg.num_local_normals();
-
-    auto state_ptr = std::make_unique<PrState>();
-    PrState& s = *state_ptr;
-    states[static_cast<std::size_t>(g)] = std::move(state_ptr);
-    device.allocate("pagerank.state", (2 * n_local + 2ULL * d) * 8);
-
-    // A delegate's original vertex id still owns a (dead) normal slot on
-    // this GPU; its rank lives in the replicated delegate array instead.
-    std::vector<bool> dead(n_local, false);
-    for (std::uint64_t v = 0; v < n_local; ++v) {
-      dead[v] = graph_.delegates().is_delegate(
-          spec.global_vertex(me.rank, me.gpu, v));
-    }
-
-    s.rank_normal.assign(n_local, 0.0);
-    for (std::uint64_t v = 0; v < n_local; ++v) {
-      if (!dead[v]) s.rank_normal[v] = 1.0 / n;
-    }
-    s.rank_delegate.assign(d, 1.0 / n);
-    s.acc_normal.assign(n_local, 0.0);
-    s.acc_delegate.assign(d, 0.0);
-    s.bins.resize(static_cast<std::size_t>(p));
-
-    for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
-      sim::GpuIterationCounters iter;
-      std::fill(s.acc_normal.begin(), s.acc_normal.end(), 0.0);
-      std::fill(s.acc_delegate.begin(), s.acc_delegate.end(), 0.0);
-      double dangling = 0.0;
-
-      // Normal vertices: full adjacency lives here (nn + nd rows).
-      iter.nprev_vertices = n_local;
-      iter.nn.launched = iter.nd.launched = n_local > 0;
-      iter.nn.vertices = iter.nd.vertices = n_local;
-      for (std::uint64_t v = 0; v < n_local; ++v) {
-        if (dead[v]) continue;
-        const std::uint32_t degree =
-            lg.nn().row_length(v) + lg.nd().row_length(v);
-        if (degree == 0) {
-          dangling += s.rank_normal[v];
-          continue;
-        }
-        const double share = s.rank_normal[v] / degree;
-        const auto nn_row = lg.nn().row(v);
-        iter.nn.edges += nn_row.size();
-        for (const VertexId dst : nn_row) {
-          s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))]
-              .push_back(comm::VertexUpdate{
-                  static_cast<LocalId>(dst / static_cast<std::uint64_t>(p)),
-                  std::bit_cast<std::uint64_t>(share)});
-        }
-        const auto nd_row = lg.nd().row(v);
-        iter.nd.edges += nd_row.size();
-        for (const LocalId c : nd_row) s.acc_delegate[c] += share;
-      }
-
-      // Delegates: replicated rank, scattered adjacency; each GPU pushes
-      // the delegate's share along its local dd/dn portions.
-      iter.dprev_vertices = d;
-      iter.dd.launched = iter.dn.launched = d > 0;
-      iter.dd.vertices = iter.dn.vertices = d;
-      for (LocalId t = 0; t < d; ++t) {
-        const double share = s.rank_delegate[t] * delegate_inv_degree[t];
-        const auto dd_row = lg.dd().row(t);
-        iter.dd.edges += dd_row.size();
-        for (const LocalId c : dd_row) s.acc_delegate[c] += share;
-        const auto dn_row = lg.dn().row(t);
-        iter.dn.edges += dn_row.size();
-        for (const LocalId v : dn_row) s.acc_normal[v] += share;
-      }
-
-      // Global delegate inflow reduction (d doubles).
-      std::vector<std::uint64_t> words(d);
-      for (LocalId t = 0; t < d; ++t) {
-        words[t] = std::bit_cast<std::uint64_t>(s.acc_delegate[t]);
-      }
-      reducer.reduce(me, words, comm::ValueReducer::Op::kSumDouble, iteration);
-      for (LocalId t = 0; t < d; ++t) {
-        s.acc_delegate[t] = std::bit_cast<double>(words[t]);
-      }
-      iter.delegate_update = true;
-
-      // nn inflow exchange.
-      comm::ExchangeCounters ec;
-      const auto updates =
-          comm::exchange_updates(transport, spec, me, s.bins, iteration, ec);
-      iter.bin_vertices = ec.bin_vertices;
-      iter.send_bytes_remote = ec.send_bytes_remote;
-      iter.recv_bytes_remote = ec.recv_bytes_remote;
-      iter.send_dest_ranks = ec.send_dest_ranks;
-      iter.local_all2all_bytes = ec.local_bytes;
-      for (const comm::VertexUpdate& u : updates) {
-        s.acc_normal[u.vertex] += std::bit_cast<double>(u.value);
-      }
-
-      // Dangling mass: summed globally; everyone then computes identical
-      // delegate ranks from the identical reduced inflows.
-      std::uint64_t dangling_word = std::bit_cast<std::uint64_t>(dangling);
-      reducer.reduce(me, std::span<std::uint64_t>(&dangling_word, 1),
-                     comm::ValueReducer::Op::kSumDouble, iteration + 100000);
-      const double dangling_total = std::bit_cast<double>(dangling_word);
-
-      const double base = (1.0 - damping) / n + damping * dangling_total / n;
-      double delta = 0.0;
-      for (std::uint64_t v = 0; v < n_local; ++v) {
-        if (dead[v]) continue;
-        const double next = base + damping * s.acc_normal[v];
-        delta += std::abs(next - s.rank_normal[v]);
-        s.rank_normal[v] = next;
-      }
-      double delegate_delta = 0.0;
-      for (LocalId t = 0; t < d; ++t) {
-        const double next = base + damping * s.acc_delegate[t];
-        delegate_delta += std::abs(next - s.rank_delegate[t]);
-        s.rank_delegate[t] = next;
-      }
-
-      // Convergence: L1 change across normals (each counted once at its
-      // owner) plus delegates (identical everywhere; counted on GPU 0).
-      std::uint64_t delta_word = std::bit_cast<std::uint64_t>(
-          delta + (g == 0 ? delegate_delta : 0.0));
-      reducer.reduce(me, std::span<std::uint64_t>(&delta_word, 1),
-                     comm::ValueReducer::Op::kSumDouble, iteration + 200000);
-      const double contribution = std::bit_cast<double>(delta_word);
-
-      if (options_.collect_counters) s.history.push_back(iter);
-      iterations_out[static_cast<std::size_t>(g)] = iteration + 1;
-      delta_out[static_cast<std::size_t>(g)] = contribution;
-      if (contribution < options_.tolerance) break;
-    }
-    device.release("pagerank.state");
-  });
-  const double measured_ms = wall.elapsed_ms();
+  PagerankAlgorithm algo(graph_, options_, delegate_inv_degree);
+  engine::IterativeEngine<PagerankAlgorithm> engine(graph_, cluster_);
+  auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
   PagerankResult result;
-  result.measured_ms = measured_ms;
-  result.iterations = iterations_out[0];
-  result.final_delta = delta_out[0];
+  result.measured_ms = run.measured_ms;
+  result.iterations = run.iterations;
+  result.final_delta = run.state(0).last_delta;
   result.ranks.assign(graph_.num_vertices(), 0.0);
   for (int g = 0; g < p; ++g) {
-    const PrState& s = *states[static_cast<std::size_t>(g)];
+    const auto& s = run.state(g);
     const sim::GpuCoord me = spec.coord_of(g);
     for (std::uint64_t v = 0; v < s.rank_normal.size(); ++v) {
       result.ranks[spec.global_vertex(me.rank, me.gpu, v)] = s.rank_normal[v];
     }
   }
-  const PrState& s0 = *states[0];
+  const auto& s0 = run.state(0);
   for (LocalId t = 0; t < d; ++t) {
     result.ranks[graph_.delegates().vertex_of(t)] = s0.rank_delegate[t];
   }
@@ -223,7 +296,7 @@ PagerankResult DistributedPagerank::run() {
       ic.gpu.resize(static_cast<std::size_t>(p));
       for (int g = 0; g < p; ++g) {
         ic.gpu[static_cast<std::size_t>(g)] =
-            states[static_cast<std::size_t>(g)]->history[it];
+            run.histories[static_cast<std::size_t>(g)][it];
         result.update_bytes_remote +=
             ic.gpu[static_cast<std::size_t>(g)].send_bytes_remote;
       }

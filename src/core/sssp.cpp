@@ -1,27 +1,28 @@
-#include "core/components.hpp"
+#include "core/sssp.hpp"
 
 #include <algorithm>
 #include <memory>
-#include <unordered_set>
+#include <stdexcept>
 
 #include "engine/iterative_engine.hpp"
+#include "util/hash.hpp"
 
 namespace dsbfs::core {
 
 namespace {
 
-/// Min-label propagation as engine phases: labels travel along all four
-/// subgraphs each iteration; delegate labels meet in a global min-reduction
-/// before the normal-label exchange, and the engine's control allreduce
-/// counts surviving changes for convergence.
-class CcAlgorithm {
+/// Label-correcting Bellman-Ford as engine phases (see sssp.hpp).  The
+/// structure mirrors connected components -- min-combine over delegates,
+/// (id, value) exchange for normals -- with distance-plus-weight relaxation
+/// in place of label copying.
+class SsspAlgorithm {
  public:
-  static constexpr const char* kStateLabel = "cc.state";
+  static constexpr const char* kStateLabel = "sssp.state";
 
   struct State {
-    std::vector<VertexId> label_normal;    // per local normal
-    std::vector<VertexId> label_delegate;  // per delegate, replicated
-    std::vector<VertexId> delegate_cand;   // this iteration's min candidates
+    std::vector<std::uint64_t> dist_normal;    // per local normal
+    std::vector<std::uint64_t> dist_delegate;  // per delegate, replicated
+    std::vector<std::uint64_t> delegate_cand;  // this iteration's candidates
     std::vector<LocalId> active_normals;
     std::vector<LocalId> active_delegates;
     std::vector<LocalId> next_normals;
@@ -30,8 +31,9 @@ class CcAlgorithm {
     sim::GpuIterationCounters iter;
   };
 
-  CcAlgorithm(const graph::DistributedGraph& graph, const CcOptions& options)
-      : graph_(graph), options_(options) {}
+  SsspAlgorithm(const graph::DistributedGraph& graph,
+                const SsspOptions& options, VertexId source)
+      : graph_(graph), options_(options), source_(source) {}
 
   std::unique_ptr<State> init(engine::GpuContext& ctx) {
     const sim::ClusterSpec& spec = graph_.spec();
@@ -40,18 +42,22 @@ class CcAlgorithm {
 
     auto state = std::make_unique<State>();
     State& s = *state;
-    s.label_normal.resize(n_local);
-    for (std::uint64_t v = 0; v < n_local; ++v) {
-      s.label_normal[v] = spec.global_vertex(ctx.me.rank, ctx.me.gpu, v);
-      s.active_normals.push_back(static_cast<LocalId>(v));
-    }
-    s.label_delegate.resize(d);
-    s.delegate_cand.resize(d);
-    for (LocalId t = 0; t < d; ++t) {
-      s.label_delegate[t] = graph_.delegates().vertex_of(t);
-      s.active_delegates.push_back(t);
-    }
+    s.dist_normal.assign(n_local, kInfiniteDistance);
+    s.dist_delegate.assign(d, kInfiniteDistance);
+    s.delegate_cand.assign(d, kInfiniteDistance);
     s.bins.resize(static_cast<std::size_t>(ctx.total_gpus));
+
+    // Seed the source: a delegate activates on every GPU (its adjacency is
+    // scattered); a normal vertex activates on its owner only.
+    const LocalId src_delegate = graph_.delegates().delegate_id(source_);
+    if (src_delegate != kInvalidLocal) {
+      s.dist_delegate[src_delegate] = 0;
+      s.active_delegates.push_back(src_delegate);
+    } else if (spec.owner_global_gpu(source_) == ctx.gpu) {
+      const LocalId local = static_cast<LocalId>(spec.local_index(source_));
+      s.dist_normal[local] = 0;
+      s.active_normals.push_back(local);
+    }
     return state;
   }
 
@@ -64,7 +70,7 @@ class CcAlgorithm {
 
   void previsit(engine::GpuContext&, State& s, int) {
     s.iter = sim::GpuIterationCounters{};
-    std::copy(s.label_delegate.begin(), s.label_delegate.end(),
+    std::copy(s.dist_delegate.begin(), s.dist_delegate.end(),
               s.delegate_cand.begin());
     s.next_normals.clear();
     s.next_delegates.clear();
@@ -73,47 +79,59 @@ class CcAlgorithm {
   void visit(engine::GpuContext& ctx, State& s, int) {
     const sim::ClusterSpec& spec = graph_.spec();
     const graph::LocalGraph& lg = graph_.local(ctx.gpu);
+    const graph::DelegateInfo& delegates = graph_.delegates();
     const std::uint64_t p = static_cast<std::uint64_t>(ctx.total_gpus);
+    const std::uint32_t w_max = options_.max_weight;
 
-    // Normal pushes: nn updates travel, nd updates land in candidates.
+    // Normal relaxations: nn candidates travel, nd candidates land in the
+    // replicated delegate array.
     s.iter.nprev_vertices = s.active_normals.size();
     s.iter.nn.launched = s.iter.nd.launched = !s.active_normals.empty();
     for (const LocalId v : s.active_normals) {
-      const VertexId lbl = s.label_normal[v];
+      const std::uint64_t dist = s.dist_normal[v];
+      const VertexId v_global =
+          spec.global_vertex(ctx.me.rank, ctx.me.gpu, v);
       const auto nn_row = lg.nn().row(v);
       s.iter.nn.edges += nn_row.size();
       for (const VertexId dst : nn_row) {
-        // Send only improving candidates coarsely: the label might not
-        // beat the destination's, the receiver checks.
-        if (lbl < dst) {
-          s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))]
-              .push_back(comm::VertexUpdate{static_cast<LocalId>(dst / p),
-                                            lbl});
-        }
+        const std::uint64_t cand =
+            dist + util::edge_weight(v_global, dst, w_max);
+        s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))]
+            .push_back(
+                comm::VertexUpdate{static_cast<LocalId>(dst / p), cand});
       }
       const auto nd_row = lg.nd().row(v);
       s.iter.nd.edges += nd_row.size();
       for (const LocalId c : nd_row) {
-        if (lbl < s.delegate_cand[c]) s.delegate_cand[c] = lbl;
+        const std::uint64_t cand =
+            dist + util::edge_weight(v_global, delegates.vertex_of(c), w_max);
+        if (cand < s.delegate_cand[c]) s.delegate_cand[c] = cand;
       }
     }
     s.iter.nn.vertices = s.iter.nd.vertices = s.active_normals.size();
 
-    // Delegate pushes: dd into candidates, dn into local labels.
+    // Delegate relaxations: dd into candidates, dn into local distances.
     s.iter.dprev_vertices = s.active_delegates.size();
     s.iter.dd.launched = s.iter.dn.launched = !s.active_delegates.empty();
     for (const LocalId t : s.active_delegates) {
-      const VertexId lbl = s.label_delegate[t];
+      const std::uint64_t dist = s.dist_delegate[t];
+      const VertexId t_global = delegates.vertex_of(t);
       const auto dd_row = lg.dd().row(t);
       s.iter.dd.edges += dd_row.size();
       for (const LocalId c : dd_row) {
-        if (lbl < s.delegate_cand[c]) s.delegate_cand[c] = lbl;
+        const std::uint64_t cand =
+            dist + util::edge_weight(t_global, delegates.vertex_of(c), w_max);
+        if (cand < s.delegate_cand[c]) s.delegate_cand[c] = cand;
       }
       const auto dn_row = lg.dn().row(t);
       s.iter.dn.edges += dn_row.size();
       for (const LocalId v : dn_row) {
-        if (lbl < s.label_normal[v]) {
-          s.label_normal[v] = lbl;
+        const std::uint64_t cand =
+            dist + util::edge_weight(
+                       t_global,
+                       spec.global_vertex(ctx.me.rank, ctx.me.gpu, v), w_max);
+        if (cand < s.dist_normal[v]) {
+          s.dist_normal[v] = cand;
           s.next_normals.push_back(v);
         }
       }
@@ -122,15 +140,15 @@ class CcAlgorithm {
   }
 
   void reduce(engine::GpuContext& ctx, State& s, int iteration) {
-    // Global delegate label min-reduction (d x 8 bytes).
+    // Global delegate distance min-reduction (d x 8 bytes).
     const LocalId d = graph_.num_delegates();
     ctx.comm.value_reducer().reduce(
         ctx.me, std::span<std::uint64_t>(s.delegate_cand.data(), d),
         comm::ValueReducer::Op::kMin, iteration);
     s.iter.delegate_update = true;
     for (LocalId t = 0; t < d; ++t) {
-      if (s.delegate_cand[t] < s.label_delegate[t]) {
-        s.label_delegate[t] = s.delegate_cand[t];
+      if (s.delegate_cand[t] < s.dist_delegate[t]) {
+        s.dist_delegate[t] = s.delegate_cand[t];
         s.next_delegates.push_back(t);
       }
     }
@@ -146,12 +164,12 @@ class CcAlgorithm {
     s.iter.send_dest_ranks = ec.send_dest_ranks;
     s.iter.local_all2all_bytes = ec.local_bytes;
     for (const comm::VertexUpdate& u : updates) {
-      if (u.value < s.label_normal[u.vertex]) {
-        s.label_normal[u.vertex] = u.value;
+      if (u.value < s.dist_normal[u.vertex]) {
+        s.dist_normal[u.vertex] = u.value;
         s.next_normals.push_back(u.vertex);
       }
     }
-    // A vertex may be improved twice in one round; dedup the frontier.
+    // A vertex may improve several times in one round; dedup the frontier.
     std::sort(s.next_normals.begin(), s.next_normals.end());
     s.next_normals.erase(
         std::unique(s.next_normals.begin(), s.next_normals.end()),
@@ -182,48 +200,49 @@ class CcAlgorithm {
 
  private:
   const graph::DistributedGraph& graph_;
-  const CcOptions& options_;
+  const SsspOptions& options_;
+  VertexId source_;
 };
 
 }  // namespace
 
-ConnectedComponents::ConnectedComponents(const graph::DistributedGraph& graph,
-                                         sim::Cluster& cluster,
-                                         CcOptions options)
+DistributedSssp::DistributedSssp(const graph::DistributedGraph& graph,
+                                 sim::Cluster& cluster, SsspOptions options)
     : graph_(graph), cluster_(cluster), options_(options) {
   engine::check_specs_match(graph, cluster);
+  if (options_.max_weight == 0) {
+    throw std::invalid_argument("sssp max_weight must be at least 1");
+  }
 }
 
-CcResult ConnectedComponents::run() {
+SsspResult DistributedSssp::run(VertexId source) {
+  if (source >= graph_.num_vertices()) {
+    throw std::out_of_range("sssp source out of range");
+  }
   const sim::ClusterSpec spec = graph_.spec();
   const int p = spec.total_gpus();
   const LocalId d = graph_.num_delegates();
 
-  CcAlgorithm algo(graph_, options_);
-  engine::IterativeEngine<CcAlgorithm> engine(graph_, cluster_);
+  SsspAlgorithm algo(graph_, options_, source);
+  engine::IterativeEngine<SsspAlgorithm> engine(graph_, cluster_);
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
-  CcResult result;
+  SsspResult result;
   result.measured_ms = run.measured_ms;
   result.iterations = run.iterations;
-  result.labels.assign(graph_.num_vertices(), kInvalidVertex);
+  result.distances.assign(graph_.num_vertices(), kInfiniteDistance);
   for (int g = 0; g < p; ++g) {
     const auto& s = run.state(g);
     const sim::GpuCoord me = spec.coord_of(g);
-    for (std::uint64_t v = 0; v < s.label_normal.size(); ++v) {
-      result.labels[spec.global_vertex(me.rank, me.gpu, v)] =
-          s.label_normal[v];
+    for (std::uint64_t v = 0; v < s.dist_normal.size(); ++v) {
+      result.distances[spec.global_vertex(me.rank, me.gpu, v)] =
+          s.dist_normal[v];
     }
   }
   const auto& s0 = run.state(0);
   for (LocalId t = 0; t < d; ++t) {
-    result.labels[graph_.delegates().vertex_of(t)] = s0.label_delegate[t];
-  }
-  {
-    std::unordered_set<VertexId> roots(result.labels.begin(),
-                                       result.labels.end());
-    result.num_components = roots.size();
+    result.distances[graph_.delegates().vertex_of(t)] = s0.dist_delegate[t];
   }
 
   // ---- Model. ------------------------------------------------------------
@@ -239,12 +258,9 @@ CcResult ConnectedComponents::run() {
       for (int g = 0; g < p; ++g) {
         ic.gpu[static_cast<std::size_t>(g)] =
             run.histories[static_cast<std::size_t>(g)][it];
+        result.update_bytes_remote +=
+            ic.gpu[static_cast<std::size_t>(g)].send_bytes_remote;
       }
-      result.update_bytes_remote += [&] {
-        std::uint64_t b = 0;
-        for (const auto& gc : ic.gpu) b += gc.send_bytes_remote;
-        return b;
-      }();
     }
     result.reduce_bytes = 2ULL * d * 8 *
                           static_cast<std::uint64_t>(spec.num_ranks) *

@@ -1,0 +1,33 @@
+#include "engine/comm_context.hpp"
+
+namespace dsbfs::engine {
+
+CommContext::CommContext(const sim::ClusterSpec& spec)
+    : spec_(spec),
+      transport_(spec),
+      mask_reducer_(transport_, spec),
+      value_reducer_(transport_, spec),
+      normal_exchange_(transport_, spec),
+      everyone_(static_cast<std::size_t>(spec.total_gpus())) {
+  for (int g = 0; g < spec.total_gpus(); ++g) {
+    everyone_[static_cast<std::size_t>(g)] = g;
+  }
+}
+
+std::uint64_t CommContext::control_allreduce(int gpu, std::uint64_t value,
+                                             int iteration) {
+  return comm::allreduce_sum(transport_, everyone_, gpu, value,
+                             TagBlocks::control(iteration));
+}
+
+std::uint64_t CommContext::allreduce_sum(int gpu, std::uint64_t value,
+                                         int tag) {
+  return comm::allreduce_sum(transport_, everyone_, gpu, value, tag);
+}
+
+void CommContext::allreduce_min_words(int gpu, std::span<std::uint64_t> words,
+                                      int tag) {
+  comm::allreduce_min_words(transport_, everyone_, gpu, words, tag);
+}
+
+}  // namespace dsbfs::engine

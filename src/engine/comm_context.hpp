@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/exchange.hpp"
+#include "comm/mask_reduce.hpp"
+#include "comm/transport.hpp"
+#include "sim/cluster.hpp"
+
+/// Shared communication context for distributed algorithms.
+///
+/// Every algorithm on the cluster needs the same bundle: a Transport, the
+/// two reducers, the normal exchange, and the `everyone` participant list
+/// for whole-cluster collectives.  CommContext owns all of them for the
+/// duration of one algorithm run so drivers stop hand-rolling the bundle,
+/// and TagBlocks centralizes the tag arithmetic that used to be scattered
+/// as `kTagControl + iteration * kTagBlock` / `kTagUser + (depth + 2) *
+/// kTagBlock` expressions across the drivers.
+namespace dsbfs::engine {
+
+/// Allocator for disjoint tag blocks (see comm::Tag): iteration `i` of the
+/// engine loop owns tag block `i`; post-loop phases allocate blocks past the
+/// loop; algorithms running several value reductions per iteration keep them
+/// disjoint with reduction channels.
+struct TagBlocks {
+  /// Spacing between reduction channels.  Reducers take an *iteration
+  /// index*, not a raw tag; channels stack iterations far enough apart that
+  /// no realistic run collides (the loop would need 100k iterations).
+  static constexpr int kChannelStride = 100000;
+
+  /// Tag of the engine's per-iteration termination allreduce.
+  static constexpr int control(int iteration) noexcept {
+    return comm::kTagControl + iteration * comm::kTagBlock;
+  }
+
+  /// User tag `offset` inside `block`.  Offsets must stay below the block
+  /// size so neighbouring blocks cannot overlap.
+  static constexpr int user(int block, int offset = 0) noexcept {
+    assert(offset >= 0 && offset < comm::kTagBlock - comm::kTagUser);
+    return comm::kTagUser + block * comm::kTagBlock + offset;
+  }
+
+  /// A block index disjoint from every iteration's block after a loop of
+  /// `iterations` iterations; distinct `phase` values get distinct blocks.
+  static constexpr int after_loop(int iterations, int phase = 0) noexcept {
+    return iterations + 2 + phase;
+  }
+
+  /// Iteration index to hand a MaskReducer / ValueReducer when an algorithm
+  /// runs more than one reduction per engine iteration.
+  static constexpr int reduce_channel(int iteration, int channel) noexcept {
+    return iteration + channel * kChannelStride;
+  }
+};
+
+class CommContext {
+ public:
+  explicit CommContext(const sim::ClusterSpec& spec);
+
+  CommContext(const CommContext&) = delete;
+  CommContext& operator=(const CommContext&) = delete;
+
+  const sim::ClusterSpec& spec() const noexcept { return spec_; }
+  comm::Transport& transport() noexcept { return transport_; }
+  comm::MaskReducer& mask_reducer() noexcept { return mask_reducer_; }
+  comm::ValueReducer& value_reducer() noexcept { return value_reducer_; }
+  comm::NormalExchange& normal_exchange() noexcept { return normal_exchange_; }
+
+  /// All global GPU indices, the participant list of whole-cluster
+  /// collectives (`me_index` == global GPU index).
+  std::span<const int> everyone() const noexcept { return everyone_; }
+
+  /// The engine's termination allreduce for iteration `iteration`.
+  /// Collective: every GPU must call once per iteration.
+  std::uint64_t control_allreduce(int gpu, std::uint64_t value, int iteration);
+
+  /// Whole-cluster sum allreduce on an explicit tag (see TagBlocks::user).
+  std::uint64_t allreduce_sum(int gpu, std::uint64_t value, int tag);
+
+  /// Whole-cluster element-wise min allreduce on an explicit tag.
+  void allreduce_min_words(int gpu, std::span<std::uint64_t> words, int tag);
+
+ private:
+  sim::ClusterSpec spec_;
+  comm::Transport transport_;
+  comm::MaskReducer mask_reducer_;
+  comm::ValueReducer value_reducer_;
+  comm::NormalExchange normal_exchange_;
+  std::vector<int> everyone_;
+};
+
+}  // namespace dsbfs::engine

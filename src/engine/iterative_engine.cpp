@@ -1,0 +1,14 @@
+#include "engine/iterative_engine.hpp"
+
+#include <stdexcept>
+
+namespace dsbfs::engine {
+
+void check_specs_match(const graph::DistributedGraph& graph,
+                       const sim::Cluster& cluster) {
+  if (graph.spec().total_gpus() != cluster.total_gpus()) {
+    throw std::invalid_argument("graph and cluster specs disagree");
+  }
+}
+
+}  // namespace dsbfs::engine

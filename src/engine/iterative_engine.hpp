@@ -1,0 +1,164 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/comm_context.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "sim/perf_model.hpp"
+#include "util/timer.hpp"
+
+/// Shared driver skeleton for iterative distributed algorithms.
+///
+/// Every algorithm on the degree-separated substrate (BFS, connected
+/// components, PageRank, SSSP, ...) runs the same cluster loop: one thread
+/// per simulated GPU, per-GPU state, a per-iteration sequence of compute and
+/// communication phases, a cluster-wide termination allreduce, and host-side
+/// assembly of per-iteration counter histories and wall-clock time.  The
+/// IterativeEngine owns that skeleton; an algorithm only supplies the phase
+/// hooks (paper Section VI-D: the framework generalizes beyond BFS by
+/// swapping what delegates/normals carry and how values combine).
+///
+/// Per-GPU phase order, every iteration:
+///   previsit -> visit -> reduce -> exchange -> contribution
+///     -> [engine control allreduce] -> post_reduce -> end_iteration
+/// `reduce` runs before the control allreduce (CC labels, PageRank inflows);
+/// `post_reduce` runs after it, which is what lets BFS condition its mask
+/// reduction on the control word and overlap it with the in-flight normal
+/// exchange.  Hooks an algorithm does not need are empty.
+namespace dsbfs::engine {
+
+/// Everything a phase hook may touch, bundled per GPU.  Hooks for different
+/// GPUs run concurrently: an algorithm's own members must be treated as
+/// read-only inside hooks; per-GPU mutable data belongs in the State.
+struct GpuContext {
+  sim::GpuCoord me;
+  sim::Device& device;
+  int gpu;         // global GPU index
+  int total_gpus;  // p
+  const graph::DistributedGraph& graph;
+  CommContext& comm;
+};
+
+/// The phase-hook interface an algorithm implements to run on the engine.
+template <typename A>
+concept IterativeAlgorithm = requires(
+    A a, const A ca, typename A::State& s, const typename A::State& cs,
+    GpuContext& ctx, int iteration, std::uint64_t control) {
+  { A::kStateLabel } -> std::convertible_to<const char*>;
+  /// Build this GPU's state and seed it (source vertex, initial labels...).
+  { a.init(ctx) } -> std::same_as<std::unique_ptr<typename A::State>>;
+  /// Device footprint of the state; the engine registers/releases it.
+  { ca.state_bytes(ctx, cs) } -> std::convertible_to<std::uint64_t>;
+  /// Frontier/queue formation ahead of the visit kernels.
+  a.previsit(ctx, s, iteration);
+  /// The compute kernels (may enqueue on streams owned by the State).
+  a.visit(ctx, s, iteration);
+  /// Pre-control value reductions (delegate labels, inflows).
+  a.reduce(ctx, s, iteration);
+  /// Normal-vertex communication (ids or (id, value) updates).
+  a.exchange(ctx, s, iteration);
+  /// This GPU's word for the termination allreduce; also the
+  /// synchronization point for anything `contribution` needs finished.
+  { a.contribution(ctx, s, iteration) } -> std::convertible_to<std::uint64_t>;
+  /// Post-control reductions (may overlap communication still in flight).
+  a.post_reduce(ctx, s, iteration, control);
+  /// Close the iteration; true when the cluster has converged.
+  { a.end_iteration(ctx, s, iteration, control) } -> std::convertible_to<bool>;
+  /// Whether the engine should record per-iteration counter history.
+  { ca.collect_counters() } -> std::convertible_to<bool>;
+  /// The just-ended iteration's counters (engine owns the history).
+  { ca.iteration_counters(cs) } -> std::convertible_to<sim::GpuIterationCounters>;
+  /// Post-loop work (e.g. the BFS parent exchange); `iteration` here is the
+  /// total iteration count, identical on every GPU.
+  a.finalize(ctx, s, iteration);
+};
+
+/// What one engine run leaves behind for host-side result assembly.
+template <typename State>
+struct EngineRun {
+  std::vector<std::unique_ptr<State>> states;  // per global GPU
+  std::vector<std::vector<sim::GpuIterationCounters>> histories;
+  int iterations = 0;
+  double measured_ms = 0;
+
+  const State& state(int gpu) const {
+    return *states[static_cast<std::size_t>(gpu)];
+  }
+};
+
+/// Shared entry-point validation: every algorithm constructor used to
+/// duplicate this check.  Throws std::invalid_argument on mismatch.
+void check_specs_match(const graph::DistributedGraph& graph,
+                       const sim::Cluster& cluster);
+
+template <IterativeAlgorithm Algo>
+class IterativeEngine {
+ public:
+  using State = typename Algo::State;
+
+  /// `graph` and `cluster` must outlive the engine and share their spec.
+  IterativeEngine(const graph::DistributedGraph& graph, sim::Cluster& cluster)
+      : graph_(graph), cluster_(cluster) {
+    check_specs_match(graph, cluster);
+  }
+
+  /// One collective run: executes the phase loop on every simulated GPU
+  /// concurrently until the termination allreduce reports convergence, then
+  /// the finalize hooks.  Callable repeatedly; each run rebuilds all state.
+  EngineRun<State> run(Algo& algo) {
+    const sim::ClusterSpec spec = graph_.spec();
+    const int p = spec.total_gpus();
+
+    CommContext comm(spec);
+    EngineRun<State> out;
+    out.states.resize(static_cast<std::size_t>(p));
+    out.histories.resize(static_cast<std::size_t>(p));
+    std::vector<int> iterations(static_cast<std::size_t>(p), 0);
+
+    util::Timer wall;
+    cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
+      const int g = spec.global_gpu(me);
+      GpuContext ctx{me, device, g, p, graph_, comm};
+
+      auto state_ptr = algo.init(ctx);
+      State& s = *state_ptr;
+      out.states[static_cast<std::size_t>(g)] = std::move(state_ptr);
+      device.allocate(Algo::kStateLabel, algo.state_bytes(ctx, s));
+
+      auto& history = out.histories[static_cast<std::size_t>(g)];
+      bool done = false;
+      int iteration = 0;
+      for (; !done; ++iteration) {
+        algo.previsit(ctx, s, iteration);
+        algo.visit(ctx, s, iteration);
+        algo.reduce(ctx, s, iteration);
+        algo.exchange(ctx, s, iteration);
+        const std::uint64_t local = algo.contribution(ctx, s, iteration);
+        const std::uint64_t control =
+            comm.control_allreduce(g, local, iteration);
+        algo.post_reduce(ctx, s, iteration, control);
+        done = algo.end_iteration(ctx, s, iteration, control);
+        if (algo.collect_counters()) {
+          history.push_back(algo.iteration_counters(s));
+        }
+      }
+      iterations[static_cast<std::size_t>(g)] = iteration;
+
+      algo.finalize(ctx, s, iteration);
+      device.release(Algo::kStateLabel);
+    });
+    out.measured_ms = wall.elapsed_ms();
+    out.iterations = iterations[0];
+    return out;
+  }
+
+ private:
+  const graph::DistributedGraph& graph_;
+  sim::Cluster& cluster_;
+};
+
+}  // namespace dsbfs::engine

@@ -31,6 +31,19 @@ constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept 
   return splitmix64(a ^ (splitmix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+/// Deterministic symmetric edge weight in [1, max_weight] for weighted
+/// workloads (SSSP) on the library's unweighted edge lists: hashing the
+/// unordered endpoint pair gives every implementation -- distributed or
+/// serial reference -- the identical weight without storing per-edge data.
+constexpr std::uint32_t edge_weight(VertexId u, VertexId v,
+                                    std::uint32_t max_weight) noexcept {
+  const VertexId a = u < v ? u : v;
+  const VertexId b = u < v ? v : u;
+  return 1 + static_cast<std::uint32_t>(
+                 splitmix64(hash_combine(a, b)) %
+                 static_cast<std::uint64_t>(max_weight));
+}
+
 /// Bijective permutation of [0, 2^bits), bits in 1..62, via cycle-walking
 /// over a balanced Feistel network on the next even bit width.
 ///

@@ -34,4 +34,8 @@ inline constexpr LocalId kInvalidLocal = static_cast<LocalId>(-1);
 /// Invalid / sentinel global vertex.
 inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 
+/// Unreached distance for weighted traversals (the identity of min, so
+/// unreached vertices fall out of min-reductions automatically).
+inline constexpr std::uint64_t kInfiniteDistance = static_cast<std::uint64_t>(-1);
+
 }  // namespace dsbfs

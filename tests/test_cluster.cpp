@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 namespace dsbfs::sim {
 namespace {

@@ -1,0 +1,277 @@
+#include "engine/iterative_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/host_apps.hpp"
+#include "baseline/serial_bfs.hpp"
+#include "core/bfs.hpp"
+#include "core/components.hpp"
+#include "core/packing.hpp"
+#include "core/pagerank.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace dsbfs::engine {
+namespace {
+
+sim::ClusterSpec spec_of(int ranks, int gpus) {
+  sim::ClusterSpec s;
+  s.num_ranks = ranks;
+  s.gpus_per_rank = gpus;
+  return s;
+}
+
+// ---- TagBlocks -----------------------------------------------------------
+
+TEST(TagBlocks, MatchesTheHistoricTagArithmetic) {
+  EXPECT_EQ(TagBlocks::control(0), comm::kTagControl);
+  EXPECT_EQ(TagBlocks::control(3), comm::kTagControl + 3 * comm::kTagBlock);
+  EXPECT_EQ(TagBlocks::user(5), comm::kTagUser + 5 * comm::kTagBlock);
+  EXPECT_EQ(TagBlocks::user(5, 4), comm::kTagUser + 5 * comm::kTagBlock + 4);
+  // The BFS parent exchange historically ran on block depth + 2.
+  EXPECT_EQ(TagBlocks::user(TagBlocks::after_loop(7)),
+            comm::kTagUser + (7 + 2) * comm::kTagBlock);
+  EXPECT_EQ(TagBlocks::reduce_channel(9, 0), 9);
+  EXPECT_EQ(TagBlocks::reduce_channel(9, 2), 9 + 2 * TagBlocks::kChannelStride);
+}
+
+TEST(TagBlocks, PostLoopBlocksStayDisjointFromIterations) {
+  const int iterations = 11;
+  for (int phase = 0; phase < 3; ++phase) {
+    const int block = TagBlocks::after_loop(iterations, phase);
+    // Strictly past every iteration's block, and per-phase distinct.
+    EXPECT_GT(TagBlocks::user(block), TagBlocks::control(iterations));
+    EXPECT_GT(TagBlocks::user(block), TagBlocks::user(iterations));
+    if (phase > 0) {
+      EXPECT_GT(block, TagBlocks::after_loop(iterations, phase - 1));
+    }
+  }
+}
+
+// ---- parent-probe packing (core/packing.hpp) -----------------------------
+
+TEST(ParentPacking, RoundTripsAtMaximumLocalIdWidth) {
+  // The exchange delivers any 32-bit local id; the deepest representable
+  // level must not bleed into it (and vice versa).
+  const std::uint64_t max_local = kInvalidLocal;  // 0xffffffff
+  const Depth max_level = static_cast<Depth>(core::kParentDepthMask);
+  const std::uint64_t word = core::pack_parent_probe(max_local, max_level);
+  EXPECT_EQ(core::parent_probe_local(word), max_local);
+  EXPECT_EQ(core::parent_probe_level(word), max_level);
+
+  const std::uint64_t word2 = core::pack_parent_probe(max_local, 0);
+  EXPECT_EQ(core::parent_probe_local(word2), max_local);
+  EXPECT_EQ(core::parent_probe_level(word2), 0);
+
+  const std::uint64_t word3 = core::pack_parent_probe(0, max_level);
+  EXPECT_EQ(core::parent_probe_local(word3), 0u);
+  EXPECT_EQ(core::parent_probe_level(word3), max_level);
+}
+
+// ---- CommContext ---------------------------------------------------------
+
+TEST(CommContext, OwnsTheClusterWideCollectives) {
+  const auto spec = spec_of(2, 2);
+  CommContext comm(spec);
+  ASSERT_EQ(comm.everyone().size(), 4u);
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(comm.everyone()[g], g);
+
+  // control_allreduce sums every GPU's word.
+  std::vector<std::uint64_t> results(4);
+  std::vector<std::thread> threads;
+  for (int g = 0; g < 4; ++g) {
+    threads.emplace_back([&, g] {
+      results[static_cast<std::size_t>(g)] = comm.control_allreduce(
+          g, static_cast<std::uint64_t>(10 + g), /*iteration=*/0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const std::uint64_t r : results) EXPECT_EQ(r, 10u + 11 + 12 + 13);
+}
+
+// ---- IterativeEngine with a toy algorithm --------------------------------
+
+/// Countdown: GPU g starts with g + 1 units of work and burns one per
+/// iteration; the cluster converges when the control allreduce sees zero
+/// remaining anywhere.  Records the phase sequence to pin the engine's
+/// calling order.
+class CountdownAlgorithm {
+ public:
+  static constexpr const char* kStateLabel = "countdown.state";
+
+  struct State {
+    int remaining = 0;
+    std::vector<std::string> trace;
+    int finalize_iterations = -1;
+    sim::GpuIterationCounters iter;
+  };
+
+  std::unique_ptr<State> init(GpuContext& ctx) {
+    auto s = std::make_unique<State>();
+    s->remaining = ctx.gpu + 1;
+    return s;
+  }
+  std::uint64_t state_bytes(const GpuContext&, const State&) const {
+    return 64;
+  }
+  void previsit(GpuContext&, State& s, int) {
+    s.iter = sim::GpuIterationCounters{};
+    s.trace.push_back("previsit");
+  }
+  void visit(GpuContext&, State& s, int iteration) {
+    s.iter.nn.edges = static_cast<std::uint64_t>(iteration);
+    s.trace.push_back("visit");
+  }
+  void reduce(GpuContext&, State& s, int) { s.trace.push_back("reduce"); }
+  void exchange(GpuContext&, State& s, int) { s.trace.push_back("exchange"); }
+  std::uint64_t contribution(GpuContext&, State& s, int) {
+    s.trace.push_back("contribution");
+    return static_cast<std::uint64_t>(s.remaining);
+  }
+  void post_reduce(GpuContext&, State& s, int, std::uint64_t) {
+    s.trace.push_back("post_reduce");
+  }
+  bool end_iteration(GpuContext&, State& s, int, std::uint64_t control) {
+    s.trace.push_back("end");
+    if (s.remaining > 0) --s.remaining;
+    return control == 0;
+  }
+  bool collect_counters() const { return true; }
+  sim::GpuIterationCounters iteration_counters(const State& s) const {
+    return s.iter;
+  }
+  void finalize(GpuContext&, State& s, int iterations) {
+    s.finalize_iterations = iterations;
+  }
+};
+
+TEST(IterativeEngine, RunsPhasesInOrderUntilControlConverges) {
+  const auto spec = spec_of(2, 2);  // p = 4; slowest GPU holds 4 units
+  sim::Cluster cluster(spec);
+  const graph::EdgeList g = graph::path_graph(16);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 4);
+
+  CountdownAlgorithm algo;
+  IterativeEngine<CountdownAlgorithm> engine(dg, cluster);
+  const auto run = engine.run(algo);
+
+  // GPU 3 needs 4 iterations to drain, plus the all-zero round that
+  // announces convergence.
+  EXPECT_EQ(run.iterations, 5);
+  EXPECT_GT(run.measured_ms, 0.0);
+  const std::vector<std::string> phases = {
+      "previsit", "visit", "reduce", "exchange", "contribution",
+      "post_reduce", "end"};
+  for (int g_idx = 0; g_idx < 4; ++g_idx) {
+    const auto& s = run.state(g_idx);
+    EXPECT_EQ(s.remaining, 0);
+    EXPECT_EQ(s.finalize_iterations, 5);
+    ASSERT_EQ(s.trace.size(), phases.size() * 5);
+    for (std::size_t i = 0; i < s.trace.size(); ++i) {
+      EXPECT_EQ(s.trace[i], phases[i % phases.size()]) << i;
+    }
+    // Engine-owned history: one snapshot per iteration, taken after the
+    // iteration ended.
+    const auto& history = run.histories[static_cast<std::size_t>(g_idx)];
+    ASSERT_EQ(history.size(), 5u);
+    for (std::size_t it = 0; it < history.size(); ++it) {
+      EXPECT_EQ(history[it].nn.edges, it);
+    }
+  }
+}
+
+TEST(IterativeEngine, RejectsMismatchedSpecs) {
+  const graph::EdgeList g = graph::path_graph(16);
+  const graph::DistributedGraph dg =
+      graph::build_distributed(g, spec_of(2, 1), 4);
+  sim::Cluster wrong(spec_of(2, 2));
+  EXPECT_THROW((IterativeEngine<CountdownAlgorithm>(dg, wrong)),
+               std::invalid_argument);
+}
+
+TEST(IterativeEngine, SpecCheckIsSharedByEveryAlgorithmConstructor) {
+  const graph::EdgeList g = graph::path_graph(16);
+  const graph::DistributedGraph dg =
+      graph::build_distributed(g, spec_of(2, 1), 4);
+  sim::Cluster wrong(spec_of(4, 1));
+  EXPECT_THROW(core::DistributedBfs(dg, wrong), std::invalid_argument);
+  EXPECT_THROW(core::ConnectedComponents(dg, wrong), std::invalid_argument);
+  EXPECT_THROW(core::DistributedPagerank(dg, wrong), std::invalid_argument);
+}
+
+// ---- regression: ported algorithms still match the serial references -----
+
+TEST(EnginePortRegression, BfsDistancesMatchSerialReference) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 31});
+  const graph::HostCsr host = graph::build_host_csr(g);
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  core::DistributedBfs bfs(dg, cluster);
+  for (const VertexId source : {VertexId{2}, VertexId{77}}) {
+    const core::BfsResult r = bfs.run(source);
+    const auto expected = baseline::serial_bfs(host, source);
+    ASSERT_EQ(r.distances.size(), expected.size());
+    for (VertexId v = 0; v < expected.size(); ++v) {
+      ASSERT_EQ(r.distances[v], expected[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(EnginePortRegression, ComponentLabelsMatchSerialReference) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 32});
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  const core::CcResult r = core::ConnectedComponents(dg, cluster).run();
+  const auto expected =
+      baseline::serial_components(graph::build_host_csr(g));
+  ASSERT_EQ(r.labels.size(), expected.size());
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_EQ(r.labels[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(EnginePortRegression, PagerankMatchesSerialReference) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 33});
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  const core::PagerankResult r = core::DistributedPagerank(dg, cluster).run();
+  const auto expected = baseline::serial_pagerank(graph::build_host_csr(g));
+  ASSERT_EQ(r.ranks.size(), expected.size());
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(r.ranks[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(EnginePortRegression, BfsParentsStillFormValidTree) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 34});
+  const graph::HostCsr host = graph::build_host_csr(g);
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 8);
+  core::BfsOptions options;
+  options.compute_parents = true;
+  core::DistributedBfs bfs(dg, cluster, options);
+  const VertexId source = 5;
+  const core::BfsResult r = bfs.run(source);
+  ASSERT_EQ(r.parents.size(), r.distances.size());
+  EXPECT_EQ(r.parents[source], source);
+  for (VertexId v = 0; v < r.parents.size(); ++v) {
+    if (v == source || r.distances[v] == kUnvisited) continue;
+    const VertexId parent = r.parents[v];
+    ASSERT_NE(parent, kInvalidVertex) << v;
+    // Parent sits exactly one level closer to the source.
+    EXPECT_EQ(r.distances[parent] + 1, r.distances[v]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace dsbfs::engine

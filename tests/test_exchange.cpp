@@ -292,6 +292,80 @@ TEST(UpdateExchange, CountersUseTwelveBytesPerUpdate) {
   }
 }
 
+TEST(Exchange, UniquifyCountersCountScannedAndRemoved) {
+  // Direct path, 2 ranks x 1 GPU: each GPU sends the same id five times to
+  // the other GPU.  Uniquify scans all five and removes four; one 4-byte id
+  // crosses the wire.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  Transport t(spec);
+  NormalExchange ex(t, spec);
+  std::vector<ExchangeCounters> counters(2);
+  std::vector<std::thread> threads;
+  for (int g = 0; g < 2; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<LocalId>> bins(2);
+      bins[static_cast<std::size_t>(1 - g)].assign(5, LocalId{7});
+      ex.exchange(spec.coord_of(g), bins, 0, {false, true},
+                  counters[static_cast<std::size_t>(g)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.bin_vertices, 5u);
+    EXPECT_EQ(c.uniquify_vertices, 5u);
+    EXPECT_EQ(c.duplicates_removed, 4u);
+    EXPECT_EQ(c.send_bytes_remote, 4u);
+    EXPECT_EQ(c.recv_bytes_remote, 4u);
+    EXPECT_EQ(c.local_bytes, 0u);
+  }
+}
+
+TEST(UpdateExchange, CountersSplitLocalAndRemoteBytes) {
+  // 2 ranks x 2 GPUs: GPU g sends (g + 1) updates to every GPU including
+  // itself.  One destination shares g's rank (12 bytes each over NVLink),
+  // two are remote; the loopback bin is counted in bin_vertices but moves
+  // no bytes.  The update exchange never uniquifies.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  const int p = spec.total_gpus();
+  Transport t(spec);
+  std::vector<ExchangeCounters> counters(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<VertexUpdate>> bins(static_cast<std::size_t>(p));
+      for (int dest = 0; dest < p; ++dest) {
+        bins[static_cast<std::size_t>(dest)].assign(
+            static_cast<std::size_t>(g + 1), VertexUpdate{3, 9});
+      }
+      exchange_updates(t, spec, spec.coord_of(g), bins, 0,
+                       counters[static_cast<std::size_t>(g)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int g = 0; g < p; ++g) {
+    const auto& c = counters[static_cast<std::size_t>(g)];
+    const std::uint64_t per_bin = static_cast<std::uint64_t>(g + 1);
+    EXPECT_EQ(c.bin_vertices, 4 * per_bin) << "gpu " << g;
+    EXPECT_EQ(c.local_bytes, per_bin * 12) << "gpu " << g;
+    EXPECT_EQ(c.send_bytes_remote, 2 * per_bin * 12) << "gpu " << g;
+    EXPECT_EQ(c.send_dest_ranks, 2) << "gpu " << g;
+    // Remote senders are the two GPUs of the other rank.
+    std::uint64_t expected_recv = 0;
+    for (int s = 0; s < p; ++s) {
+      if (spec.coord_of(s).rank != spec.coord_of(g).rank) {
+        expected_recv += static_cast<std::uint64_t>(s + 1) * 12;
+      }
+    }
+    EXPECT_EQ(c.recv_bytes_remote, expected_recv) << "gpu " << g;
+    EXPECT_EQ(c.uniquify_vertices, 0u);
+    EXPECT_EQ(c.duplicates_removed, 0u);
+  }
+}
+
 TEST(UpdateExchange, EmptyBinsComplete) {
   sim::ClusterSpec spec;
   spec.num_ranks = 3;
