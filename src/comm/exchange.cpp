@@ -1,6 +1,7 @@
 #include "comm/exchange.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace dsbfs::comm {
 
@@ -41,6 +42,118 @@ std::uint64_t uniquify_bin(std::vector<LocalId>& bin) {
   return before - bin.size();
 }
 
+/// Coalesce candidates sharing a destination vertex with the bin's combine;
+/// leaves the bin sorted by vertex id.  Returns the number removed.
+std::uint64_t coalesce_bin(std::vector<VertexUpdate>& bin,
+                           UpdateCombine combine) {
+  if (bin.size() < 2) return 0;
+  std::sort(bin.begin(), bin.end(),
+            [](const VertexUpdate& a, const VertexUpdate& b) {
+              return a.vertex < b.vertex;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < bin.size();) {
+    VertexUpdate u = bin[i++];
+    for (; i < bin.size() && bin[i].vertex == u.vertex; ++i) {
+      if (combine == UpdateCombine::kMin) {
+        u.value = std::min(u.value, bin[i].value);
+      } else {  // kSumDouble
+        u.value = std::bit_cast<std::uint64_t>(
+            std::bit_cast<double>(u.value) + std::bit_cast<double>(bin[i].value));
+      }
+    }
+    bin[out++] = u;
+  }
+  const std::uint64_t removed = bin.size() - out;
+  bin.resize(out);
+  return removed;
+}
+
+// ---- delta+varint update encoding -----------------------------------------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(0x80 | (v & 0x7f)));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Wire format: [count, payload_byte_count, payload bytes packed LE].  Ids
+/// travel as zigzag varint deltas from the previous id (ascending after
+/// coalescing, so deltas are small non-negatives), values as plain varints.
+std::vector<std::uint64_t> pack_updates_compressed(
+    const std::vector<VertexUpdate>& updates) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(updates.size() * 3);
+  std::int64_t prev = 0;
+  for (const VertexUpdate& u : updates) {
+    put_varint(bytes, zigzag(static_cast<std::int64_t>(u.vertex) - prev));
+    prev = static_cast<std::int64_t>(u.vertex);
+    put_varint(bytes, u.value);
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(2 + (bytes.size() + 7) / 8);
+  words.push_back(updates.size());
+  words.push_back(bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); i += 8) {
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < 8 && i + b < bytes.size(); ++b) {
+      w |= static_cast<std::uint64_t>(bytes[i + b]) << (8 * b);
+    }
+    words.push_back(w);
+  }
+  return words;
+}
+
+void unpack_updates_compressed(const std::vector<std::uint64_t>& words,
+                               std::vector<VertexUpdate>& out) {
+  if (words.size() < 2) return;
+  const std::uint64_t count = words[0];
+  // Total decoder: trust neither header word.  The byte cursor is bounded
+  // by the payload bytes actually present, so a truncated or corrupt
+  // message stops cleanly instead of reading out of bounds.
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(words[1], (words.size() - 2) * 8);
+  std::size_t pos = 0;
+  bool ok = true;
+  // Decode varints straight out of the word buffer (no byte-vector copy).
+  const auto get = [&words, &pos, limit, &ok] {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= limit || shift > 63) {
+        ok = false;
+        return v;
+      }
+      const auto b = static_cast<std::uint8_t>(words[2 + pos / 8] >>
+                                               (8 * (pos % 8)));
+      ++pos;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  };
+  // Every update encodes to at least two bytes, so `limit` also caps the
+  // credible count (guards reserve() against a hostile header).
+  out.reserve(out.size() + std::min<std::uint64_t>(count, limit));
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count && ok; ++i) {
+    prev += unzigzag(get());
+    const std::uint64_t value = get();
+    if (ok) out.push_back(VertexUpdate{static_cast<LocalId>(prev), value});
+  }
+}
+
 }  // namespace
 
 NormalExchange::NormalExchange(Transport& transport, sim::ClusterSpec spec)
@@ -65,6 +178,7 @@ std::vector<LocalId> NormalExchange::exchange(
         if (g == me_global) continue;
         auto& bin = bins[static_cast<std::size_t>(g)];
         counters.uniquify_vertices += bin.size();
+        counters.uniquify_bytes += bin.size() * 4;
         counters.duplicates_removed += uniquify_bin(bin);
       }
     }
@@ -146,6 +260,7 @@ std::vector<LocalId> NormalExchange::exchange(
       if (r == me.rank) continue;
       auto& bin = column[static_cast<std::size_t>(r)];
       counters.uniquify_vertices += bin.size();
+      counters.uniquify_bytes += bin.size() * 4;
       counters.duplicates_removed += uniquify_bin(bin);
     }
   }
@@ -174,7 +289,7 @@ std::vector<LocalId> NormalExchange::exchange(
 std::vector<VertexUpdate> exchange_updates(
     Transport& transport, const sim::ClusterSpec& spec, sim::GpuCoord me,
     std::vector<std::vector<VertexUpdate>>& bins, int iteration,
-    ExchangeCounters& counters) {
+    const UpdateExchangeOptions& options, ExchangeCounters& counters) {
   const int p = spec.total_gpus();
   const int me_global = spec.global_gpu(me);
   const int tag = kTagExchangeRemote + iteration * kTagBlock;
@@ -204,14 +319,30 @@ std::vector<VertexUpdate> exchange_updates(
     if (dest == me_global) continue;
     auto& bin = bins[static_cast<std::size_t>(dest)];
     counters.bin_vertices += bin.size();
-    const std::uint64_t payload = bin.size() * 12;  // 4 + 8 bytes per update
+    // Coalesce duplicates before the send (the loopback bin never hits a
+    // wire, so it is left to the receiver's fold, like the id exchange's U).
+    if (options.combine != UpdateCombine::kNone) {
+      counters.uniquify_vertices += bin.size();
+      counters.uniquify_bytes += bin.size() * 12;
+      counters.duplicates_removed += coalesce_bin(bin, options.combine);
+    }
+    std::vector<std::uint64_t> words;
+    std::uint64_t payload;
+    if (options.compress) {
+      counters.encode_bytes += bin.size() * 12;
+      words = pack_updates_compressed(bin);
+      payload = words[1];  // encoded byte count
+    } else {
+      words = pack(bin);
+      payload = bin.size() * 12;  // 4 + 8 bytes per update
+    }
     if (spec.coord_of(dest).rank != me.rank) {
       counters.send_bytes_remote += payload;
       ++counters.send_dest_ranks;
     } else {
       counters.local_bytes += payload;
     }
-    transport.send(me_global, dest, tag, pack(bin));
+    transport.send(me_global, dest, tag, std::move(words));
     bin.clear();
   }
   std::vector<VertexUpdate> received =
@@ -222,9 +353,14 @@ std::vector<VertexUpdate> exchange_updates(
     if (src == me_global) continue;
     const auto words = transport.recv(me_global, src, tag);
     if (spec.coord_of(src).rank != me.rank && !words.empty()) {
-      counters.recv_bytes_remote += words[0] * 12;
+      counters.recv_bytes_remote +=
+          options.compress ? words[1] : words[0] * 12;
     }
-    unpack(words, received);
+    if (options.compress) {
+      unpack_updates_compressed(words, received);
+    } else {
+      unpack(words, received);
+    }
   }
   return received;
 }

@@ -27,11 +27,16 @@ struct ExchangeOptions {
 
 struct ExchangeCounters {
   std::uint64_t bin_vertices = 0;        // vertices placed in bins (pre-dedup)
-  std::uint64_t uniquify_vertices = 0;   // vertices run through uniquify
+  std::uint64_t uniquify_vertices = 0;   // records run through uniquify
+  std::uint64_t uniquify_bytes = 0;      // their byte volume (4 B ids, 12 B updates)
   std::uint64_t duplicates_removed = 0;
   std::uint64_t local_bytes = 0;         // NVLink payload (L phase + same-rank bins)
-  std::uint64_t send_bytes_remote = 0;   // 4 bytes per id, cross-rank
+  std::uint64_t send_bytes_remote = 0;   // wire payload bytes, cross-rank
   std::uint64_t recv_bytes_remote = 0;
+  /// Raw payload bytes run through the varint encoder (0 = compression off);
+  /// send/recv/local byte counters above hold the *encoded* sizes, so the
+  /// perf models replay the reduced volume and charge the encode kernel.
+  std::uint64_t encode_bytes = 0;
   int send_dest_ranks = 0;
 };
 
@@ -62,12 +67,34 @@ struct VertexUpdate {
   std::uint64_t value = 0;
 };
 
+/// How the update exchange coalesces several candidates for the same
+/// destination vertex inside one outbound bin (the value-carrying analogue
+/// of the id exchange's U option): algorithms whose receivers fold updates
+/// with an associative combine can apply the same combine before the send,
+/// shrinking dense-round wire volume without changing the result.
+enum class UpdateCombine {
+  kNone,       // ship every candidate (historic behavior)
+  kMin,        // keep the smallest value per vertex (SSSP distances, CC labels)
+  kSumDouble,  // IEEE-double sum per vertex (PageRank contributions)
+};
+
+struct UpdateExchangeOptions {
+  /// Per-bin coalescing combine; kNone disables the pass.
+  UpdateCombine combine = UpdateCombine::kNone;
+  /// Delta+varint-encode the (id, value) payload: ids as zigzag varint
+  /// deltas (ascending after coalescing), values as plain varints.  Wins
+  /// when values are small integers (distances, labels); bit-cast doubles
+  /// mostly do not shrink, which is why it is opt-in.
+  bool compress = false;
+};
+
 /// Collective fixed-pattern exchange of VertexUpdate bins (12 bytes of
-/// payload per update on the wire; packed as 1.5 words).  Returns the
-/// updates destined for this GPU, including the loopback bin.
+/// payload per update on the wire uncompressed; packed as 1.5 words).
+/// Returns the updates destined for this GPU, including the loopback bin.
+/// All GPUs must pass identical `options` (they define the wire format).
 std::vector<VertexUpdate> exchange_updates(
     Transport& transport, const sim::ClusterSpec& spec, sim::GpuCoord me,
     std::vector<std::vector<VertexUpdate>>& bins, int iteration,
-    ExchangeCounters& counters);
+    const UpdateExchangeOptions& options, ExchangeCounters& counters);
 
 }  // namespace dsbfs::comm

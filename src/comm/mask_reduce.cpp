@@ -1,6 +1,7 @@
 #include "comm/mask_reduce.hpp"
 
 #include <bit>
+#include <cassert>
 #include <functional>
 
 #include "comm/collectives.hpp"
@@ -8,6 +9,16 @@
 namespace dsbfs::comm {
 
 namespace {
+
+/// Base tag of one reduction: channel `c` stacks kReduceChannelStride
+/// virtual iterations past channel `c-1`, so concurrent reductions within
+/// an iteration can never alias each other or any realistic iteration.
+int reduce_tag(int iteration, int channel) {
+  assert(iteration >= 0 && iteration < kReduceChannelStride);
+  assert(channel >= 0 && channel < kMaxReduceChannels);
+  return kTagMaskLocal +
+         (iteration + channel * kReduceChannelStride) * kTagBlock;
+}
 
 void combine_words(ValueReducer::Op op, std::span<std::uint64_t> acc,
                    std::span<const std::uint64_t> in) {
@@ -40,14 +51,14 @@ MaskReducer::MaskReducer(Transport& transport, sim::ClusterSpec spec)
 }
 
 void MaskReducer::reduce(sim::GpuCoord me, util::AtomicBitset& mask,
-                         int iteration, ReduceMode mode) {
+                         int iteration, ReduceMode mode, int channel) {
   (void)mode;  // functionally identical; the perf model differentiates cost
   const int me_global = spec_.global_gpu(me);
   const int leader = spec_.global_gpu(sim::GpuCoord{me.rank, 0});
   const std::size_t nw = mask.word_count();
   // Distinct tag block per iteration keeps phases separated; FIFO matching
   // per (src, dst, tag) would be safe even without it, but this is clearer.
-  const int tag = kTagMaskLocal + iteration * kTagBlock;
+  const int tag = reduce_tag(iteration, channel);
 
   if (me.gpu != 0) {
     // Phase 1, non-leader: push my mask to GPU0, then wait for the result.
@@ -92,10 +103,10 @@ ValueReducer::ValueReducer(Transport& transport, sim::ClusterSpec spec)
 }
 
 void ValueReducer::reduce(sim::GpuCoord me, std::span<std::uint64_t> values,
-                          Op op, int iteration) {
+                          Op op, int iteration, int channel) {
   const int me_global = spec_.global_gpu(me);
   const int leader = spec_.global_gpu(sim::GpuCoord{me.rank, 0});
-  const int tag = kTagMaskLocal + iteration * kTagBlock;
+  const int tag = reduce_tag(iteration, channel);
 
   if (me.gpu != 0) {
     transport_.send(me_global, leader, tag,

@@ -28,15 +28,35 @@ enum class ReduceMode {
                  // model charges it differently, Section VI-B)
 };
 
+/// Reducers take an *iteration index* plus an optional *channel*.  Channels
+/// let one algorithm run several concurrent reductions per engine iteration
+/// on disjoint tags: channel `c` claims the tag block of virtual iteration
+/// `iteration + c * kReduceChannelStride`.  (Historically the engine's
+/// TagBlocks applied this stride; the spacing now lives with the tag
+/// computation it protects.)
+inline constexpr int kReduceChannelStride = 100000;
+inline constexpr int kMaxReduceChannels = 4;
+/// Channels must not collide with real iteration blocks: any run long
+/// enough to reach iteration kReduceChannelStride would alias channel 1
+/// (asserted at runtime), and the highest channel's blocks must still fit
+/// the int tag space.
+static_assert(kReduceChannelStride > 0 && kMaxReduceChannels > 0);
+static_assert(static_cast<long long>(kMaxReduceChannels) *
+                      kReduceChannelStride * kTagBlock +
+                  kTagBlock <
+              static_cast<long long>(2147483647),
+              "reduction channel tags overflow the int tag space");
+
 class MaskReducer {
  public:
   MaskReducer(Transport& transport, sim::ClusterSpec spec);
 
   /// Collective: every GPU calls with its own out-mask; on return every
   /// GPU's `mask` holds the OR across all GPUs.  `iteration` separates
-  /// successive reductions' traffic.
+  /// successive reductions' traffic; `channel` separates concurrent
+  /// reductions within one iteration (see kReduceChannelStride).
   void reduce(sim::GpuCoord me, util::AtomicBitset& mask, int iteration,
-              ReduceMode mode = ReduceMode::kBlocking);
+              ReduceMode mode = ReduceMode::kBlocking, int channel = 0);
 
  private:
   Transport& transport_;
@@ -57,9 +77,10 @@ class ValueReducer {
 
   /// Collective: element-wise combine of `values` across all GPUs; every
   /// GPU ends with the identical combined vector.  For kSumDouble the words
-  /// are reinterpreted as IEEE doubles.
+  /// are reinterpreted as IEEE doubles.  `channel` keeps concurrent
+  /// reductions within one iteration on disjoint tags.
   void reduce(sim::GpuCoord me, std::span<std::uint64_t> values, Op op,
-              int iteration);
+              int iteration, int channel = 0);
 
  private:
   Transport& transport_;

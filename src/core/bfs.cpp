@@ -21,10 +21,11 @@ namespace {
 constexpr std::uint64_t kDelegateFlagUnit = 1ULL << 40;
 
 /// The paper's BFS expressed as engine phases (Fig. 3 pipeline): previsit
-/// forms the queues, visit enqueues the four kernels on the two streams,
-/// exchange enqueues the normal exchange behind them, contribution joins the
-/// delegate stream for the control word, and the post-control mask
-/// reduction overlaps the exchange still running on the normal stream.
+/// forms the queues, visit enqueues the four kernels on the engine's two
+/// streams, the engine enqueues the exchange hook behind them on the normal
+/// stream, contribution joins the delegate stream for the control word, and
+/// the post-control mask reduction overlaps the exchange still running on
+/// the normal stream.
 class BfsAlgorithm {
  public:
   static constexpr const char* kStateLabel = "bfs.state";
@@ -33,8 +34,6 @@ class BfsAlgorithm {
     State(const graph::LocalGraph& lg, int total_gpus) : gpu(lg, total_gpus) {}
 
     GpuState gpu;
-    sim::Stream delegate_stream;
-    sim::Stream normal_stream;
     sim::Event bins_ready;
     std::uint64_t bins_total = 0;
   };
@@ -91,15 +90,15 @@ class BfsAlgorithm {
     GpuState& gs = s.gpu;
 
     // Delegate stream: dd then dn visits.
-    s.delegate_stream.enqueue([&gs] { visit_dd(gs); });
-    s.delegate_stream.enqueue([&gs] { visit_dn(gs); });
+    ctx.delegate_stream.enqueue([&gs] { visit_dd(gs); });
+    ctx.delegate_stream.enqueue([&gs] { visit_dn(gs); });
 
-    // Normal stream: nd, nn, then bin accounting (the exchange hook appends
-    // the exchange itself behind these).
+    // Normal stream: nd, nn, then bin accounting (the engine enqueues the
+    // exchange hook behind these).
     const sim::ClusterSpec& spec = ctx.comm.spec();
-    s.normal_stream.enqueue([&gs] { visit_nd(gs); });
-    s.normal_stream.enqueue([&gs, &spec] { visit_nn(gs, spec); });
-    s.bins_ready = s.normal_stream.record([&s] {
+    ctx.normal_stream.enqueue([&gs] { visit_nd(gs); });
+    ctx.normal_stream.enqueue([&gs, &spec] { visit_nn(gs, spec); });
+    s.bins_ready = ctx.normal_stream.record([&s] {
       s.bins_total = 0;
       for (const auto& bin : s.gpu.bins) s.bins_total += bin.size();
     });
@@ -108,27 +107,27 @@ class BfsAlgorithm {
   void reduce(engine::GpuContext&, State&, int) {}  // post-control only
 
   void exchange(engine::GpuContext& ctx, State& s, int iteration) {
-    // Enqueued behind the visits; overlaps the driver's mask reduction.
+    // Runs on the normal stream behind the visits (the engine enqueues this
+    // hook there); overlaps the post-control mask reduction.
     const comm::ExchangeOptions xopts{options_.local_all2all,
                                       options_.uniquify};
-    s.normal_stream.enqueue([&ctx, &s, iteration, xopts] {
-      GpuState& gs = s.gpu;
-      comm::ExchangeCounters ec;
-      gs.received = ctx.comm.normal_exchange().exchange(ctx.me, gs.bins,
-                                                        iteration, xopts, ec);
-      gs.iter.bin_vertices = ec.bin_vertices;
-      gs.iter.uniquify_vertices = ec.uniquify_vertices;
-      gs.iter.local_all2all_bytes = ec.local_bytes;
-      gs.iter.send_bytes_remote = ec.send_bytes_remote;
-      gs.iter.recv_bytes_remote = ec.recv_bytes_remote;
-      gs.iter.send_dest_ranks = ec.send_dest_ranks;
-    });
+    GpuState& gs = s.gpu;
+    comm::ExchangeCounters ec;
+    gs.received = ctx.comm.normal_exchange().exchange(ctx.me, gs.bins,
+                                                      iteration, xopts, ec);
+    gs.iter.bin_vertices = ec.bin_vertices;
+    gs.iter.uniquify_vertices = ec.uniquify_vertices;
+    gs.iter.uniquify_bytes = ec.uniquify_bytes;
+    gs.iter.local_all2all_bytes = ec.local_bytes;
+    gs.iter.send_bytes_remote = ec.send_bytes_remote;
+    gs.iter.recv_bytes_remote = ec.recv_bytes_remote;
+    gs.iter.send_dest_ranks = ec.send_dest_ranks;
   }
 
-  std::uint64_t contribution(engine::GpuContext&, State& s, int) {
+  std::uint64_t contribution(engine::GpuContext& ctx, State& s, int) {
     // Join the delegate stream and the bin accounting; the exchange keeps
     // running on the normal stream through the control allreduce.
-    s.delegate_stream.synchronize();
+    ctx.delegate_stream.synchronize();
     s.bins_ready.wait();
     const bool delegate_updates = !s.gpu.delegate_out.none();
     return (delegate_updates ? kDelegateFlagUnit : 0) +
@@ -161,9 +160,9 @@ class BfsAlgorithm {
     }
   }
 
-  bool end_iteration(engine::GpuContext&, State& s, int,
+  bool end_iteration(engine::GpuContext& ctx, State& s, int,
                      std::uint64_t control) {
-    s.normal_stream.synchronize();  // exchange complete; gpu.received filled
+    ctx.normal_stream.synchronize();  // exchange complete; gpu.received filled
     s.gpu.end_iteration();
     s.gpu.depth += 1;
     const bool any_delegate_update = control >= kDelegateFlagUnit;
@@ -282,7 +281,8 @@ BfsResult DistributedBfs::run(VertexId source) {
   const int p = spec.total_gpus();
 
   BfsAlgorithm algo(graph_, options_, source);
-  engine::IterativeEngine<BfsAlgorithm> engine(graph_, cluster_);
+  engine::IterativeEngine<BfsAlgorithm> engine(graph_, cluster_,
+                                               {.overlap = options_.overlap});
   auto run = engine.run(algo);
 
   // ---- Gather distances and metrics on the host. -----------------------

@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "core/metrics.hpp"
 #include "engine/iterative_engine.hpp"
 
 namespace dsbfs::core {
@@ -137,14 +138,13 @@ class CcAlgorithm {
   }
 
   void exchange(engine::GpuContext& ctx, State& s, int iteration) {
-    comm::ExchangeCounters ec;
-    const auto updates = comm::exchange_updates(
-        ctx.comm.transport(), graph_.spec(), ctx.me, s.bins, iteration, ec);
-    s.iter.bin_vertices = ec.bin_vertices;
-    s.iter.send_bytes_remote = ec.send_bytes_remote;
-    s.iter.recv_bytes_remote = ec.recv_bytes_remote;
-    s.iter.send_dest_ranks = ec.send_dest_ranks;
-    s.iter.local_all2all_bytes = ec.local_bytes;
+    // Runs on the normal stream, concurrent with `reduce` on the delegate
+    // stream: touches only normal-label state.
+    const auto updates = ctx.comm.exchange_value_updates(
+        ctx.me, s.bins, iteration,
+        options_.uniquify ? comm::UpdateCombine::kMin
+                          : comm::UpdateCombine::kNone,
+        options_.compress, s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.label_normal[u.vertex]) {
         s.label_normal[u.vertex] = u.value;
@@ -158,7 +158,10 @@ class CcAlgorithm {
         s.next_normals.end());
   }
 
-  std::uint64_t contribution(engine::GpuContext&, State& s, int) {
+  std::uint64_t contribution(engine::GpuContext& ctx, State& s, int) {
+    // Join the overlapped reduce/exchange: both feed the control word.
+    ctx.delegate_stream.synchronize();
+    ctx.normal_stream.synchronize();
     return s.next_normals.size() + s.next_delegates.size();
   }
 
@@ -200,7 +203,8 @@ CcResult ConnectedComponents::run() {
   const LocalId d = graph_.num_delegates();
 
   CcAlgorithm algo(graph_, options_);
-  engine::IterativeEngine<CcAlgorithm> engine(graph_, cluster_);
+  engine::IterativeEngine<CcAlgorithm> engine(graph_, cluster_,
+                                              {.overlap = options_.overlap});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -228,31 +232,14 @@ CcResult ConnectedComponents::run() {
 
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
-    sim::RunCounters counters;
-    counters.spec = spec;
-    counters.delegate_mask_bytes = static_cast<std::uint64_t>(d) * 8;
-    counters.blocking_reduce = true;
-    counters.iterations.resize(static_cast<std::size_t>(result.iterations));
-    for (std::size_t it = 0; it < counters.iterations.size(); ++it) {
-      auto& ic = counters.iterations[it];
-      ic.gpu.resize(static_cast<std::size_t>(p));
-      for (int g = 0; g < p; ++g) {
-        ic.gpu[static_cast<std::size_t>(g)] =
-            run.histories[static_cast<std::size_t>(g)][it];
-      }
-      result.update_bytes_remote += [&] {
-        std::uint64_t b = 0;
-        for (const auto& gc : ic.gpu) b += gc.send_bytes_remote;
-        return b;
-      }();
-    }
-    result.reduce_bytes = 2ULL * d * 8 *
-                          static_cast<std::uint64_t>(spec.num_ranks) *
-                          static_cast<std::uint64_t>(result.iterations);
-    const sim::PerfModel model{sim::DeviceModel{options_.device_model},
-                               sim::NetModel{options_.net_model}};
-    result.modeled = model.replay(counters);
-    result.modeled_ms = result.modeled.elapsed_ms;
+    ValueAppMetrics vm = assemble_value_app_metrics(
+        graph_, run.histories, result.iterations, options_.overlap,
+        options_.device_model, options_.net_model);
+    result.update_bytes_remote = vm.update_bytes_remote;
+    result.reduce_bytes = vm.reduce_bytes;
+    result.modeled = vm.modeled;
+    result.modeled_ms = vm.modeled_ms;
+    result.counters = std::move(vm.counters);
   }
   return result;
 }

@@ -25,6 +25,14 @@
 namespace dsbfs::core {
 
 struct CcOptions {
+  /// Two-stream overlap: delegate label min-reduction concurrent with the
+  /// normal label exchange (engine::EngineOptions).
+  bool overlap = true;
+  /// Min-coalesce outbound label updates per bin before the send (the
+  /// update exchange's U analogue); bit-exact, strictly fewer bytes.
+  bool uniquify = true;
+  /// Delta+varint-encode the (id, label) wire payload.
+  bool compress = false;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
@@ -40,6 +48,7 @@ struct CcResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;  // normal label traffic, cross rank
   std::uint64_t reduce_bytes = 0;         // delegate label reductions
+  sim::RunCounters counters;  // per-iteration trace (collect_counters on)
 };
 
 class ConnectedComponents {

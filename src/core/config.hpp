@@ -27,6 +27,10 @@ struct BfsOptions {
   /// the nn subgraph is not symmetric locally and has tiny in-degrees).
   bool direction_optimized = true;
 
+  /// Two-stream overlap: run the delegate-side phases concurrently with the
+  /// normal exchange (engine::EngineOptions).  Off = sequential baseline.
+  bool overlap = true;
+
   /// Local all2all (L): gather same-column traffic inside the rank first.
   bool local_all2all = false;
 

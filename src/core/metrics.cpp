@@ -19,6 +19,7 @@ RunMetrics assemble_metrics(
   m.counters.delegate_mask_bytes = (graph.num_delegates() + 7) / 8;
   m.counters.blocking_reduce =
       options.reduce_mode == comm::ReduceMode::kBlocking;
+  m.counters.overlap_comm = options.overlap;
   m.counters.iterations.resize(iters);
 
   for (std::size_t it = 0; it < iters; ++it) {
@@ -66,6 +67,40 @@ RunMetrics assemble_metrics(
   if (m.measured_ms > 0) {
     m.measured_gteps = static_cast<double>(m.teps_edges) / m.measured_ms / 1e6;
   }
+  return m;
+}
+
+ValueAppMetrics assemble_value_app_metrics(
+    const graph::DistributedGraph& graph,
+    const std::vector<std::vector<sim::GpuIterationCounters>>& histories,
+    int iterations, bool overlap, const sim::DeviceModelConfig& device_model,
+    const sim::NetModelConfig& net_model) {
+  ValueAppMetrics m;
+  const int p = graph.spec().total_gpus();
+  const std::uint64_t d = graph.num_delegates();
+
+  m.counters.spec = graph.spec();
+  m.counters.delegate_mask_bytes = d * 8;
+  m.counters.blocking_reduce = true;
+  m.counters.overlap_comm = overlap;
+  m.counters.iterations.resize(static_cast<std::size_t>(iterations));
+  for (std::size_t it = 0; it < m.counters.iterations.size(); ++it) {
+    auto& ic = m.counters.iterations[it];
+    ic.gpu.resize(static_cast<std::size_t>(p));
+    for (int g = 0; g < p; ++g) {
+      ic.gpu[static_cast<std::size_t>(g)] =
+          histories[static_cast<std::size_t>(g)][it];
+      m.update_bytes_remote += ic.gpu[static_cast<std::size_t>(g)].send_bytes_remote;
+    }
+  }
+  m.reduce_bytes = 2ULL * d * 8 *
+                   static_cast<std::uint64_t>(graph.spec().num_ranks) *
+                   static_cast<std::uint64_t>(iterations);
+
+  const sim::PerfModel model{sim::DeviceModel{device_model},
+                             sim::NetModel{net_model}};
+  m.modeled = model.replay(m.counters);
+  m.modeled_ms = m.modeled.elapsed_ms;
   return m;
 }
 

@@ -49,4 +49,23 @@ RunMetrics assemble_metrics(const graph::DistributedGraph& graph,
                             std::vector<std::vector<sim::GpuIterationCounters>>&& histories,
                             double measured_ms);
 
+/// Host-side assembly shared by the value algorithms (CC, PageRank, SSSP):
+/// the delegate payload is d x 8 bytes of *values* per reduction instead of
+/// the BFS d/8-byte mask, the update exchange's remote bytes are summed,
+/// and the counters are replayed on the hardware models.  Hoisted from the
+/// three `run()` facades that used to duplicate it line for line.
+struct ValueAppMetrics {
+  std::uint64_t update_bytes_remote = 0;  // cross-rank update-exchange bytes
+  std::uint64_t reduce_bytes = 0;         // delegate value reductions
+  sim::ModeledBreakdown modeled;
+  double modeled_ms = 0;
+  sim::RunCounters counters;  // full trace for re-modeling
+};
+
+ValueAppMetrics assemble_value_app_metrics(
+    const graph::DistributedGraph& graph,
+    const std::vector<std::vector<sim::GpuIterationCounters>>& histories,
+    int iterations, bool overlap, const sim::DeviceModelConfig& device_model,
+    const sim::NetModelConfig& net_model);
+
 }  // namespace dsbfs::core

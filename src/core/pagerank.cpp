@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/metrics.hpp"
 #include "engine/iterative_engine.hpp"
 
 namespace dsbfs::core {
@@ -21,8 +22,10 @@ class PagerankAlgorithm {
  public:
   static constexpr const char* kStateLabel = "pagerank.state";
 
-  /// Reduction channels within one iteration (TagBlocks::reduce_channel).
+  /// Reduction channels within one iteration (the reducers keep them on
+  /// disjoint tags; see comm::kReduceChannelStride).
   enum Channel : int { kInflow = 0, kDangling = 1, kDelta = 2 };
+  static_assert(kDelta < comm::kMaxReduceChannels);
 
   struct State {
     std::vector<double> rank_normal;
@@ -140,9 +143,9 @@ class PagerankAlgorithm {
     for (LocalId t = 0; t < d; ++t) {
       words[t] = std::bit_cast<std::uint64_t>(s.acc_delegate[t]);
     }
-    ctx.comm.value_reducer().reduce(
-        ctx.me, words, comm::ValueReducer::Op::kSumDouble,
-        engine::TagBlocks::reduce_channel(iteration, kInflow));
+    ctx.comm.value_reducer().reduce(ctx.me, words,
+                                    comm::ValueReducer::Op::kSumDouble,
+                                    iteration, kInflow);
     for (LocalId t = 0; t < d; ++t) {
       s.acc_delegate[t] = std::bit_cast<double>(words[t]);
     }
@@ -150,15 +153,13 @@ class PagerankAlgorithm {
   }
 
   void exchange(engine::GpuContext& ctx, State& s, int iteration) {
-    // nn inflow exchange.
-    comm::ExchangeCounters ec;
-    const auto updates = comm::exchange_updates(
-        ctx.comm.transport(), graph_.spec(), ctx.me, s.bins, iteration, ec);
-    s.iter.bin_vertices = ec.bin_vertices;
-    s.iter.send_bytes_remote = ec.send_bytes_remote;
-    s.iter.recv_bytes_remote = ec.recv_bytes_remote;
-    s.iter.send_dest_ranks = ec.send_dest_ranks;
-    s.iter.local_all2all_bytes = ec.local_bytes;
+    // nn inflow exchange; runs on the normal stream, concurrent with the
+    // delegate inflow reduction: touches only acc_normal.
+    const auto updates = ctx.comm.exchange_value_updates(
+        ctx.me, s.bins, iteration,
+        options_.uniquify ? comm::UpdateCombine::kSumDouble
+                          : comm::UpdateCombine::kNone,
+        options_.compress, s.iter);
     for (const comm::VertexUpdate& u : updates) {
       s.acc_normal[u.vertex] += std::bit_cast<double>(u.value);
     }
@@ -166,6 +167,9 @@ class PagerankAlgorithm {
 
   std::uint64_t contribution(engine::GpuContext& ctx, State& s,
                              int iteration) {
+    // Join the overlapped inflow reduction and exchange before folding.
+    ctx.delegate_stream.synchronize();
+    ctx.normal_stream.synchronize();
     const double n = static_cast<double>(graph_.num_vertices());
     const double damping = options_.damping;
     const LocalId d = graph_.num_delegates();
@@ -176,8 +180,7 @@ class PagerankAlgorithm {
     std::uint64_t dangling_word = std::bit_cast<std::uint64_t>(s.dangling);
     ctx.comm.value_reducer().reduce(
         ctx.me, std::span<std::uint64_t>(&dangling_word, 1),
-        comm::ValueReducer::Op::kSumDouble,
-        engine::TagBlocks::reduce_channel(iteration, kDangling));
+        comm::ValueReducer::Op::kSumDouble, iteration, kDangling);
     const double dangling_total = std::bit_cast<double>(dangling_word);
 
     const double base = (1.0 - damping) / n + damping * dangling_total / n;
@@ -201,8 +204,7 @@ class PagerankAlgorithm {
         delta + (ctx.gpu == 0 ? delegate_delta : 0.0));
     ctx.comm.value_reducer().reduce(
         ctx.me, std::span<std::uint64_t>(&delta_word, 1),
-        comm::ValueReducer::Op::kSumDouble,
-        engine::TagBlocks::reduce_channel(iteration, kDelta));
+        comm::ValueReducer::Op::kSumDouble, iteration, kDelta);
     s.last_delta = std::bit_cast<double>(delta_word);
 
     // The reduced delta is identical on every GPU, so every GPU casts the
@@ -263,7 +265,8 @@ PagerankResult DistributedPagerank::run() {
   }
 
   PagerankAlgorithm algo(graph_, options_, delegate_inv_degree);
-  engine::IterativeEngine<PagerankAlgorithm> engine(graph_, cluster_);
+  engine::IterativeEngine<PagerankAlgorithm> engine(
+      graph_, cluster_, {.overlap = options_.overlap});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -286,28 +289,14 @@ PagerankResult DistributedPagerank::run() {
 
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
-    sim::RunCounters counters;
-    counters.spec = spec;
-    counters.delegate_mask_bytes = static_cast<std::uint64_t>(d) * 8;
-    counters.blocking_reduce = true;
-    counters.iterations.resize(static_cast<std::size_t>(result.iterations));
-    for (std::size_t it = 0; it < counters.iterations.size(); ++it) {
-      auto& ic = counters.iterations[it];
-      ic.gpu.resize(static_cast<std::size_t>(p));
-      for (int g = 0; g < p; ++g) {
-        ic.gpu[static_cast<std::size_t>(g)] =
-            run.histories[static_cast<std::size_t>(g)][it];
-        result.update_bytes_remote +=
-            ic.gpu[static_cast<std::size_t>(g)].send_bytes_remote;
-      }
-    }
-    result.reduce_bytes = 2ULL * d * 8 *
-                          static_cast<std::uint64_t>(spec.num_ranks) *
-                          static_cast<std::uint64_t>(result.iterations);
-    const sim::PerfModel model{sim::DeviceModel{options_.device_model},
-                               sim::NetModel{options_.net_model}};
-    result.modeled = model.replay(counters);
-    result.modeled_ms = result.modeled.elapsed_ms;
+    ValueAppMetrics vm = assemble_value_app_metrics(
+        graph_, run.histories, result.iterations, options_.overlap,
+        options_.device_model, options_.net_model);
+    result.update_bytes_remote = vm.update_bytes_remote;
+    result.reduce_bytes = vm.reduce_bytes;
+    result.modeled = vm.modeled;
+    result.modeled_ms = vm.modeled_ms;
+    result.counters = std::move(vm.counters);
   }
   return result;
 }

@@ -30,6 +30,17 @@ struct PagerankOptions {
   int max_iterations = 50;
   /// Stop when the L1 rank change drops below this.
   double tolerance = 1e-9;
+  /// Two-stream overlap: delegate inflow sum-reduction concurrent with the
+  /// nn-inflow exchange (engine::EngineOptions).
+  bool overlap = true;
+  /// Sum-coalesce outbound contributions per bin before the send.  The
+  /// receiver sums anyway, so only the floating-point addition order moves
+  /// (well inside the iteration tolerance); dense rounds send far fewer
+  /// (id, share) pairs.
+  bool uniquify = true;
+  /// Delta+varint-encode the (id, share) wire payload.  Bit-cast doubles
+  /// barely shrink, so this mostly demonstrates the opt-in cost.
+  bool compress = false;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
@@ -44,6 +55,7 @@ struct PagerankResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;
   std::uint64_t reduce_bytes = 0;
+  sim::RunCounters counters;  // per-iteration trace (collect_counters on)
 };
 
 class DistributedPagerank {

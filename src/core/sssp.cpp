@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
 #include "engine/iterative_engine.hpp"
 #include "util/hash.hpp"
 
@@ -155,14 +156,13 @@ class SsspAlgorithm {
   }
 
   void exchange(engine::GpuContext& ctx, State& s, int iteration) {
-    comm::ExchangeCounters ec;
-    const auto updates = comm::exchange_updates(
-        ctx.comm.transport(), graph_.spec(), ctx.me, s.bins, iteration, ec);
-    s.iter.bin_vertices = ec.bin_vertices;
-    s.iter.send_bytes_remote = ec.send_bytes_remote;
-    s.iter.recv_bytes_remote = ec.recv_bytes_remote;
-    s.iter.send_dest_ranks = ec.send_dest_ranks;
-    s.iter.local_all2all_bytes = ec.local_bytes;
+    // Runs on the normal stream, concurrent with `reduce` on the delegate
+    // stream: touches only normal-distance state.
+    const auto updates = ctx.comm.exchange_value_updates(
+        ctx.me, s.bins, iteration,
+        options_.uniquify ? comm::UpdateCombine::kMin
+                          : comm::UpdateCombine::kNone,
+        options_.compress, s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.dist_normal[u.vertex]) {
         s.dist_normal[u.vertex] = u.value;
@@ -176,7 +176,10 @@ class SsspAlgorithm {
         s.next_normals.end());
   }
 
-  std::uint64_t contribution(engine::GpuContext&, State& s, int) {
+  std::uint64_t contribution(engine::GpuContext& ctx, State& s, int) {
+    // Join the overlapped reduce/exchange: both feed the control word.
+    ctx.delegate_stream.synchronize();
+    ctx.normal_stream.synchronize();
     return s.next_normals.size() + s.next_delegates.size();
   }
 
@@ -224,7 +227,8 @@ SsspResult DistributedSssp::run(VertexId source) {
   const LocalId d = graph_.num_delegates();
 
   SsspAlgorithm algo(graph_, options_, source);
-  engine::IterativeEngine<SsspAlgorithm> engine(graph_, cluster_);
+  engine::IterativeEngine<SsspAlgorithm> engine(graph_, cluster_,
+                                                {.overlap = options_.overlap});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -247,28 +251,14 @@ SsspResult DistributedSssp::run(VertexId source) {
 
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
-    sim::RunCounters counters;
-    counters.spec = spec;
-    counters.delegate_mask_bytes = static_cast<std::uint64_t>(d) * 8;
-    counters.blocking_reduce = true;
-    counters.iterations.resize(static_cast<std::size_t>(result.iterations));
-    for (std::size_t it = 0; it < counters.iterations.size(); ++it) {
-      auto& ic = counters.iterations[it];
-      ic.gpu.resize(static_cast<std::size_t>(p));
-      for (int g = 0; g < p; ++g) {
-        ic.gpu[static_cast<std::size_t>(g)] =
-            run.histories[static_cast<std::size_t>(g)][it];
-        result.update_bytes_remote +=
-            ic.gpu[static_cast<std::size_t>(g)].send_bytes_remote;
-      }
-    }
-    result.reduce_bytes = 2ULL * d * 8 *
-                          static_cast<std::uint64_t>(spec.num_ranks) *
-                          static_cast<std::uint64_t>(result.iterations);
-    const sim::PerfModel model{sim::DeviceModel{options_.device_model},
-                               sim::NetModel{options_.net_model}};
-    result.modeled = model.replay(counters);
-    result.modeled_ms = result.modeled.elapsed_ms;
+    ValueAppMetrics vm = assemble_value_app_metrics(
+        graph_, run.histories, result.iterations, options_.overlap,
+        options_.device_model, options_.net_model);
+    result.update_bytes_remote = vm.update_bytes_remote;
+    result.reduce_bytes = vm.reduce_bytes;
+    result.modeled = vm.modeled;
+    result.modeled_ms = vm.modeled_ms;
+    result.counters = std::move(vm.counters);
   }
   return result;
 }

@@ -29,6 +29,14 @@ namespace dsbfs::core {
 struct SsspOptions {
   /// Weights are drawn from [1, max_weight] (util::edge_weight).
   std::uint32_t max_weight = 15;
+  /// Two-stream overlap: delegate distance min-reduction concurrent with
+  /// the tentative-distance exchange (engine::EngineOptions).
+  bool overlap = true;
+  /// Min-coalesce outbound distance candidates per bin before the send;
+  /// bit-exact, strictly fewer bytes on dense rounds.
+  bool uniquify = true;
+  /// Delta+varint-encode the (id, distance) wire payload.
+  bool compress = false;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
@@ -44,6 +52,7 @@ struct SsspResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;  // tentative-distance traffic
   std::uint64_t reduce_bytes = 0;         // delegate distance reductions
+  sim::RunCounters counters;  // per-iteration trace (collect_counters on)
 };
 
 class DistributedSssp {

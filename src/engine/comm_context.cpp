@@ -30,4 +30,23 @@ void CommContext::allreduce_min_words(int gpu, std::span<std::uint64_t> words,
   comm::allreduce_min_words(transport_, everyone_, gpu, words, tag);
 }
 
+std::vector<comm::VertexUpdate> CommContext::exchange_value_updates(
+    sim::GpuCoord me, std::vector<std::vector<comm::VertexUpdate>>& bins,
+    int iteration, comm::UpdateCombine combine, bool compress,
+    sim::GpuIterationCounters& iter) {
+  const comm::UpdateExchangeOptions options{combine, compress};
+  comm::ExchangeCounters ec;
+  auto updates = comm::exchange_updates(transport_, spec_, me, bins,
+                                        iteration, options, ec);
+  iter.bin_vertices = ec.bin_vertices;
+  iter.uniquify_vertices = ec.uniquify_vertices;
+  iter.uniquify_bytes = ec.uniquify_bytes;
+  iter.encode_bytes = ec.encode_bytes;
+  iter.send_bytes_remote = ec.send_bytes_remote;
+  iter.recv_bytes_remote = ec.recv_bytes_remote;
+  iter.send_dest_ranks = ec.send_dest_ranks;
+  iter.local_all2all_bytes = ec.local_bytes;
+  return updates;
+}
+
 }  // namespace dsbfs::engine

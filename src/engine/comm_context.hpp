@@ -10,6 +10,7 @@
 #include "comm/mask_reduce.hpp"
 #include "comm/transport.hpp"
 #include "sim/cluster.hpp"
+#include "sim/perf_model.hpp"
 
 /// Shared communication context for distributed algorithms.
 ///
@@ -24,14 +25,11 @@ namespace dsbfs::engine {
 
 /// Allocator for disjoint tag blocks (see comm::Tag): iteration `i` of the
 /// engine loop owns tag block `i`; post-loop phases allocate blocks past the
-/// loop; algorithms running several value reductions per iteration keep them
-/// disjoint with reduction channels.
+/// loop.  Algorithms running several value reductions per iteration keep
+/// them disjoint with the reducers' own `channel` parameter
+/// (comm::kReduceChannelStride) -- the spacing lives with the reducers' tag
+/// computation, not here.
 struct TagBlocks {
-  /// Spacing between reduction channels.  Reducers take an *iteration
-  /// index*, not a raw tag; channels stack iterations far enough apart that
-  /// no realistic run collides (the loop would need 100k iterations).
-  static constexpr int kChannelStride = 100000;
-
   /// Tag of the engine's per-iteration termination allreduce.
   static constexpr int control(int iteration) noexcept {
     return comm::kTagControl + iteration * comm::kTagBlock;
@@ -48,12 +46,6 @@ struct TagBlocks {
   /// `iterations` iterations; distinct `phase` values get distinct blocks.
   static constexpr int after_loop(int iterations, int phase = 0) noexcept {
     return iterations + 2 + phase;
-  }
-
-  /// Iteration index to hand a MaskReducer / ValueReducer when an algorithm
-  /// runs more than one reduction per engine iteration.
-  static constexpr int reduce_channel(int iteration, int channel) noexcept {
-    return iteration + channel * kChannelStride;
   }
 };
 
@@ -83,6 +75,15 @@ class CommContext {
 
   /// Whole-cluster element-wise min allreduce on an explicit tag.
   void allreduce_min_words(int gpu, std::span<std::uint64_t> words, int tag);
+
+  /// Shared exchange-hook body for the value algorithms: run the update
+  /// exchange with the algorithm's coalesce/compress choice and record the
+  /// exchange counters into the iteration row.  Returns the received
+  /// updates; `bins` are consumed.
+  std::vector<comm::VertexUpdate> exchange_value_updates(
+      sim::GpuCoord me, std::vector<std::vector<comm::VertexUpdate>>& bins,
+      int iteration, comm::UpdateCombine combine, bool compress,
+      sim::GpuIterationCounters& iter);
 
  private:
   sim::ClusterSpec spec_;

@@ -9,6 +9,7 @@
 #include "graph/builder.hpp"
 #include "sim/cluster.hpp"
 #include "sim/perf_model.hpp"
+#include "sim/stream.hpp"
 #include "util/timer.hpp"
 
 /// Shared driver skeleton for iterative distributed algorithms.
@@ -29,11 +30,25 @@
 /// `post_reduce` runs after it, which is what lets BFS condition its mask
 /// reduction on the control word and overlap it with the in-flight normal
 /// exchange.  Hooks an algorithm does not need are empty.
+///
+/// The engine owns a *delegate stream* and a *normal stream* per GPU (the
+/// paper's Fig. 3 pipeline), exposed through the GpuContext.  With
+/// EngineOptions::overlap (the default) the engine enqueues `reduce` on the
+/// delegate stream and `exchange` on the normal stream, so the delegate-side
+/// value reduction runs concurrently with the normal-vertex exchange on
+/// every algorithm -- `contribution` joins whatever the control word needs
+/// (both streams for the value algorithms; only the delegate stream for
+/// BFS, whose exchange keeps running through the control allreduce and the
+/// post-control mask reduction).  With overlap off the engine drains both
+/// streams and calls the two hooks sequentially inline -- the ablation
+/// baseline.
 namespace dsbfs::engine {
 
 /// Everything a phase hook may touch, bundled per GPU.  Hooks for different
 /// GPUs run concurrently: an algorithm's own members must be treated as
 /// read-only inside hooks; per-GPU mutable data belongs in the State.
+/// The two streams are engine-owned; `visit` may enqueue kernels on them,
+/// and under overlap the engine itself enqueues `reduce` / `exchange` there.
 struct GpuContext {
   sim::GpuCoord me;
   sim::Device& device;
@@ -41,6 +56,15 @@ struct GpuContext {
   int total_gpus;  // p
   const graph::DistributedGraph& graph;
   CommContext& comm;
+  sim::Stream& delegate_stream;
+  sim::Stream& normal_stream;
+};
+
+/// Engine-level scheduling knobs, shared by every algorithm.
+struct EngineOptions {
+  /// Run `reduce` (delegate stream) concurrently with `exchange` (normal
+  /// stream).  Off = the historic sequential per-GPU phase order.
+  bool overlap = true;
 };
 
 /// The phase-hook interface an algorithm implements to run on the engine.
@@ -101,8 +125,9 @@ class IterativeEngine {
   using State = typename Algo::State;
 
   /// `graph` and `cluster` must outlive the engine and share their spec.
-  IterativeEngine(const graph::DistributedGraph& graph, sim::Cluster& cluster)
-      : graph_(graph), cluster_(cluster) {
+  IterativeEngine(const graph::DistributedGraph& graph, sim::Cluster& cluster,
+                  EngineOptions options = {})
+      : graph_(graph), cluster_(cluster), options_(options) {
     check_specs_match(graph, cluster);
   }
 
@@ -122,7 +147,22 @@ class IterativeEngine {
     util::Timer wall;
     cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
       const int g = spec.global_gpu(me);
-      GpuContext ctx{me, device, g, p, graph_, comm};
+      // Engine-owned two-stream pipeline.
+      sim::Stream delegate_stream;
+      sim::Stream normal_stream;
+      GpuContext ctx{me,     device, g,    p, graph_, comm, delegate_stream,
+                     normal_stream};
+      // Queued hook tasks reference ctx (and the algorithm state); drain
+      // both streams before ctx goes out of scope on every path, including
+      // exception unwinding out of a hook.
+      struct StreamDrain {
+        sim::Stream& delegate_stream;
+        sim::Stream& normal_stream;
+        ~StreamDrain() {
+          delegate_stream.synchronize();
+          normal_stream.synchronize();
+        }
+      } drain{delegate_stream, normal_stream};
 
       auto state_ptr = algo.init(ctx);
       State& s = *state_ptr;
@@ -135,13 +175,29 @@ class IterativeEngine {
       for (; !done; ++iteration) {
         algo.previsit(ctx, s, iteration);
         algo.visit(ctx, s, iteration);
-        algo.reduce(ctx, s, iteration);
-        algo.exchange(ctx, s, iteration);
+        if (options_.overlap) {
+          // Delegate-side reduction and normal-side exchange run
+          // concurrently; `contribution` joins what the control word needs.
+          delegate_stream.enqueue(
+              [&algo, &ctx, &s, iteration] { algo.reduce(ctx, s, iteration); });
+          normal_stream.enqueue([&algo, &ctx, &s, iteration] {
+            algo.exchange(ctx, s, iteration);
+          });
+        } else {
+          delegate_stream.synchronize();
+          normal_stream.synchronize();
+          algo.reduce(ctx, s, iteration);
+          algo.exchange(ctx, s, iteration);
+        }
         const std::uint64_t local = algo.contribution(ctx, s, iteration);
         const std::uint64_t control =
             comm.control_allreduce(g, local, iteration);
         algo.post_reduce(ctx, s, iteration, control);
         done = algo.end_iteration(ctx, s, iteration, control);
+        // Iteration barrier: counters and carried state must be settled
+        // before the engine snapshots history and previsit mutates again.
+        delegate_stream.synchronize();
+        normal_stream.synchronize();
         if (algo.collect_counters()) {
           history.push_back(algo.iteration_counters(s));
         }
@@ -159,6 +215,7 @@ class IterativeEngine {
  private:
   const graph::DistributedGraph& graph_;
   sim::Cluster& cluster_;
+  EngineOptions options_;
 };
 
 }  // namespace dsbfs::engine

@@ -27,13 +27,19 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
   const int p = spec.total_gpus();
   Timeline tl;
 
-  // Resources: per-GPU compute engine, per-GPU NVLink port, per-rank NIC.
-  std::vector<ResourceId> gpu_res, nvlink_res, nic_res, ir_res;
+  // Resources: per-GPU compute engine, per-GPU NVLink links, per-rank NIC.
+  // The NVLink fabric is multi-link: the delegate stream's outbound mask
+  // push and the normal stream's outbound exchange gathering ride distinct
+  // links (which is what lets the Fig. 4 pipeline overlap them), so the
+  // normal stream's staging gets its own serially-used port resource.
+  std::vector<ResourceId> gpu_res, nvlink_res, nvstage_res, nic_res, ir_res;
   gpu_res.reserve(static_cast<std::size_t>(p));
   nvlink_res.reserve(static_cast<std::size_t>(p));
+  nvstage_res.reserve(static_cast<std::size_t>(p));
   for (int g = 0; g < p; ++g) {
     gpu_res.push_back(tl.add_resource("gpu" + std::to_string(g)));
     nvlink_res.push_back(tl.add_resource("nvlink" + std::to_string(g)));
+    nvstage_res.push_back(tl.add_resource("nvstage" + std::to_string(g)));
   }
   for (int r = 0; r < spec.num_ranks; ++r) {
     nic_res.push_back(tl.add_resource("nic" + std::to_string(r)));
@@ -188,16 +194,34 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       const GpuIterationCounters& c = ic.gpu[gi];
       TaskId stage = bin_done[gi];
 
+      // Sequential schedule: without the two-stream overlap, the exchange
+      // cannot start until this GPU has its reduced delegate values back.
+      if (!run.overlap_comm && mask_ready[gi].valid()) {
+        stage = tl.add_task("comm_serialize", kCatNormalExchange, 0.0,
+                            ResourceId{}, {bin_done[gi], mask_ready[gi]});
+      }
+
       if (c.local_all2all_bytes > 0) {
         stage = tl.add_task("local_all2all", kCatLocalComm,
                             net_.nvlink_us(c.local_all2all_bytes),
-                            nvlink_res[gi], {stage});
+                            nvstage_res[gi], {stage});
       }
       if (c.uniquify_vertices > 0) {
+        // Byte volume differs by record width: 4 B ids vs 12 B updates.
+        const std::uint64_t bytes = c.uniquify_bytes > 0
+                                        ? c.uniquify_bytes
+                                        : c.uniquify_vertices * 4;
         stage = tl.add_task(
             "uniquify", kCatComputation,
             dev_.kernel_us(KernelClass::kUniquify, 0, c.uniquify_vertices,
-                           c.uniquify_vertices * 4),
+                           bytes),
+            gpu_res[gi], {stage});
+      }
+      if (c.encode_bytes > 0) {
+        // Varint encoding of the update payload (linear byte pass on-GPU).
+        stage = tl.add_task(
+            "encode", kCatComputation,
+            dev_.kernel_us(KernelClass::kBinConvert, 0, 0, c.encode_bytes),
             gpu_res[gi], {stage});
       }
       if (c.send_bytes_remote > 0) {
@@ -222,6 +246,8 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       std::vector<TaskId> deps;
       deps.reserve(static_cast<std::size_t>(p));
       for (int s = 0; s < p; ++s) deps.push_back(send_done[static_cast<std::size_t>(s)]);
+      // Staging of received bytes rides the same link as the delegate-mask
+      // broadcast (both are inbound to this GPU), so they serialize.
       recv_done[gi] = tl.add_task("recv_stage", kCatNormalExchange,
                                   net_.nvlink_us(ic.gpu[gi].recv_bytes_remote),
                                   nvlink_res[gi], deps);

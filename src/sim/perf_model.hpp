@@ -49,9 +49,11 @@ struct GpuIterationCounters {
   KernelCounters dd, dn, nd, nn;
 
   std::uint64_t bin_vertices = 0;        // nn outputs binned + converted
-  std::uint64_t uniquify_vertices = 0;   // inputs to uniquify (0 = disabled)
+  std::uint64_t uniquify_vertices = 0;   // records into uniquify (0 = disabled)
+  std::uint64_t uniquify_bytes = 0;      // their volume (4 B ids, 12 B updates)
+  std::uint64_t encode_bytes = 0;        // raw bytes varint-encoded (0 = off)
   std::uint64_t local_all2all_bytes = 0; // gathered over NVLink within rank
-  std::uint64_t send_bytes_remote = 0;   // to GPUs in other ranks
+  std::uint64_t send_bytes_remote = 0;   // to GPUs in other ranks (wire bytes)
   std::uint64_t recv_bytes_remote = 0;
   int send_dest_ranks = 0;               // distinct destination ranks
   bool delegate_update = false;          // participated in mask reduction
@@ -65,6 +67,10 @@ struct RunCounters {
   ClusterSpec spec;
   std::uint64_t delegate_mask_bytes = 0;  // d/8, what a mask reduce moves
   bool blocking_reduce = true;            // BR vs IR
+  /// Two-stream overlap: delegate reduction concurrent with the normal
+  /// exchange.  False replays the sequential schedule -- each GPU's
+  /// exchange only starts once its rank's global reduction has finished.
+  bool overlap_comm = true;
   std::vector<IterationCounters> iterations;
 };
 

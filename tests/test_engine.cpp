@@ -37,8 +37,10 @@ TEST(TagBlocks, MatchesTheHistoricTagArithmetic) {
   // The BFS parent exchange historically ran on block depth + 2.
   EXPECT_EQ(TagBlocks::user(TagBlocks::after_loop(7)),
             comm::kTagUser + (7 + 2) * comm::kTagBlock);
-  EXPECT_EQ(TagBlocks::reduce_channel(9, 0), 9);
-  EXPECT_EQ(TagBlocks::reduce_channel(9, 2), 9 + 2 * TagBlocks::kChannelStride);
+  // Channel spacing lives with the reducers now (comm::kReduceChannelStride);
+  // PageRank's three per-iteration reductions must fit.
+  static_assert(comm::kMaxReduceChannels >= 3);
+  static_assert(comm::kReduceChannelStride > 0);
 }
 
 TEST(TagBlocks, PostLoopBlocksStayDisjointFromIterations) {
@@ -158,7 +160,9 @@ TEST(IterativeEngine, RunsPhasesInOrderUntilControlConverges) {
   const graph::DistributedGraph dg = graph::build_distributed(g, spec, 4);
 
   CountdownAlgorithm algo;
-  IterativeEngine<CountdownAlgorithm> engine(dg, cluster);
+  // Sequential schedule: hook order is only deterministic without the
+  // two-stream overlap (overlapped reduce/exchange run on stream threads).
+  IterativeEngine<CountdownAlgorithm> engine(dg, cluster, {.overlap = false});
   const auto run = engine.run(algo);
 
   // GPU 3 needs 4 iterations to drain, plus the all-zero round that
@@ -249,6 +253,53 @@ TEST(EnginePortRegression, PagerankMatchesSerialReference) {
   for (VertexId v = 0; v < expected.size(); ++v) {
     ASSERT_NEAR(r.ranks[v], expected[v], 1e-9) << "vertex " << v;
   }
+}
+
+// ---- two-stream overlap --------------------------------------------------
+
+TEST(EngineOverlap, ValueAlgorithmResultsIdenticalAndModeledTimeLower) {
+  // The delegate label reduction runs concurrently with the normal-label
+  // exchange under overlap; results must be identical either way, and the
+  // replayed cluster time must strictly favour the overlapped schedule.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 35});
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+
+  core::CcOptions on;
+  on.overlap = true;
+  core::CcOptions off;
+  off.overlap = false;
+  const core::CcResult r_on = core::ConnectedComponents(dg, cluster, on).run();
+  const core::CcResult r_off =
+      core::ConnectedComponents(dg, cluster, off).run();
+
+  EXPECT_EQ(r_on.labels, r_off.labels);
+  EXPECT_EQ(r_on.update_bytes_remote, r_off.update_bytes_remote);
+  EXPECT_LT(r_on.modeled_ms, r_off.modeled_ms);
+}
+
+TEST(EngineOverlap, BfsSequentialScheduleMatchesOverlapped) {
+  // BFS on the engine's sequential branch: same distances, and the replayed
+  // cluster time must not beat the overlapped schedule.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 36});
+  const graph::HostCsr host = graph::build_host_csr(g);
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+
+  core::BfsOptions off;
+  off.overlap = false;
+  const core::BfsResult r_on = core::DistributedBfs(dg, cluster).run(7);
+  const core::BfsResult r_off =
+      core::DistributedBfs(dg, cluster, off).run(7);
+
+  EXPECT_EQ(r_on.distances, r_off.distances);
+  const auto expected = baseline::serial_bfs(host, 7);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_EQ(r_off.distances[v], expected[v]) << "vertex " << v;
+  }
+  EXPECT_LT(r_on.metrics.modeled_ms, r_off.metrics.modeled_ms);
 }
 
 TEST(EnginePortRegression, BfsParentsStillFormValidTree) {

@@ -3,7 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <functional>
 #include <thread>
+
+#include "baseline/host_apps.hpp"
+#include "core/components.hpp"
+#include "core/sssp.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
 
 namespace dsbfs::comm {
 namespace {
@@ -248,7 +257,7 @@ TEST(UpdateExchange, PairsReachOwners) {
       }
       ExchangeCounters c;
       received[static_cast<std::size_t>(g)] =
-          exchange_updates(t, spec, spec.coord_of(g), bins, 0, c);
+          exchange_updates(t, spec, spec.coord_of(g), bins, 0, {}, c);
     });
   }
   for (auto& th : threads) th.join();
@@ -280,7 +289,7 @@ TEST(UpdateExchange, CountersUseTwelveBytesPerUpdate) {
     threads.emplace_back([&, g] {
       std::vector<std::vector<VertexUpdate>> bins(2);
       bins[static_cast<std::size_t>(1 - g)].assign(10, VertexUpdate{1, 2});
-      exchange_updates(t, spec, spec.coord_of(g), bins, 0,
+      exchange_updates(t, spec, spec.coord_of(g), bins, 0, {},
                        counters[static_cast<std::size_t>(g)]);
     });
   }
@@ -326,7 +335,7 @@ TEST(UpdateExchange, CountersSplitLocalAndRemoteBytes) {
   // 2 ranks x 2 GPUs: GPU g sends (g + 1) updates to every GPU including
   // itself.  One destination shares g's rank (12 bytes each over NVLink),
   // two are remote; the loopback bin is counted in bin_vertices but moves
-  // no bytes.  The update exchange never uniquifies.
+  // no bytes.  Default options: no coalescing, no compression.
   sim::ClusterSpec spec;
   spec.num_ranks = 2;
   spec.gpus_per_rank = 2;
@@ -341,7 +350,7 @@ TEST(UpdateExchange, CountersSplitLocalAndRemoteBytes) {
         bins[static_cast<std::size_t>(dest)].assign(
             static_cast<std::size_t>(g + 1), VertexUpdate{3, 9});
       }
-      exchange_updates(t, spec, spec.coord_of(g), bins, 0,
+      exchange_updates(t, spec, spec.coord_of(g), bins, 0, {},
                        counters[static_cast<std::size_t>(g)]);
     });
   }
@@ -378,7 +387,7 @@ TEST(UpdateExchange, EmptyBinsComplete) {
       std::vector<std::vector<VertexUpdate>> bins(3);
       ExchangeCounters c;
       EXPECT_TRUE(
-          exchange_updates(t, spec, spec.coord_of(g), bins, 0, c).empty());
+          exchange_updates(t, spec, spec.coord_of(g), bins, 0, {}, c).empty());
       done.fetch_add(1);
     });
   }
@@ -409,6 +418,225 @@ TEST(Exchange, OddIdValuesSurvivePacking) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(received[1],
             (std::vector<LocalId>{0xffffffffu, 1u, 0x80000000u}));
+}
+
+// ---- update coalescing (min/sum-uniquify) and compression ----------------
+
+/// Run one collective update exchange on `spec` where every GPU fills its
+/// bins via `fill(gpu, bins)`; returns everyone's received vectors.
+std::vector<std::vector<VertexUpdate>> run_update_exchange(
+    const sim::ClusterSpec& spec, const UpdateExchangeOptions& options,
+    std::vector<ExchangeCounters>* counters_out,
+    const std::function<void(int, std::vector<std::vector<VertexUpdate>>&)>&
+        fill) {
+  const int p = spec.total_gpus();
+  Transport t(spec);
+  std::vector<std::vector<VertexUpdate>> received(static_cast<std::size_t>(p));
+  std::vector<ExchangeCounters> counters(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      std::vector<std::vector<VertexUpdate>> bins(static_cast<std::size_t>(p));
+      fill(g, bins);
+      received[static_cast<std::size_t>(g)] =
+          exchange_updates(t, spec, spec.coord_of(g), bins, 0, options,
+                           counters[static_cast<std::size_t>(g)]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (counters_out != nullptr) *counters_out = std::move(counters);
+  return received;
+}
+
+TEST(UpdateExchange, MinCoalesceShrinksBinsAndBytes) {
+  // 2 ranks x 1 GPU: each GPU sends five candidates for vertex 7 (values
+  // 50..54) plus one for vertex 9.  Min-coalescing scans all six, removes
+  // four, and ships two updates (24 bytes) carrying the per-vertex minima.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(
+      spec, {UpdateCombine::kMin, false}, &counters,
+      [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+        auto& bin = bins[static_cast<std::size_t>(1 - g)];
+        for (std::uint64_t i = 0; i < 5; ++i) {
+          bin.push_back(VertexUpdate{7, 54 - i});  // min arrives last
+        }
+        bin.push_back(VertexUpdate{9, 100});
+      });
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.bin_vertices, 6u);        // pre-coalesce candidate count
+    EXPECT_EQ(c.uniquify_vertices, 6u);   // all scanned
+    EXPECT_EQ(c.uniquify_bytes, 6u * 12); // 12-byte update records
+    EXPECT_EQ(c.duplicates_removed, 4u);  // post-coalesce: 2 remain
+    EXPECT_EQ(c.send_bytes_remote, 2u * 12);
+    EXPECT_EQ(c.recv_bytes_remote, 2u * 12);
+    EXPECT_EQ(c.encode_bytes, 0u);  // compression off
+  }
+  for (int g = 0; g < 2; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].vertex, 7u);
+    EXPECT_EQ(r[0].value, 50u);  // the minimum survived
+    EXPECT_EQ(r[1].vertex, 9u);
+    EXPECT_EQ(r[1].value, 100u);
+  }
+}
+
+TEST(UpdateExchange, SumCoalesceCombinesDoubleContributions) {
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(
+      spec, {UpdateCombine::kSumDouble, false}, &counters,
+      [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+        auto& bin = bins[static_cast<std::size_t>(1 - g)];
+        for (int i = 0; i < 4; ++i) {
+          bin.push_back(VertexUpdate{3, std::bit_cast<std::uint64_t>(0.25)});
+        }
+      });
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.duplicates_removed, 3u);
+    EXPECT_EQ(c.send_bytes_remote, 12u);
+  }
+  for (int g = 0; g < 2; ++g) {
+    ASSERT_EQ(received[static_cast<std::size_t>(g)].size(), 1u);
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(received[static_cast<std::size_t>(g)][0].value),
+        1.0);
+  }
+}
+
+TEST(UpdateExchange, CoalesceSkipsTheLoopbackBin) {
+  // The loopback bin never hits a wire, so (like the id exchange's U
+  // option) its duplicates are left to the receiver's own fold.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 1;
+  spec.gpus_per_rank = 1;
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(
+      spec, {UpdateCombine::kMin, false}, &counters,
+      [](int, std::vector<std::vector<VertexUpdate>>& bins) {
+        bins[0].assign(3, VertexUpdate{1, 5});
+      });
+  EXPECT_EQ(received[0].size(), 3u);
+  EXPECT_EQ(counters[0].uniquify_vertices, 0u);
+  EXPECT_EQ(counters[0].duplicates_removed, 0u);
+}
+
+TEST(UpdateExchange, CompressionRoundTripsAndCountsWireBytes) {
+  // Small sorted ids and small values varint-encode to ~2 bytes per update
+  // vs 12 uncompressed; the byte counters must report the wire size, and
+  // encode_bytes the raw payload run through the encoder.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(
+      spec, {UpdateCombine::kMin, true}, &counters,
+      [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+        auto& bin = bins[static_cast<std::size_t>(1 - g)];
+        for (std::uint64_t i = 0; i < 10; ++i) {
+          bin.push_back(VertexUpdate{static_cast<LocalId>(i * 3), i + 1});
+        }
+      });
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.encode_bytes, 10u * 12);
+    EXPECT_GT(c.send_bytes_remote, 0u);
+    EXPECT_LT(c.send_bytes_remote, 10u * 12);  // strictly fewer wire bytes
+    EXPECT_EQ(c.recv_bytes_remote, c.send_bytes_remote);
+  }
+  for (int g = 0; g < 2; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    ASSERT_EQ(r.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(r[i].vertex, i * 3);
+      EXPECT_EQ(r[i].value, i + 1);
+    }
+  }
+}
+
+TEST(UpdateExchange, CompressionSurvivesUnsortedAndExtremeValues) {
+  // Without coalescing the ids arrive unsorted, so deltas go negative
+  // (zigzag path), and 64-bit extremes must round-trip bit for bit.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const std::vector<VertexUpdate> payload = {
+      {0xffffffffu, 0xffffffffffffffffull},
+      {0u, 0u},
+      {0x80000000u, std::bit_cast<std::uint64_t>(-0.125)},
+      {7u, 1u},
+  };
+  auto received = run_update_exchange(
+      spec, {UpdateCombine::kNone, true}, nullptr,
+      [&](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+        bins[static_cast<std::size_t>(1 - g)] = payload;
+      });
+  for (int g = 0; g < 2; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    ASSERT_EQ(r.size(), payload.size());
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      EXPECT_EQ(r[i].vertex, payload[i].vertex) << i;
+      EXPECT_EQ(r[i].value, payload[i].value) << i;
+    }
+  }
+}
+
+// ---- end-to-end: the exchange options preserve algorithm results ---------
+
+TEST(UpdateExchange, SsspBitExactWithUniquifyOnAndOff) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 55});
+  const graph::HostCsr host = graph::build_host_csr(g);
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  const auto expected = baseline::serial_sssp(host, 3);
+  for (const bool uniquify : {false, true}) {
+    for (const bool compress : {false, true}) {
+      core::SsspOptions options;
+      options.uniquify = uniquify;
+      options.compress = compress;
+      core::DistributedSssp sssp(dg, cluster, options);
+      const core::SsspResult r = sssp.run(3);
+      ASSERT_EQ(r.distances.size(), expected.size());
+      for (VertexId v = 0; v < expected.size(); ++v) {
+        ASSERT_EQ(r.distances[v], expected[v])
+            << "vertex " << v << " uniquify " << uniquify << " compress "
+            << compress;
+      }
+    }
+  }
+}
+
+TEST(UpdateExchange, CcBitExactAndFewerBytesWithUniquify) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 56});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  const auto expected = baseline::serial_components(graph::build_host_csr(g));
+
+  std::uint64_t bytes_on = 0, bytes_off = 0;
+  for (const bool uniquify : {false, true}) {
+    core::CcOptions options;
+    options.uniquify = uniquify;
+    const core::CcResult r = core::ConnectedComponents(dg, cluster, options).run();
+    ASSERT_EQ(r.labels.size(), expected.size());
+    for (VertexId v = 0; v < expected.size(); ++v) {
+      ASSERT_EQ(r.labels[v], expected[v]) << "vertex " << v << " uniquify "
+                                          << uniquify;
+    }
+    (uniquify ? bytes_on : bytes_off) = r.update_bytes_remote;
+  }
+  // RMAT dense rounds produce duplicate label candidates per destination;
+  // coalescing must strictly shrink the wire volume.
+  EXPECT_LT(bytes_on, bytes_off);
 }
 
 }  // namespace

@@ -253,6 +253,43 @@ TEST(ValueReduce, RepeatedIterations) {
   }
 }
 
+TEST(ValueReduce, ChannelsKeepConcurrentReductionsDisjoint) {
+  // Two reductions in the same iteration on different channels (the folded
+  // TagBlocks::reduce_channel stride): payloads must not cross even when
+  // every GPU runs both concurrently.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  const int p = spec.total_gpus();
+  Transport t(spec);
+  ValueReducer reducer(t, spec);
+  std::vector<std::uint64_t> min_results(static_cast<std::size_t>(p));
+  std::vector<std::uint64_t> sum_results(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  for (int g = 0; g < p; ++g) {
+    threads.emplace_back([&, g] {
+      std::uint64_t min_word = 100 + static_cast<std::uint64_t>(g);
+      std::uint64_t sum_word = 1;
+      std::thread inner([&] {
+        reducer.reduce(spec.coord_of(g),
+                       std::span<std::uint64_t>(&min_word, 1),
+                       ValueReducer::Op::kMin, /*iteration=*/0, /*channel=*/0);
+      });
+      reducer.reduce(spec.coord_of(g), std::span<std::uint64_t>(&sum_word, 1),
+                     ValueReducer::Op::kSum, /*iteration=*/0, /*channel=*/1);
+      inner.join();
+      min_results[static_cast<std::size_t>(g)] = min_word;
+      sum_results[static_cast<std::size_t>(g)] = sum_word;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int g = 0; g < p; ++g) {
+    EXPECT_EQ(min_results[static_cast<std::size_t>(g)], 100u);
+    EXPECT_EQ(sum_results[static_cast<std::size_t>(g)],
+              static_cast<std::uint64_t>(p));
+  }
+}
+
 TEST(MaskReduce, SingleGpuIsNoop) {
   sim::ClusterSpec spec;
   spec.num_ranks = 1;
