@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <deque>
+#include <stdexcept>
 
 #include "util/hash.hpp"
 
@@ -75,6 +76,35 @@ std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
       for (const VertexId v : graph.row(u)) {
         const std::uint64_t cand =
             dist[u] + util::edge_weight(u, v, max_weight);
+        if (cand < dist[v]) {
+          dist[v] = cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
+                                       std::span<const std::uint32_t> weights,
+                                       VertexId source) {
+  if (weights.size() != graph.num_edges()) {
+    throw std::invalid_argument(
+        "weighted serial_sssp needs one weight per CSR edge (an unweighted "
+        "WeightedHostCsr has an empty weight array)");
+  }
+  const std::size_t n = graph.num_rows();
+  std::vector<std::uint64_t> dist(n, kInfiniteDistance);
+  dist[source] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (dist[u] == kInfiniteDistance) continue;
+      for (std::uint64_t e = graph.row_begin(u); e < graph.row_end(u); ++e) {
+        const VertexId v = graph.col(e);
+        const std::uint64_t cand = dist[u] + weights[e];
         if (cand < dist[v]) {
           dist[v] = cand;
           changed = true;

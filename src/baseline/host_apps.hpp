@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -33,5 +34,13 @@ std::vector<double> serial_pagerank(const graph::HostCsr& graph,
 std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
                                        VertexId source,
                                        std::uint32_t max_weight = 15);
+
+/// Stored-weight Bellman-Ford: `weights[e]` is the weight of CSR edge `e`
+/// (graph::build_weighted_host_csr produces the aligned pair).  The ground
+/// truth for DistributedSssp on weighted() graphs; distances must match bit
+/// for bit in both push and pull mode.
+std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
+                                       std::span<const std::uint32_t> weights,
+                                       VertexId source);
 
 }  // namespace dsbfs::baseline

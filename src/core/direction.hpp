@@ -7,16 +7,48 @@
 
 /// Direction optimization state machine (paper Section IV-B).
 ///
-/// The backward workload estimate follows the paper's derivation: with
+/// ## The three switchable visit kernels
+///
+/// Degree separation gives each GPU four local subgraphs; three of them have
+/// a usable local reverse, so their visit kernels can run either direction:
+///
+///   * **dd** (delegate -> delegate): locally symmetric by Algorithm 1, so
+///     the subgraph is its own reverse.  Backward = every unvisited delegate
+///     with dd edges scans its row for a visited parent.
+///   * **dn** (delegate -> local normal): its reverse on the same GPU is the
+///     nd subgraph (both directions of a delegate/normal pair land on the
+///     normal vertex's owner).  Backward = unvisited normals with delegate
+///     neighbors (the nd source list) scan for a visited delegate.
+///   * **nd** (local normal -> delegate): reverse of dn, same argument.
+///     Backward = unvisited delegates with dn edges scan their local normal
+///     neighbors for a visited one.
+///
+/// The nn subgraph is *not* locally symmetric (its columns are remote global
+/// ids), so nn visits are always forward push.  Each kernel carries its own
+/// DirectionState: the paper's insight is that the profitable switching
+/// round differs per subgraph (Fig. 7), hence per-kernel factors in
+/// BfsOptions / SsspOptions rather than one global alpha/beta pair.
+///
+/// ## Workload estimates
+///
+/// The forward workload FV is the frontier's edge mass in the subgraph
+/// (sum of row lengths over queued vertices).  The backward estimate BV
+/// follows the paper's derivation: with
 ///   q = input frontier length,
 ///   s = unvisited sources in the forward subgraph,
 ///   a = q / (q + s)  (probability a potential parent is newly visited),
 ///   U = unvisited sources of the reversed subgraph,
 /// the expected pull cost is sum over U of (1 - (1-a)^od(u)) / a, which for
 /// large out-degrees approximates |U| / a = |U| (q + s) / q.
+///
+/// BFS pull stops a row scan at the first visited parent, which is what the
+/// early-exit expectation above models.  Weighted SSSP pull cannot early-exit
+/// (it needs the *minimum* of dist + weight over the whole row), so its
+/// backward workload is simply the pull candidates' total edge mass -- see
+/// sssp_backward_workload below and the relax-step contract in sssp.hpp.
 namespace dsbfs::core {
 
-/// Backward-workload estimate BV.
+/// Backward-workload estimate BV for BFS-style early-exit pull.
 inline double backward_workload(std::uint64_t unvisited_reverse_sources,
                                 std::uint64_t frontier_len,
                                 std::uint64_t unvisited_forward_sources) {
@@ -26,6 +58,23 @@ inline double backward_workload(std::uint64_t unvisited_reverse_sources,
   return static_cast<double>(unvisited_reverse_sources) * (q + s) / q;
 }
 
+/// Backward-workload estimate for weighted SSSP pull: a pull round scans
+/// every edge of every pull-candidate row (min over neighbors, no early
+/// exit), so the cost is the subgraph's full pull-edge mass -- a per-GPU
+/// constant.  The switching rule FV > to_backward * BV then reads "the
+/// frontier's edge mass is a large fraction of the subgraph", i.e. the dense
+/// near-converged rounds where label-correcting SSSP spends most of its
+/// time; the sparse tail flips back through to_forward.
+inline double sssp_backward_workload(std::uint64_t pull_edges) {
+  return static_cast<double>(pull_edges);
+}
+
+/// Per-kernel direction state with the paper's hysteresis rule:
+/// forward -> backward when FV > to_backward * BV, backward -> forward when
+/// FV < to_forward * BV (DirectionFactors; to_forward = 0 never switches
+/// back, the paper's BFS setting -- SSSP defaults switch back for the
+/// converging tail).  `update` is called once per iteration from the
+/// previsit that owns the kernel; `backward()` is then read by the visit.
 class DirectionState {
  public:
   DirectionState() = default;

@@ -87,11 +87,17 @@ ValueAppMetrics assemble_value_app_metrics(
   for (std::size_t it = 0; it < m.counters.iterations.size(); ++it) {
     auto& ic = m.counters.iterations[it];
     ic.gpu.resize(static_cast<std::size_t>(p));
+    bool pulled = false;
     for (int g = 0; g < p; ++g) {
-      ic.gpu[static_cast<std::size_t>(g)] =
+      const sim::GpuIterationCounters& c =
           histories[static_cast<std::size_t>(g)][it];
-      m.update_bytes_remote += ic.gpu[static_cast<std::size_t>(g)].send_bytes_remote;
+      ic.gpu[static_cast<std::size_t>(g)] = c;
+      m.update_bytes_remote += c.send_bytes_remote;
+      pulled |= (c.dd.backward && c.dd.launched) ||
+                (c.dn.backward && c.dn.launched) ||
+                (c.nd.backward && c.nd.launched);
     }
+    if (pulled) ++m.pull_iterations;
   }
   m.reduce_bytes = 2ULL * d * 8 *
                    static_cast<std::uint64_t>(graph.spec().num_ranks) *

@@ -57,6 +57,10 @@ RunMetrics assemble_metrics(const graph::DistributedGraph& graph,
 struct ValueAppMetrics {
   std::uint64_t update_bytes_remote = 0;  // cross-rank update-exchange bytes
   std::uint64_t reduce_bytes = 0;         // delegate value reductions
+  /// Iterations in which any GPU ran a dd/dn/nd kernel backward -- the
+  /// direction-optimized SSSP pull rounds (0 for CC/PageRank and for
+  /// forced-push SSSP).
+  int pull_iterations = 0;
   sim::ModeledBreakdown modeled;
   double modeled_ms = 0;
   sim::RunCounters counters;  // full trace for re-modeling

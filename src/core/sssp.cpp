@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/direction.hpp"
 #include "core/metrics.hpp"
 #include "engine/iterative_engine.hpp"
 #include "util/hash.hpp"
@@ -13,9 +14,14 @@ namespace dsbfs::core {
 namespace {
 
 /// Label-correcting Bellman-Ford as engine phases (see sssp.hpp).  The
-/// structure mirrors connected components -- min-combine over delegates,
-/// (id, value) exchange for normals -- with distance-plus-weight relaxation
-/// in place of label copying.
+/// communication structure mirrors connected components -- min-combine over
+/// delegates, (id, value) exchange for normals -- with distance-plus-weight
+/// relaxation in place of label copying, over either stored or hashed
+/// weights.  The dd / dn / nd relax kernels are direction-optimized
+/// (Section IV-B): previsit picks push or pull per kernel from the frontier
+/// edge mass vs. the subgraph's pull-edge mass, and the chosen direction is
+/// recorded in the kernel counters so the perf model replays pull rounds at
+/// the backward-pull kernel rate.
 class SsspAlgorithm {
  public:
   static constexpr const char* kStateLabel = "sssp.state";
@@ -29,6 +35,12 @@ class SsspAlgorithm {
     std::vector<LocalId> next_normals;
     std::vector<LocalId> next_delegates;
     std::vector<std::vector<comm::VertexUpdate>> bins;
+    // Direction optimization: per-kernel state plus the constant pull-edge
+    // masses of this GPU's subgraphs (the SSSP backward workload).
+    DirectionState dir_dd, dir_dn, dir_nd;
+    std::uint64_t dd_pull_edges = 0;
+    std::uint64_t dn_pull_edges = 0;  // nd subgraph: reverse of dn
+    std::uint64_t nd_pull_edges = 0;  // dn subgraph: reverse of nd
     sim::GpuIterationCounters iter;
   };
 
@@ -38,8 +50,9 @@ class SsspAlgorithm {
 
   std::unique_ptr<State> init(engine::GpuContext& ctx) {
     const sim::ClusterSpec& spec = graph_.spec();
+    const graph::LocalGraph& lg = graph_.local(ctx.gpu);
     const LocalId d = graph_.num_delegates();
-    const std::uint64_t n_local = graph_.local(ctx.gpu).num_local_normals();
+    const std::uint64_t n_local = lg.num_local_normals();
 
     auto state = std::make_unique<State>();
     State& s = *state;
@@ -47,6 +60,12 @@ class SsspAlgorithm {
     s.dist_delegate.assign(d, kInfiniteDistance);
     s.delegate_cand.assign(d, kInfiniteDistance);
     s.bins.resize(static_cast<std::size_t>(ctx.total_gpus));
+    s.dir_dd = DirectionState(options_.dd_factors);
+    s.dir_dn = DirectionState(options_.dn_factors);
+    s.dir_nd = DirectionState(options_.nd_factors);
+    s.dd_pull_edges = lg.dd().num_edges();
+    s.dn_pull_edges = lg.nd().num_edges();
+    s.nd_pull_edges = lg.dn().num_edges();
 
     // Seed the source: a delegate activates on every GPU (its adjacency is
     // scattered); a normal vertex activates on its owner only.
@@ -69,12 +88,36 @@ class SsspAlgorithm {
            8;
   }
 
-  void previsit(engine::GpuContext&, State& s, int) {
+  void previsit(engine::GpuContext& ctx, State& s, int) {
     s.iter = sim::GpuIterationCounters{};
     std::copy(s.dist_delegate.begin(), s.dist_delegate.end(),
               s.delegate_cand.begin());
     s.next_normals.clear();
     s.next_delegates.clear();
+
+    // Direction decisions (Section IV-B): frontier edge mass per switchable
+    // kernel vs. the subgraph's pull-edge mass.  The delegate frontier is
+    // identical on every GPU (next_delegates falls out of the global
+    // min-reduction), but FV and BV are this GPU's local edge counts, so
+    // each GPU decides independently -- like the BFS visits, one GPU may
+    // pull a kernel another pushes in the same round.
+    s.iter.dprev_vertices = s.active_delegates.size();
+    s.iter.nprev_vertices = s.active_normals.size();
+    s.iter.direction_decisions = options_.direction_optimized;
+    if (!options_.direction_optimized) return;  // forced push: no estimates
+
+    const graph::LocalGraph& lg = graph_.local(ctx.gpu);
+    double fv_dd = 0, fv_dn = 0, fv_nd = 0;
+    for (const LocalId t : s.active_delegates) {
+      fv_dd += lg.dd().row_length(t);
+      fv_dn += lg.dn().row_length(t);
+    }
+    for (const LocalId v : s.active_normals) {
+      fv_nd += lg.nd().row_length(v);
+    }
+    s.dir_dd.update(fv_dd, sssp_backward_workload(s.dd_pull_edges), true);
+    s.dir_dn.update(fv_dn, sssp_backward_workload(s.dn_pull_edges), true);
+    s.dir_nd.update(fv_nd, sssp_backward_workload(s.nd_pull_edges), true);
   }
 
   void visit(engine::GpuContext& ctx, State& s, int) {
@@ -82,62 +125,174 @@ class SsspAlgorithm {
     const graph::LocalGraph& lg = graph_.local(ctx.gpu);
     const graph::DelegateInfo& delegates = graph_.delegates();
     const std::uint64_t p = static_cast<std::uint64_t>(ctx.total_gpus);
-    const std::uint32_t w_max = options_.max_weight;
+    const auto global_of = [&](LocalId v) {
+      return spec.global_vertex(ctx.me.rank, ctx.me.gpu, v);
+    };
 
-    // Normal relaxations: nn candidates travel, nd candidates land in the
-    // replicated delegate array.
-    s.iter.nprev_vertices = s.active_normals.size();
-    s.iter.nn.launched = s.iter.nd.launched = !s.active_normals.empty();
-    for (const LocalId v : s.active_normals) {
-      const std::uint64_t dist = s.dist_normal[v];
-      const VertexId v_global =
-          spec.global_vertex(ctx.me.rank, ctx.me.gpu, v);
-      const auto nn_row = lg.nn().row(v);
-      s.iter.nn.edges += nn_row.size();
-      for (const VertexId dst : nn_row) {
-        const std::uint64_t cand =
-            dist + util::edge_weight(v_global, dst, w_max);
-        s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))]
-            .push_back(
-                comm::VertexUpdate{static_cast<LocalId>(dst / p), cand});
+    // ---- nn relaxations: always push; candidates travel. ----------------
+    {
+      sim::KernelCounters& k = s.iter.nn;
+      k.backward = false;
+      k.launched = !s.active_normals.empty();
+      for (const LocalId v : s.active_normals) {
+        const std::uint64_t dist = s.dist_normal[v];
+        const VertexId v_global = global_of(v);
+        for (std::uint64_t e = lg.nn().row_begin(v); e < lg.nn().row_end(v);
+             ++e) {
+          const VertexId dst = lg.nn().col(e);
+          const std::uint64_t cand =
+              dist + weight(lg.nn_weights(), e, v_global, dst);
+          s.bins[static_cast<std::size_t>(spec.owner_global_gpu(dst))]
+              .push_back(
+                  comm::VertexUpdate{static_cast<LocalId>(dst / p), cand});
+          ++k.edges;
+        }
       }
-      const auto nd_row = lg.nd().row(v);
-      s.iter.nd.edges += nd_row.size();
-      for (const LocalId c : nd_row) {
-        const std::uint64_t cand =
-            dist + util::edge_weight(v_global, delegates.vertex_of(c), w_max);
-        if (cand < s.delegate_cand[c]) s.delegate_cand[c] = cand;
-      }
+      k.vertices = s.active_normals.size();
     }
-    s.iter.nn.vertices = s.iter.nd.vertices = s.active_normals.size();
 
-    // Delegate relaxations: dd into candidates, dn into local distances.
-    s.iter.dprev_vertices = s.active_delegates.size();
-    s.iter.dd.launched = s.iter.dn.launched = !s.active_delegates.empty();
-    for (const LocalId t : s.active_delegates) {
-      const std::uint64_t dist = s.dist_delegate[t];
-      const VertexId t_global = delegates.vertex_of(t);
-      const auto dd_row = lg.dd().row(t);
-      s.iter.dd.edges += dd_row.size();
-      for (const LocalId c : dd_row) {
-        const std::uint64_t cand =
-            dist + util::edge_weight(t_global, delegates.vertex_of(c), w_max);
-        if (cand < s.delegate_cand[c]) s.delegate_cand[c] = cand;
-      }
-      const auto dn_row = lg.dn().row(t);
-      s.iter.dn.edges += dn_row.size();
-      for (const LocalId v : dn_row) {
-        const std::uint64_t cand =
-            dist + util::edge_weight(
-                       t_global,
-                       spec.global_vertex(ctx.me.rank, ctx.me.gpu, v), w_max);
-        if (cand < s.dist_normal[v]) {
-          s.dist_normal[v] = cand;
-          s.next_normals.push_back(v);
+    // ---- nd relaxations: active normals push into the replicated
+    // candidates, or delegates pull over their dn rows. --------------------
+    {
+      sim::KernelCounters& k = s.iter.nd;
+      k.backward = s.dir_nd.backward();
+      if (!k.backward) {
+        k.launched = !s.active_normals.empty();
+        for (const LocalId v : s.active_normals) {
+          const std::uint64_t dist = s.dist_normal[v];
+          const VertexId v_global = global_of(v);
+          for (std::uint64_t e = lg.nd().row_begin(v); e < lg.nd().row_end(v);
+               ++e) {
+            const LocalId c = lg.nd().col(e);
+            const std::uint64_t cand =
+                dist + weight(lg.nd_weights(), e, v_global,
+                              delegates.vertex_of(c));
+            if (cand < s.delegate_cand[c]) s.delegate_cand[c] = cand;
+            ++k.edges;
+          }
+        }
+        k.vertices = s.active_normals.size();
+      } else {
+        // Pull: every delegate with local dn edges folds
+        // min(dist_normal + w) over its whole row into its candidate.
+        k.launched = true;
+        const LocalId d = graph_.num_delegates();
+        for (LocalId t = 0; t < d; ++t) {
+          if (lg.dn().row_length(t) == 0) continue;
+          ++k.vertices;
+          const VertexId t_global = delegates.vertex_of(t);
+          std::uint64_t best = s.delegate_cand[t];
+          for (std::uint64_t e = lg.dn().row_begin(t); e < lg.dn().row_end(t);
+               ++e) {
+            ++k.edges;
+            const LocalId v = lg.dn().col(e);
+            const std::uint64_t dv = s.dist_normal[v];
+            if (dv == kInfiniteDistance) continue;
+            const std::uint64_t cand =
+                dv + weight(lg.dn_weights(), e, t_global, global_of(v));
+            if (cand < best) best = cand;
+          }
+          s.delegate_cand[t] = best;
         }
       }
     }
-    s.iter.dd.vertices = s.iter.dn.vertices = s.active_delegates.size();
+
+    // ---- dd relaxations: active delegates push, or delegates pull over
+    // their own (locally symmetric) dd rows. ------------------------------
+    {
+      sim::KernelCounters& k = s.iter.dd;
+      k.backward = s.dir_dd.backward();
+      if (!k.backward) {
+        k.launched = !s.active_delegates.empty();
+        for (const LocalId t : s.active_delegates) {
+          const std::uint64_t dist = s.dist_delegate[t];
+          const VertexId t_global = delegates.vertex_of(t);
+          for (std::uint64_t e = lg.dd().row_begin(t); e < lg.dd().row_end(t);
+               ++e) {
+            const LocalId c = lg.dd().col(e);
+            const std::uint64_t cand =
+                dist + weight(lg.dd_weights(), e, t_global,
+                              delegates.vertex_of(c));
+            if (cand < s.delegate_cand[c]) s.delegate_cand[c] = cand;
+            ++k.edges;
+          }
+        }
+        k.vertices = s.active_delegates.size();
+      } else {
+        k.launched = true;
+        const LocalId d = graph_.num_delegates();
+        for (LocalId t = 0; t < d; ++t) {
+          if (lg.dd().row_length(t) == 0) continue;
+          ++k.vertices;
+          const VertexId t_global = delegates.vertex_of(t);
+          std::uint64_t best = s.delegate_cand[t];
+          for (std::uint64_t e = lg.dd().row_begin(t); e < lg.dd().row_end(t);
+               ++e) {
+            ++k.edges;
+            const LocalId c = lg.dd().col(e);
+            const std::uint64_t dc = s.dist_delegate[c];
+            if (dc == kInfiniteDistance) continue;
+            const std::uint64_t cand =
+                dc + weight(lg.dd_weights(), e, t_global,
+                            delegates.vertex_of(c));
+            if (cand < best) best = cand;
+          }
+          s.delegate_cand[t] = best;
+        }
+      }
+    }
+
+    // ---- dn relaxations: active delegates push into local distances, or
+    // normals pull over their nd rows (reverse of dn on this GPU). ---------
+    {
+      sim::KernelCounters& k = s.iter.dn;
+      k.backward = s.dir_dn.backward();
+      if (!k.backward) {
+        k.launched = !s.active_delegates.empty();
+        for (const LocalId t : s.active_delegates) {
+          const std::uint64_t dist = s.dist_delegate[t];
+          const VertexId t_global = delegates.vertex_of(t);
+          for (std::uint64_t e = lg.dn().row_begin(t); e < lg.dn().row_end(t);
+               ++e) {
+            const LocalId v = lg.dn().col(e);
+            const std::uint64_t cand =
+                dist + weight(lg.dn_weights(), e, t_global, global_of(v));
+            if (cand < s.dist_normal[v]) {
+              s.dist_normal[v] = cand;
+              s.next_normals.push_back(v);
+            }
+            ++k.edges;
+          }
+        }
+        k.vertices = s.active_delegates.size();
+      } else {
+        k.launched = true;
+        for (const LocalId v : lg.nd_source_list()) {
+          ++k.vertices;
+          const VertexId v_global = global_of(v);
+          std::uint64_t best = s.dist_normal[v];
+          bool improved = false;
+          for (std::uint64_t e = lg.nd().row_begin(v); e < lg.nd().row_end(v);
+               ++e) {
+            ++k.edges;
+            const LocalId c = lg.nd().col(e);
+            const std::uint64_t dc = s.dist_delegate[c];
+            if (dc == kInfiniteDistance) continue;
+            const std::uint64_t cand =
+                dc + weight(lg.nd_weights(), e, v_global,
+                            delegates.vertex_of(c));
+            if (cand < best) {
+              best = cand;
+              improved = true;
+            }
+          }
+          if (improved) {
+            s.dist_normal[v] = best;
+            s.next_normals.push_back(v);
+          }
+        }
+      }
+    }
   }
 
   void reduce(engine::GpuContext& ctx, State& s, int iteration) {
@@ -202,6 +357,14 @@ class SsspAlgorithm {
   void finalize(engine::GpuContext&, State&, int) {}
 
  private:
+  /// Weight of subgraph edge `e`: the stored per-edge array when the graph
+  /// carries weights, otherwise the deterministic endpoint-pair hash.
+  std::uint32_t weight(const std::vector<std::uint32_t>& stored,
+                       std::uint64_t e, VertexId u, VertexId v) const {
+    return stored.empty() ? util::edge_weight(u, v, options_.max_weight)
+                          : stored[e];
+  }
+
   const graph::DistributedGraph& graph_;
   const SsspOptions& options_;
   VertexId source_;
@@ -256,6 +419,7 @@ SsspResult DistributedSssp::run(VertexId source) {
         options_.device_model, options_.net_model);
     result.update_bytes_remote = vm.update_bytes_remote;
     result.reduce_bytes = vm.reduce_bytes;
+    result.pull_iterations = vm.pull_iterations;
     result.modeled = vm.modeled;
     result.modeled_ms = vm.modeled_ms;
     result.counters = std::move(vm.counters);

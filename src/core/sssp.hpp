@@ -16,19 +16,66 @@
 /// normal vertices exchange (id, tentative distance) updates through
 /// exchange_updates.
 ///
-/// Edge weights are deterministic hashes of the endpoint pair
-/// (util::edge_weight), symmetric and recomputable anywhere, so the
-/// unweighted distributed graph needs no per-edge storage and the serial
-/// Bellman-Ford reference (baseline::serial_sssp) sees identical weights.
+/// ## Edge weights
+///
+/// Two weight sources, selected by the graph:
+///   * **hashed** (graph::DistributedGraph::weighted() == false): weights
+///     are deterministic hashes of the endpoint pair (util::edge_weight),
+///     symmetric and recomputable anywhere, so the unweighted graph needs no
+///     per-edge storage and the serial reference sees identical weights;
+///   * **stored** (weighted() == true): per-edge weights generated into
+///     EdgeList::weights ride the Algorithm-1 distribution into each
+///     LocalGraph's per-subgraph weight arrays, and relaxation reads them by
+///     CSR edge index.  `max_weight` is then ignored.
+/// Both are symmetric per undirected pair, which the pull mode requires.
+///
+/// ## Direction-optimized relaxation (Section IV-B applied to SSSP)
+///
 /// The iteration is label-correcting Bellman-Ford: active vertices relax
-/// all incident edges, improved vertices become the next active set, and
-/// the run converges when the engine's control allreduce counts zero
-/// improvements cluster-wide.
+/// incident edges, improved vertices become the next active set, and the
+/// run converges when the engine's control allreduce counts zero
+/// improvements cluster-wide.  With `direction_optimized`, the dd / dn / nd
+/// relax kernels reuse the BFS DirectionState machinery:
+///
+///   * forward (push): active vertices relax out-edges, exactly the BFS
+///     visit shape with distance-plus-weight in place of depth;
+///   * backward (pull): every pull-candidate row scans its *entire* local
+///     reverse row and folds min(dist[neighbor] + weight) into its own
+///     tentative distance.  Unlike BFS pull there is no early exit -- the
+///     minimum needs the whole row -- so the backward workload estimate is
+///     the subgraph's pull-edge mass (core::sssp_backward_workload), and
+///     the switching factors compare the frontier's edge mass against it.
+///
+/// Pull relaxes a superset of the edges push would relax in that round
+/// (neighbors at any finite distance contribute, not only active ones), so
+/// per-round tentative distances may differ between modes; converged
+/// distances are the unique shortest-path distances and therefore
+/// bit-identical to forced-push mode and to the serial baseline.  nn
+/// relaxations are always push: the nn subgraph has no local reverse.
 namespace dsbfs::core {
 
 struct SsspOptions {
-  /// Weights are drawn from [1, max_weight] (util::edge_weight).
+  /// Hashed-weight fallback: weights drawn from [1, max_weight] by
+  /// util::edge_weight.  Ignored when the graph stores real weights.
   std::uint32_t max_weight = 15;
+  /// Direction optimization on the dd / dn / nd relax kernels (nn is always
+  /// forward).  false = forced push, the historic label-correcting shape.
+  /// Off by default, unlike BFS: the per-round decision-kernel launches
+  /// amortize only once per-GPU subgraph edge masses reach the
+  /// millions-of-edges regime (docs/TUNING.md "SSSP" derives the
+  /// break-even); at bench/test scales forced push is modeled faster.
+  bool direction_optimized = false;
+  /// SSSP switching factors (see docs/TUNING.md): forward -> backward when
+  /// the kernel's frontier edge mass exceeds to_backward times the
+  /// subgraph's pull-edge mass; back to forward below to_forward times it.
+  /// Defaults sit at the modeled kernel-rate crossover (backward edges cost
+  /// ns_per_edge_backward / ns_per_edge_forward_* of a forward edge, so pull
+  /// wins once FV/E exceeds ~0.79 for the merge-based dd and ~0.61 for
+  /// dn/nd).  Unlike BFS (to_forward = 0), SSSP must switch back: the
+  /// converging tail rounds are sparse again.
+  DirectionFactors dd_factors{0.8, 0.6};
+  DirectionFactors dn_factors{0.65, 0.5};
+  DirectionFactors nd_factors{0.65, 0.5};
   /// Two-stream overlap: delegate distance min-reduction concurrent with
   /// the tentative-distance exchange (engine::EngineOptions).
   bool overlap = true;
@@ -47,6 +94,9 @@ struct SsspResult {
   /// for unreachable vertices.
   std::vector<std::uint64_t> distances;
   int iterations = 0;
+  /// Iterations in which at least one GPU ran a relax kernel backward
+  /// (0 with direction_optimized off; collect_counters only).
+  int pull_iterations = 0;
   double measured_ms = 0;
   double modeled_ms = 0;
   sim::ModeledBreakdown modeled;

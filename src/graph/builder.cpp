@@ -31,6 +31,11 @@ DistributedGraph build_distributed(const EdgeList& g, sim::ClusterSpec spec,
   out.spec_ = spec;
   out.num_vertices_ = g.num_vertices;
   out.num_edges_ = g.size();
+  out.weighted_ = g.weighted();
+  if (g.weighted() && g.weights.size() != g.size()) {
+    throw std::invalid_argument(
+        "weighted edge list must carry one weight per directed edge");
+  }
 
   const std::uint64_t p = static_cast<std::uint64_t>(spec.total_gpus());
   if ((g.num_vertices + p - 1) / p > static_cast<std::uint64_t>(kInvalidLocal)) {

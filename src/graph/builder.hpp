@@ -22,6 +22,10 @@ class DistributedGraph {
   /// Directed edge count after symmetrization (the paper's m).
   std::uint64_t num_edges() const noexcept { return num_edges_; }
   std::uint32_t threshold() const noexcept { return delegates_.threshold(); }
+  /// True when the source edge list carried stored weights; every LocalGraph
+  /// then holds per-edge weight arrays and weighted workloads (SSSP) read
+  /// them instead of recomputing the endpoint-pair hash.
+  bool weighted() const noexcept { return weighted_; }
 
   LocalId num_delegates() const noexcept { return delegates_.count(); }
   const DelegateInfo& delegates() const noexcept { return delegates_; }
@@ -50,6 +54,7 @@ class DistributedGraph {
   sim::ClusterSpec spec_;
   VertexId num_vertices_ = 0;
   std::uint64_t num_edges_ = 0;
+  bool weighted_ = false;
   std::vector<std::uint32_t> degrees_;
   DelegateInfo delegates_;
   std::vector<LocalGraph> locals_;

@@ -10,4 +10,18 @@ HostCsr build_host_csr(const EdgeList& g) {
                              std::span<const std::uint64_t>(rows));
 }
 
+WeightedHostCsr build_weighted_host_csr(const EdgeList& g) {
+  WeightedHostCsr out;
+  if (!g.weighted()) {
+    out.csr = build_host_csr(g);
+    return out;
+  }
+  std::vector<std::uint64_t> rows(g.src.begin(), g.src.end());
+  out.csr = HostCsr::from_edges(
+      g.num_vertices, std::span<const VertexId>(g.dst),
+      std::span<const std::uint64_t>(rows),
+      std::span<const std::uint32_t>(g.weights), out.weights);
+  return out;
+}
+
 }  // namespace dsbfs::graph

@@ -25,25 +25,35 @@ class Csr {
   /// equal rows after the counting sort.
   static Csr from_edges(std::size_t num_rows, std::span<const Col> col_of,
                         std::span<const std::uint64_t> row_of) {
-    if (col_of.size() != row_of.size()) {
-      throw std::invalid_argument("csr: row/col arrays differ in length");
-    }
     Csr out;
-    out.offsets_.assign(num_rows + 1, 0);
-    for (const std::uint64_t r : row_of) {
-      out.offsets_[r + 1] += 1;
-    }
-    for (std::size_t r = 0; r < num_rows; ++r) {
-      out.offsets_[r + 1] += out.offsets_[r];
-    }
-    const std::uint64_t total = out.offsets_[num_rows];
-    if (total != col_of.size()) {
-      throw std::logic_error("csr: row index out of range");
-    }
-    out.cols_.resize(total);
-    std::vector<Off> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+    std::vector<Off> cursor = out.count_rows(num_rows, col_of, row_of);
     for (std::size_t i = 0; i < col_of.size(); ++i) {
       out.cols_[cursor[row_of[i]]++] = col_of[i];
+    }
+    return out;
+  }
+
+  /// As above, but additionally permutes a parallel per-edge payload array
+  /// (stored edge weights) into CSR edge order: after the call,
+  /// `payload_out[e]` belongs to the edge at `cols()[e]`.  The payload rides
+  /// the identical counting sort, so `row(r)` and the payload slice
+  /// `[row_begin(r), row_end(r))` stay aligned.
+  template <typename Payload>
+  static Csr from_edges(std::size_t num_rows, std::span<const Col> col_of,
+                        std::span<const std::uint64_t> row_of,
+                        std::span<const Payload> payload_of,
+                        std::vector<Payload>& payload_out) {
+    if (payload_of.size() != col_of.size()) {
+      throw std::invalid_argument(
+          "csr: payload array differs from cols in length");
+    }
+    Csr out;
+    std::vector<Off> cursor = out.count_rows(num_rows, col_of, row_of);
+    payload_out.assign(out.cols_.size(), Payload{});
+    for (std::size_t i = 0; i < col_of.size(); ++i) {
+      const Off pos = cursor[row_of[i]]++;
+      out.cols_[pos] = col_of[i];
+      payload_out[pos] = payload_of[i];
     }
     return out;
   }
@@ -73,6 +83,29 @@ class Csr {
   const std::vector<Col>& cols() const noexcept { return cols_; }
 
  private:
+  /// Shared first half of the counting sort: validate, histogram the rows
+  /// into offsets_, size cols_, and return the per-row write cursors.
+  std::vector<Off> count_rows(std::size_t num_rows,
+                              std::span<const Col> col_of,
+                              std::span<const std::uint64_t> row_of) {
+    if (col_of.size() != row_of.size()) {
+      throw std::invalid_argument("csr: row/col arrays differ in length");
+    }
+    offsets_.assign(num_rows + 1, 0);
+    for (const std::uint64_t r : row_of) {
+      offsets_[r + 1] += 1;
+    }
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      offsets_[r + 1] += offsets_[r];
+    }
+    const std::uint64_t total = offsets_[num_rows];
+    if (total != col_of.size()) {
+      throw std::logic_error("csr: row index out of range");
+    }
+    cols_.resize(total);
+    return std::vector<Off>(offsets_.begin(), offsets_.end() - 1);
+  }
+
   std::vector<Off> offsets_;  // num_rows + 1
   std::vector<Col> cols_;
 };
@@ -89,5 +122,15 @@ struct EdgeList;  // graph/edge_list.hpp
 
 /// Build the host CSR of an edge list.
 HostCsr build_host_csr(const EdgeList& g);
+
+/// Host CSR plus per-edge stored weights in CSR edge order (empty when the
+/// edge list is unweighted).  The weighted serial SSSP baseline consumes
+/// this; `weights[e]` pairs with `csr.cols()[e]`.
+struct WeightedHostCsr {
+  HostCsr csr;
+  std::vector<std::uint32_t> weights;
+};
+
+WeightedHostCsr build_weighted_host_csr(const EdgeList& g);
 
 }  // namespace dsbfs::graph

@@ -80,6 +80,7 @@ DistributedEdges distribute_edges(const EdgeList& g,
       totals[static_cast<std::size_t>(gpu)][static_cast<std::size_t>(k)] = run;
     }
   }
+  const bool weighted = g.weighted();
   for (int gpu = 0; gpu < p; ++gpu) {
     auto& sets = out.gpus[static_cast<std::size_t>(gpu)];
     const auto& t = totals[static_cast<std::size_t>(gpu)];
@@ -91,6 +92,13 @@ DistributedEdges distribute_edges(const EdgeList& g,
     sets.dn_cols.resize(t[2]);
     sets.dd_rows.resize(t[3]);
     sets.dd_cols.resize(t[3]);
+    sets.weighted = weighted;
+    if (weighted) {
+      sets.nn_weights.resize(t[0]);
+      sets.nd_weights.resize(t[1]);
+      sets.dn_weights.resize(t[2]);
+      sets.dd_weights.resize(t[3]);
+    }
     out.enn += t[0];
     out.end += t[1];
     out.edn += t[2];
@@ -114,18 +122,22 @@ DistributedEdges distribute_edges(const EdgeList& g,
           case EdgeKind::kNN:
             sets.nn_rows[pos] = spec.local_index(u);
             sets.nn_cols[pos] = v;
+            if (weighted) sets.nn_weights[pos] = g.weights[i];
             break;
           case EdgeKind::kND:
             sets.nd_rows[pos] = spec.local_index(u);
             sets.nd_cols[pos] = delegates.delegate_id(v);
+            if (weighted) sets.nd_weights[pos] = g.weights[i];
             break;
           case EdgeKind::kDN:
             sets.dn_rows[pos] = delegates.delegate_id(u);
             sets.dn_cols[pos] = static_cast<LocalId>(spec.local_index(v));
+            if (weighted) sets.dn_weights[pos] = g.weights[i];
             break;
           case EdgeKind::kDD:
             sets.dd_rows[pos] = delegates.delegate_id(u);
             sets.dd_cols[pos] = delegates.delegate_id(v);
+            if (weighted) sets.dd_weights[pos] = g.weights[i];
             break;
         }
         ++pos;

@@ -24,7 +24,10 @@ enum class EdgeKind : std::uint8_t { kNN = 0, kND = 1, kDN = 2, kDD = 3 };
 /// Edges routed to one GPU, already translated to local encodings:
 /// rows of nn/nd are local normal indices; rows of dn/dd are delegate ids;
 /// nn columns are global vertex ids; nd/dd columns are delegate ids; dn
-/// columns are local normal indices.
+/// columns are local normal indices.  On weighted inputs the per-subgraph
+/// weight arrays are parallel to the row/col arrays (each edge carries its
+/// stored weight to the one GPU that owns it); unweighted inputs leave them
+/// empty and `weighted` false.
 struct GpuEdgeSets {
   std::vector<std::uint64_t> nn_rows;
   std::vector<VertexId> nn_cols;
@@ -34,6 +37,11 @@ struct GpuEdgeSets {
   std::vector<LocalId> dn_cols;
   std::vector<std::uint64_t> dd_rows;
   std::vector<LocalId> dd_cols;
+  std::vector<std::uint32_t> nn_weights;
+  std::vector<std::uint32_t> nd_weights;
+  std::vector<std::uint32_t> dn_weights;
+  std::vector<std::uint32_t> dd_weights;
+  bool weighted = false;
 
   std::uint64_t total_edges() const noexcept {
     return nn_rows.size() + nd_rows.size() + dn_rows.size() + dd_rows.size();

@@ -8,16 +8,28 @@
 namespace dsbfs::graph {
 
 EdgeList make_symmetric(const EdgeList& g) {
+  if (g.weighted() && g.weights.size() != g.size()) {
+    throw std::invalid_argument(
+        "make_symmetric: weighted edge list must carry one weight per edge "
+        "(add() and add_weighted() were mixed)");
+  }
   EdgeList out;
   out.num_vertices = g.num_vertices;
   const std::size_t m = g.size();
   out.src.resize(2 * m);
   out.dst.resize(2 * m);
+  if (g.weighted()) out.weights.resize(2 * m);
   util::parallel_for(0, m, [&](std::size_t i) {
     out.src[i] = g.src[i];
     out.dst[i] = g.dst[i];
     out.src[m + i] = g.dst[i];
     out.dst[m + i] = g.src[i];
+    if (!out.weights.empty()) {
+      // Both directions of a pair carry the same weight (the symmetry the
+      // SSSP backward-pull relax step relies on).
+      out.weights[i] = g.weights[i];
+      out.weights[m + i] = g.weights[i];
+    }
   });
   return out;
 }

@@ -12,15 +12,27 @@
 /// directed edge (two 64-bit vertex ids); Table I's point is that the
 /// degree-separated subgraph representation needs about a third of that.
 /// This host-side structure is the input to every partitioner and baseline.
+///
+/// Weights are optional: an empty `weights` array means "unweighted", and
+/// weighted workloads fall back to the deterministic endpoint-pair hash
+/// (util::edge_weight) so every existing caller stays bit-compatible.  A
+/// populated `weights` array is parallel to src/dst (4 bytes per directed
+/// edge) and flows through the distributor into per-edge arrays of each
+/// LocalGraph subgraph.  Symmetric graphs must carry the same weight on both
+/// directions of a pair (make_symmetric preserves this; the backward-pull
+/// relax step of SSSP depends on it).
 namespace dsbfs::graph {
 
 struct EdgeList {
   VertexId num_vertices = 0;
   std::vector<VertexId> src;
   std::vector<VertexId> dst;
+  /// Optional per-edge weights; empty = unweighted (hashed fallback).
+  std::vector<std::uint32_t> weights;
 
   std::size_t size() const noexcept { return src.size(); }
   bool empty() const noexcept { return src.empty(); }
+  bool weighted() const noexcept { return !weights.empty(); }
 
   void reserve(std::size_t edges) {
     src.reserve(edges);
@@ -32,9 +44,19 @@ struct EdgeList {
     dst.push_back(v);
   }
 
-  /// Bytes of the conventional 64-bit edge-list encoding (16m).
+  /// Append a stored-weight edge.  Mixing add() and add_weighted() on one
+  /// list is an error (checked by build_distributed).
+  void add_weighted(VertexId u, VertexId v, std::uint32_t w) {
+    src.push_back(u);
+    dst.push_back(v);
+    weights.push_back(w);
+  }
+
+  /// Bytes of the conventional 64-bit edge-list encoding (16m, plus 4m of
+  /// weights when stored).
   std::uint64_t storage_bytes() const noexcept {
-    return static_cast<std::uint64_t>(size()) * 16;
+    return static_cast<std::uint64_t>(size()) * 16 +
+           static_cast<std::uint64_t>(weights.size()) * 4;
   }
 };
 

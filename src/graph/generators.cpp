@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/hash.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -189,6 +190,25 @@ EdgeList erdos_renyi(std::uint64_t n, std::uint64_t m, std::uint64_t seed) {
     g.dst[i] = rng.below(2 * i + 1, n);
   });
   return make_symmetric(g);
+}
+
+void assign_uniform_weights(EdgeList& g, std::uint32_t max_weight,
+                            std::uint64_t seed) {
+  if (max_weight == 0) {
+    throw std::invalid_argument("assign_uniform_weights: max_weight must be >= 1");
+  }
+  g.weights.resize(g.size());
+  util::parallel_for(0, g.size(), [&](std::size_t i) {
+    const VertexId a = std::min(g.src[i], g.dst[i]);
+    const VertexId b = std::max(g.src[i], g.dst[i]);
+    // Keyed by the unordered pair so both directions (and parallel edges)
+    // of a symmetric graph agree; the seed decorrelates it from the
+    // util::edge_weight fallback hash.
+    g.weights[i] = 1 + static_cast<std::uint32_t>(
+                           util::splitmix64(util::hash_combine(
+                               seed, util::hash_combine(a, b))) %
+                           static_cast<std::uint64_t>(max_weight));
+  });
 }
 
 EdgeList two_cliques(std::uint64_t clique_size) {

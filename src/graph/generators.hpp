@@ -81,4 +81,16 @@ EdgeList erdos_renyi(std::uint64_t n, std::uint64_t m, std::uint64_t seed);
 /// Two disconnected cliques (tests unreachable-vertex handling).
 EdgeList two_cliques(std::uint64_t clique_size);
 
+// --- stored edge weights ------------------------------------------------
+
+/// Populate EdgeList::weights with seeded uniform weights in [1, max_weight].
+/// The weight is a function of the *unordered* endpoint pair (and the seed),
+/// so symmetric edge lists stay weight-consistent in both directions and
+/// parallel edges agree -- the invariants the distributed SSSP pull path and
+/// the weighted serial baseline both assume.  Works on any generator output,
+/// before or after make_symmetric / permute_vertices; with seed variation it
+/// is the "weighted RMAT / uniform" path of the stored-weight substrate.
+void assign_uniform_weights(EdgeList& g, std::uint32_t max_weight,
+                            std::uint64_t seed);
+
 }  // namespace dsbfs::graph

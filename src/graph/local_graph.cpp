@@ -28,10 +28,30 @@ LocalGraph::LocalGraph(sim::ClusterSpec spec, sim::GpuCoord me,
         "local normal count exceeds 32-bit local id space; use more GPUs");
   }
 
-  nn_ = LocalCsrU64::from_edges(num_local_, edges.nn_cols, edges.nn_rows);
-  nd_ = LocalCsrU32::from_edges(num_local_, edges.nd_cols, edges.nd_rows);
-  dn_ = LocalCsrU32::from_edges(num_delegates_, edges.dn_cols, edges.dn_rows);
-  dd_ = LocalCsrU32::from_edges(num_delegates_, edges.dd_cols, edges.dd_rows);
+  weighted_ = edges.weighted;
+  if (weighted_) {
+    nn_ = LocalCsrU64::from_edges(
+        num_local_, std::span<const VertexId>(edges.nn_cols),
+        std::span<const std::uint64_t>(edges.nn_rows),
+        std::span<const std::uint32_t>(edges.nn_weights), nn_w_);
+    nd_ = LocalCsrU32::from_edges(
+        num_local_, std::span<const LocalId>(edges.nd_cols),
+        std::span<const std::uint64_t>(edges.nd_rows),
+        std::span<const std::uint32_t>(edges.nd_weights), nd_w_);
+    dn_ = LocalCsrU32::from_edges(
+        num_delegates_, std::span<const LocalId>(edges.dn_cols),
+        std::span<const std::uint64_t>(edges.dn_rows),
+        std::span<const std::uint32_t>(edges.dn_weights), dn_w_);
+    dd_ = LocalCsrU32::from_edges(
+        num_delegates_, std::span<const LocalId>(edges.dd_cols),
+        std::span<const std::uint64_t>(edges.dd_rows),
+        std::span<const std::uint32_t>(edges.dd_weights), dd_w_);
+  } else {
+    nn_ = LocalCsrU64::from_edges(num_local_, edges.nn_cols, edges.nn_rows);
+    nd_ = LocalCsrU32::from_edges(num_local_, edges.nd_cols, edges.nd_rows);
+    dn_ = LocalCsrU32::from_edges(num_delegates_, edges.dn_cols, edges.dn_rows);
+    dd_ = LocalCsrU32::from_edges(num_delegates_, edges.dd_cols, edges.dd_rows);
+  }
 
   // Direction-optimization helpers (Section IV-B).
   nd_source_mask_.resize(num_local_);
@@ -64,6 +84,9 @@ MemoryUsage LocalGraph::memory_usage() const noexcept {
   m.aux_bytes = nd_sources_.size() * sizeof(LocalId) +
                 nd_source_mask_.byte_size() + dd_source_mask_.byte_size() +
                 dn_source_mask_.byte_size();
+  m.weight_bytes =
+      (nn_w_.size() + nd_w_.size() + dn_w_.size() + dd_w_.size()) *
+      sizeof(std::uint32_t);
   return m;
 }
 
@@ -74,6 +97,7 @@ void LocalGraph::register_on(sim::Device& device) const {
   device.allocate("graph.dn", m.dn_bytes);
   device.allocate("graph.dd", m.dd_bytes);
   device.allocate("graph.aux", m.aux_bytes);
+  if (m.weight_bytes > 0) device.allocate("graph.weights", m.weight_bytes);
 }
 
 }  // namespace dsbfs::graph

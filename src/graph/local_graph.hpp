@@ -30,12 +30,16 @@ struct MemoryUsage {
   std::uint64_t dn_bytes = 0;
   std::uint64_t dd_bytes = 0;
   std::uint64_t aux_bytes = 0;  // source lists/masks + level arrays + masks
+  /// Stored per-edge weights (4 B per local edge; 0 on unweighted graphs).
+  /// Kept out of subgraph_bytes() so Table I's unweighted accounting is
+  /// unchanged; weighted workloads pay for it in total_bytes().
+  std::uint64_t weight_bytes = 0;
 
   std::uint64_t subgraph_bytes() const noexcept {
     return nn_bytes + nd_bytes + dn_bytes + dd_bytes;
   }
   std::uint64_t total_bytes() const noexcept {
-    return subgraph_bytes() + aux_bytes;
+    return subgraph_bytes() + aux_bytes + weight_bytes;
   }
 };
 
@@ -57,6 +61,16 @@ class LocalGraph {
   const LocalCsrU32& nd() const noexcept { return nd_; }
   const LocalCsrU32& dn() const noexcept { return dn_; }
   const LocalCsrU32& dd() const noexcept { return dd_; }
+
+  /// Stored per-edge weights in CSR edge order, parallel to each subgraph's
+  /// cols(): weight of edge `e` of `nn()` is `nn_weights()[e]` with
+  /// `row_begin(r) <= e < row_end(r)`.  Empty when the graph is unweighted
+  /// (callers fall back to util::edge_weight on the endpoint pair).
+  bool weighted() const noexcept { return weighted_; }
+  const std::vector<std::uint32_t>& nn_weights() const noexcept { return nn_w_; }
+  const std::vector<std::uint32_t>& nd_weights() const noexcept { return nd_w_; }
+  const std::vector<std::uint32_t>& dn_weights() const noexcept { return dn_w_; }
+  const std::vector<std::uint32_t>& dd_weights() const noexcept { return dd_w_; }
 
   const std::vector<LocalId>& nd_source_list() const noexcept {
     return nd_sources_;
@@ -94,6 +108,12 @@ class LocalGraph {
   LocalCsrU32 nd_;
   LocalCsrU32 dn_;
   LocalCsrU32 dd_;
+
+  bool weighted_ = false;
+  std::vector<std::uint32_t> nn_w_;
+  std::vector<std::uint32_t> nd_w_;
+  std::vector<std::uint32_t> dn_w_;
+  std::vector<std::uint32_t> dd_w_;
 
   std::vector<LocalId> nd_sources_;
   util::AtomicBitset nd_source_mask_;

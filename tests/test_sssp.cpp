@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "baseline/host_apps.hpp"
 #include "graph/csr.hpp"
@@ -150,6 +151,83 @@ INSTANTIATE_TEST_SUITE_P(
                       SsspCase{"all_delegates", 2, 1, 0},
                       SsspCase{"no_delegates", 2, 2, 1u << 20}),
     [](const auto& info) { return info.param.name; });
+
+/// Factors that force pull from the first non-empty round (to_backward = 0
+/// switches as soon as any frontier edge exists; to_forward = 0 never
+/// switches back).
+SsspOptions forced_pull_options() {
+  SsspOptions o;
+  o.direction_optimized = true;
+  o.dd_factors = {0.0, 0.0};
+  o.dn_factors = {0.0, 0.0};
+  o.nd_factors = {0.0, 0.0};
+  return o;
+}
+
+TEST(Sssp, PushAndPullBitExactOnHashedWeights) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 31});
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  const auto expected = baseline::serial_sssp(graph::build_host_csr(g), 1);
+
+  SsspOptions push;
+  push.direction_optimized = false;
+  const SsspResult rp = DistributedSssp(dg, cluster, push).run(1);
+  EXPECT_EQ(rp.pull_iterations, 0);
+
+  const SsspResult rb =
+      DistributedSssp(dg, cluster, forced_pull_options()).run(1);
+  EXPECT_GT(rb.pull_iterations, 0);
+
+  const SsspResult rd = DistributedSssp(dg, cluster, SsspOptions{}).run(1);
+
+  ASSERT_EQ(rp.distances, expected);
+  ASSERT_EQ(rb.distances, expected);
+  ASSERT_EQ(rd.distances, expected);
+}
+
+TEST(Sssp, PushAndPullBitExactOnStoredWeights) {
+  graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 32});
+  graph::assign_uniform_weights(g, 24, 13);
+  const auto spec = spec_of(2, 2);
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+  ASSERT_TRUE(dg.weighted());
+  const graph::WeightedHostCsr host = graph::build_weighted_host_csr(g);
+  const auto expected = baseline::serial_sssp(
+      host.csr, std::span<const std::uint32_t>(host.weights), 1);
+
+  SsspOptions push;
+  push.direction_optimized = false;
+  const SsspResult rp = DistributedSssp(dg, cluster, push).run(1);
+  const SsspResult rb =
+      DistributedSssp(dg, cluster, forced_pull_options()).run(1);
+  EXPECT_GT(rb.pull_iterations, 0);
+
+  ASSERT_EQ(rp.distances, expected);
+  ASSERT_EQ(rb.distances, expected);
+
+  // Stored weights came from a different generator seed than the hashed
+  // fallback, so they must actually change the answer somewhere.
+  const auto hashed = baseline::serial_sssp(host.csr, 1);
+  EXPECT_NE(expected, hashed);
+}
+
+TEST(Sssp, StoredWeightsMatchSerialOnNamedGraphs) {
+  for (const std::uint32_t th : {std::uint32_t{0}, std::uint32_t{4}}) {
+    graph::EdgeList g = graph::grid_graph(7, 5);
+    graph::assign_uniform_weights(g, 100, 3);
+    const auto spec = spec_of(2, 2);
+    sim::Cluster cluster(spec);
+    const graph::DistributedGraph dg = graph::build_distributed(g, spec, th);
+    const graph::WeightedHostCsr host = graph::build_weighted_host_csr(g);
+    const auto expected = baseline::serial_sssp(
+        host.csr, std::span<const std::uint32_t>(host.weights), 0);
+    const SsspResult r = DistributedSssp(dg, cluster).run(0);
+    ASSERT_EQ(r.distances, expected) << "threshold " << th;
+  }
+}
 
 TEST(Sssp, CollectsCountersAndModel) {
   const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 78});
