@@ -1,7 +1,9 @@
 #include "baseline/host_apps.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <stdexcept>
 
 #include "util/hash.hpp"
@@ -113,6 +115,130 @@ std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
     }
   }
   return dist;
+}
+
+namespace {
+
+/// Shared delta-stepping body; `weight_of(e, u, v)` supplies the weight of
+/// CSR edge `e` from `u` to `v` (hashed or stored).  Textbook Meyer-Sanders
+/// with a lazy bucket map: repeatedly drain the smallest bucket's light
+/// edges (re-relaxing vertices that re-enter it), then relax the heavy
+/// edges of everything settled in that bucket exactly once.
+template <typename WeightFn>
+std::vector<std::uint64_t> delta_sssp_impl(const graph::HostCsr& graph,
+                                           VertexId source,
+                                           std::uint64_t delta,
+                                           WeightFn&& weight_of,
+                                           SerialDeltaStats* stats) {
+  if (delta == 0) {
+    throw std::invalid_argument("delta_sssp delta must be at least 1");
+  }
+  const std::size_t n = graph.num_rows();
+  std::vector<std::uint64_t> dist(n, kInfiniteDistance);
+  std::map<std::uint64_t, std::vector<VertexId>> buckets;  // lazy entries
+  const auto bucket_of = [delta](std::uint64_t d) { return d / delta; };
+  const auto relax = [&](VertexId v, std::uint64_t cand) {
+    if (cand < dist[v]) {
+      dist[v] = cand;
+      buckets[bucket_of(cand)].push_back(v);
+    }
+  };
+  dist[source] = 0;
+  buckets[0].push_back(source);
+
+  std::vector<std::uint8_t> settled_mark(n, 0);
+  std::vector<VertexId> settled;
+  while (!buckets.empty()) {
+    // Smallest bucket with a valid entry (prune stale lazy inserts).
+    const auto valid = [&](std::uint64_t b, VertexId v) {
+      return dist[v] != kInfiniteDistance && bucket_of(dist[v]) == b;
+    };
+    auto it = buckets.begin();
+    while (it != buckets.end()) {
+      auto& bucket = it->second;
+      std::erase_if(bucket, [&](VertexId v) { return !valid(it->first, v); });
+      if (!bucket.empty()) break;
+      it = buckets.erase(it);
+    }
+    if (it == buckets.end()) break;
+    const std::uint64_t b = it->first;
+    if (stats) ++stats->buckets_processed;
+
+    settled.clear();
+    // Light loop: relaxations may re-populate bucket b (a vertex improved
+    // within its own bucket must be re-relaxed at the smaller distance).
+    while (true) {
+      auto node = buckets.extract(b);
+      if (node.empty()) break;
+      std::vector<VertexId>& frontier = node.mapped();
+      std::erase_if(frontier, [&](VertexId v) { return !valid(b, v); });
+      std::sort(frontier.begin(), frontier.end());
+      frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                     frontier.end());
+      if (frontier.empty()) break;
+      if (stats) ++stats->light_phases;
+      for (const VertexId u : frontier) {
+        if (!settled_mark[u]) {
+          settled_mark[u] = 1;
+          settled.push_back(u);
+        }
+        const std::uint64_t du = dist[u];
+        for (std::uint64_t e = graph.row_begin(u); e < graph.row_end(u);
+             ++e) {
+          const VertexId v = graph.col(e);
+          const std::uint32_t w = weight_of(e, u, v);
+          if (w > delta) continue;
+          if (stats) ++stats->light_relaxations;
+          relax(v, du + w);
+        }
+      }
+    }
+    // Heavy phase: settled distances are final; each heavy edge once.
+    for (const VertexId u : settled) {
+      settled_mark[u] = 0;
+      const std::uint64_t du = dist[u];
+      for (std::uint64_t e = graph.row_begin(u); e < graph.row_end(u); ++e) {
+        const VertexId v = graph.col(e);
+        const std::uint32_t w = weight_of(e, u, v);
+        if (w <= delta) continue;
+        if (stats) ++stats->heavy_relaxations;
+        relax(v, du + w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> serial_delta_sssp(const graph::HostCsr& graph,
+                                             VertexId source,
+                                             std::uint64_t delta,
+                                             std::uint32_t max_weight,
+                                             SerialDeltaStats* stats) {
+  if (max_weight == 0) {
+    throw std::invalid_argument("delta_sssp max_weight must be at least 1");
+  }
+  return delta_sssp_impl(
+      graph, source, delta,
+      [max_weight](std::uint64_t, VertexId u, VertexId v) {
+        return util::edge_weight(u, v, max_weight);
+      },
+      stats);
+}
+
+std::vector<std::uint64_t> serial_delta_sssp(
+    const graph::HostCsr& graph, std::span<const std::uint32_t> weights,
+    VertexId source, std::uint64_t delta, SerialDeltaStats* stats) {
+  if (weights.size() != graph.num_edges()) {
+    throw std::invalid_argument(
+        "weighted serial_delta_sssp needs one weight per CSR edge (an "
+        "unweighted WeightedHostCsr has an empty weight array)");
+  }
+  return delta_sssp_impl(
+      graph, source, delta,
+      [weights](std::uint64_t e, VertexId, VertexId) { return weights[e]; },
+      stats);
 }
 
 }  // namespace dsbfs::baseline

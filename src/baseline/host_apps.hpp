@@ -43,4 +43,32 @@ std::vector<std::uint64_t> serial_sssp(const graph::HostCsr& graph,
                                        std::span<const std::uint32_t> weights,
                                        VertexId source);
 
+/// What serial delta-stepping did, beyond the distances.  The bucket count
+/// is deterministic -- a bucket is processed iff some vertex's *final*
+/// distance lands in it -- so the distributed run must report the same
+/// `buckets_processed` (tests assert this); the phase/relaxation counts
+/// depend on relaxation order and are only comparable as "nonzero".
+struct SerialDeltaStats {
+  std::uint64_t buckets_processed = 0;  // non-empty buckets opened
+  std::uint64_t light_phases = 0;       // light sub-rounds executed
+  std::uint64_t light_relaxations = 0;  // light-edge relax attempts
+  std::uint64_t heavy_relaxations = 0;  // heavy-edge relax attempts
+};
+
+/// Meyer-Sanders delta-stepping with hashed util::edge_weight weights: the
+/// oracle core::DistributedDeltaSssp (hashed mode) must match bit for bit.
+/// `delta` is the bucket width (>= 1); `delta == kInfiniteDistance` is the
+/// single-bucket degenerate case, equivalent to Bellman-Ford.
+std::vector<std::uint64_t> serial_delta_sssp(const graph::HostCsr& graph,
+                                             VertexId source,
+                                             std::uint64_t delta,
+                                             std::uint32_t max_weight = 15,
+                                             SerialDeltaStats* stats = nullptr);
+
+/// Stored-weight delta-stepping (weights aligned to CSR edge order, as from
+/// graph::build_weighted_host_csr); the oracle for weighted() graphs.
+std::vector<std::uint64_t> serial_delta_sssp(
+    const graph::HostCsr& graph, std::span<const std::uint32_t> weights,
+    VertexId source, std::uint64_t delta, SerialDeltaStats* stats = nullptr);
+
 }  // namespace dsbfs::baseline

@@ -90,16 +90,18 @@ std::int64_t unzigzag(std::uint64_t v) {
 
 /// Wire format: [count, payload_byte_count, payload bytes packed LE].  Ids
 /// travel as zigzag varint deltas from the previous id (ascending after
-/// coalescing, so deltas are small non-negatives), values as plain varints.
+/// coalescing, so deltas are small non-negatives), values as plain varints
+/// after subtracting the caller's bias (mod 2^64; the receiver adds it
+/// back, so any bias round-trips bit-exactly).
 std::vector<std::uint64_t> pack_updates_compressed(
-    const std::vector<VertexUpdate>& updates) {
+    const std::vector<VertexUpdate>& updates, std::uint64_t value_bias) {
   std::vector<std::uint8_t> bytes;
   bytes.reserve(updates.size() * 3);
   std::int64_t prev = 0;
   for (const VertexUpdate& u : updates) {
     put_varint(bytes, zigzag(static_cast<std::int64_t>(u.vertex) - prev));
     prev = static_cast<std::int64_t>(u.vertex);
-    put_varint(bytes, u.value);
+    put_varint(bytes, u.value - value_bias);
   }
   std::vector<std::uint64_t> words;
   words.reserve(2 + (bytes.size() + 7) / 8);
@@ -116,6 +118,7 @@ std::vector<std::uint64_t> pack_updates_compressed(
 }
 
 void unpack_updates_compressed(const std::vector<std::uint64_t>& words,
+                               std::uint64_t value_bias,
                                std::vector<VertexUpdate>& out) {
   if (words.size() < 2) return;
   const std::uint64_t count = words[0];
@@ -149,7 +152,7 @@ void unpack_updates_compressed(const std::vector<std::uint64_t>& words,
   std::int64_t prev = 0;
   for (std::uint64_t i = 0; i < count && ok; ++i) {
     prev += unzigzag(get());
-    const std::uint64_t value = get();
+    const std::uint64_t value = get() + value_bias;
     if (ok) out.push_back(VertexUpdate{static_cast<LocalId>(prev), value});
   }
 }
@@ -330,7 +333,7 @@ std::vector<VertexUpdate> exchange_updates(
     std::uint64_t payload;
     if (options.compress) {
       counters.encode_bytes += bin.size() * 12;
-      words = pack_updates_compressed(bin);
+      words = pack_updates_compressed(bin, options.value_bias);
       payload = words[1];  // encoded byte count
     } else {
       words = pack(bin);
@@ -357,7 +360,7 @@ std::vector<VertexUpdate> exchange_updates(
           options.compress ? words[1] : words[0] * 12;
     }
     if (options.compress) {
-      unpack_updates_compressed(words, received);
+      unpack_updates_compressed(words, options.value_bias, received);
     } else {
       unpack(words, received);
     }

@@ -86,6 +86,15 @@ struct UpdateExchangeOptions {
   /// when values are small integers (distances, labels); bit-cast doubles
   /// mostly do not shrink, which is why it is opt-in.
   bool compress = false;
+  /// Bucket tag for the compressed payload: a value floor subtracted
+  /// (mod 2^64) from every value before varint encoding and added back
+  /// after decoding -- bit-exact for any bias, strictly smaller varints
+  /// when all values of the round are >= the bias.  Bucketed senders
+  /// (delta-stepping) set it to the open bucket's base distance, where
+  /// per-round tentative distances cluster just above the floor.  Ignored
+  /// without `compress`; like every field here it defines the wire format,
+  /// so all GPUs must pass the identical value each round.
+  std::uint64_t value_bias = 0;
 };
 
 /// Collective fixed-pattern exchange of VertexUpdate bins (12 bytes of

@@ -142,9 +142,10 @@ class CcAlgorithm {
     // stream: touches only normal-label state.
     const auto updates = ctx.comm.exchange_value_updates(
         ctx.me, s.bins, iteration,
-        options_.uniquify ? comm::UpdateCombine::kMin
-                          : comm::UpdateCombine::kNone,
-        options_.compress, s.iter);
+        {.combine = options_.uniquify ? comm::UpdateCombine::kMin
+                                      : comm::UpdateCombine::kNone,
+         .compress = options_.compress},
+        s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.label_normal[u.vertex]) {
         s.label_normal[u.vertex] = u.value;

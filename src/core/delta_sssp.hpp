@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "sim/perf_model.hpp"
+#include "util/types.hpp"
+
+/// Distributed delta-stepping SSSP (Meyer & Sanders) on the
+/// degree-separated substrate -- the bucketed bridge between the paper's
+/// frontier-based BFS and the label-correcting Bellman-Ford of core::sssp.
+///
+/// ## Mapping onto the iterative engine
+///
+/// Delta-stepping partitions tentative distances into buckets of width
+/// `delta` and edges into *light* (weight <= delta) and *heavy* (weight >
+/// delta) classes; bucket `b` is processed as a loop of light-edge rounds
+/// until no vertex remains in `b`, then one heavy-edge round over
+/// everything settled in `b`.  Each engine iteration is one such round:
+///
+///   * the previsit agrees cluster-wide on what the round is -- a
+///     next-bucket MIN allreduce when the previous bucket closed, or a
+///     light-work SUM allreduce that decides "another light sub-round" vs
+///     "the heavy round" (`GpuIterationCounters::bucket_coordination`; the
+///     perf model charges it as a small collective gating the round);
+///   * the visit relaxes the phase's edge class of the round's active set,
+///     reading a precomputed per-subgraph light/heavy `core::EdgePartition`
+///     so light rounds touch light edge mass only;
+///   * `reduce` / `exchange` / termination are inherited unchanged from the
+///     engine: delegate distance candidates MIN-reduce on the delegate
+///     stream concurrently with the (id, tentative distance) update
+///     exchange on the normal stream, min-coalesced per bin and optionally
+///     compressed -- with `bucket_bias`, compressed values ride the wire
+///     biased by the open bucket's base distance, which is where bucketed
+///     frontiers make the varint payloads smallest.
+///
+/// Vertices wait in per-GPU `core::BucketState` queues (delegate buckets
+/// are replicated and stay identical on every GPU because delegate
+/// distances come out of the global reduction).  Converged distances are
+/// the unique shortest paths: bit-identical to `core::sssp`, to
+/// `baseline::serial_delta_sssp`, and to serial Bellman-Ford for every
+/// delta.  `delta == kInfiniteDistance` degenerates to a single bucket and
+/// no heavy edges, i.e. exactly the Bellman-Ford round structure.
+///
+/// Weight sources follow core::sssp: stored per-edge arrays when the graph
+/// `weighted()`, the hashed endpoint-pair fallback otherwise.  Relaxation
+/// is always forward push -- bucketed frontiers are deliberately small, so
+/// the dense-round regime that justifies SSSP's backward pull never forms.
+namespace dsbfs::core {
+
+struct DeltaSsspOptions {
+  /// Bucket width.  Small deltas approximate Dijkstra (many cheap buckets,
+  /// little wasted re-relaxation); large deltas approximate Bellman-Ford
+  /// (few rounds, more re-relaxation).  `kInfiniteDistance` = one bucket =
+  /// Bellman-Ford.  See docs/TUNING.md "Delta selection".
+  std::uint64_t delta = 8;
+  /// Hashed-weight fallback range [1, max_weight] (util::edge_weight);
+  /// ignored when the graph stores real weights.
+  std::uint32_t max_weight = 15;
+  /// Two-stream overlap: delegate distance min-reduction concurrent with
+  /// the tentative-distance exchange (engine::EngineOptions).
+  bool overlap = true;
+  /// Min-coalesce outbound distance candidates per bin before the send.
+  bool uniquify = true;
+  /// Delta+varint-encode the (id, distance) wire payload.
+  bool compress = false;
+  /// Bias compressed values by the open bucket's base distance (the
+  /// bucket-tagged exchange, comm::UpdateExchangeOptions::value_bias).
+  /// Bit-exact; only affects wire bytes, and only with `compress`.
+  bool bucket_bias = true;
+  bool collect_counters = true;
+  sim::DeviceModelConfig device_model{};
+  sim::NetModelConfig net_model{};
+};
+
+struct DeltaSsspResult {
+  /// distances[v] = weighted distance from the source, kInfiniteDistance
+  /// for unreachable vertices.
+  std::vector<std::uint64_t> distances;
+  /// Engine rounds: light sub-rounds + heavy rounds + the final empty
+  /// coordination round.
+  int iterations = 0;
+  /// Distinct buckets opened (equals the number of buckets holding at
+  /// least one final distance; deterministic, so it must match
+  /// baseline::SerialDeltaStats::buckets_processed).  Like every metric
+  /// below, derived from the per-round trace: collect_counters only.
+  std::uint64_t buckets_processed = 0;
+  /// Round split and relaxation split.
+  int light_iterations = 0;
+  int heavy_iterations = 0;
+  std::uint64_t light_relaxations = 0;  // light-edge relax attempts, all GPUs
+  std::uint64_t heavy_relaxations = 0;
+  double measured_ms = 0;
+  double modeled_ms = 0;
+  sim::ModeledBreakdown modeled;
+  std::uint64_t update_bytes_remote = 0;  // tentative-distance traffic
+  std::uint64_t reduce_bytes = 0;         // delegate distance reductions
+  sim::RunCounters counters;  // per-round trace (collect_counters on)
+};
+
+class DistributedDeltaSssp {
+ public:
+  /// `graph` and `cluster` must outlive the DistributedDeltaSssp and share
+  /// spec.  Throws std::invalid_argument on delta == 0 or max_weight == 0.
+  DistributedDeltaSssp(const graph::DistributedGraph& graph,
+                       sim::Cluster& cluster, DeltaSsspOptions options = {});
+
+  const DeltaSsspOptions& options() const noexcept { return options_; }
+
+  /// One full delta-stepping SSSP from `source`.  Collective over all
+  /// simulated GPUs; callable repeatedly (per-run state is rebuilt).
+  DeltaSsspResult run(VertexId source);
+
+ private:
+  const graph::DistributedGraph& graph_;
+  sim::Cluster& cluster_;
+  DeltaSsspOptions options_;
+};
+
+}  // namespace dsbfs::core

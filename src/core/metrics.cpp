@@ -84,6 +84,7 @@ ValueAppMetrics assemble_value_app_metrics(
   m.counters.blocking_reduce = true;
   m.counters.overlap_comm = overlap;
   m.counters.iterations.resize(static_cast<std::size_t>(iterations));
+  std::uint64_t prev_bucket_plus_one = 0;
   for (std::size_t it = 0; it < m.counters.iterations.size(); ++it) {
     auto& ic = m.counters.iterations[it];
     ic.gpu.resize(static_cast<std::size_t>(p));
@@ -93,11 +94,26 @@ ValueAppMetrics assemble_value_app_metrics(
           histories[static_cast<std::size_t>(g)][it];
       ic.gpu[static_cast<std::size_t>(g)] = c;
       m.update_bytes_remote += c.send_bytes_remote;
+      m.light_relaxations += c.light_edges;
+      m.heavy_relaxations += c.heavy_edges;
       pulled |= (c.dd.backward && c.dd.launched) ||
                 (c.dn.backward && c.dn.launched) ||
                 (c.nd.backward && c.nd.launched);
     }
     if (pulled) ++m.pull_iterations;
+    // Bucket/phase flags are cluster-global decisions, identical on every
+    // GPU; GPU 0's row speaks for the round.  Buckets strictly increase, so
+    // counting transitions counts distinct opened buckets.
+    const sim::GpuIterationCounters& g0 = ic.gpu[0];
+    if (g0.bucket_plus_one != 0) {
+      if (g0.bucket_plus_one != prev_bucket_plus_one) ++m.buckets_processed;
+      if (g0.heavy_phase) {
+        ++m.heavy_iterations;
+      } else {
+        ++m.light_iterations;
+      }
+    }
+    prev_bucket_plus_one = g0.bucket_plus_one;
   }
   m.reduce_bytes = 2ULL * d * 8 *
                    static_cast<std::uint64_t>(graph.spec().num_ranks) *

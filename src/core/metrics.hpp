@@ -61,6 +61,14 @@ struct ValueAppMetrics {
   /// direction-optimized SSSP pull rounds (0 for CC/PageRank and for
   /// forced-push SSSP).
   int pull_iterations = 0;
+  /// Bucketed-round aggregates (delta-stepping; all zero for the flat
+  /// algorithms).  Phase flags are global, so they are read off GPU 0's
+  /// rows; the relaxation split is summed over every GPU.
+  std::uint64_t buckets_processed = 0;  // distinct buckets opened
+  int light_iterations = 0;             // light sub-rounds
+  int heavy_iterations = 0;             // heavy-edge rounds
+  std::uint64_t light_relaxations = 0;  // light-edge relax attempts, all GPUs
+  std::uint64_t heavy_relaxations = 0;
   sim::ModeledBreakdown modeled;
   double modeled_ms = 0;
   sim::RunCounters counters;  // full trace for re-modeling

@@ -157,9 +157,10 @@ class PagerankAlgorithm {
     // delegate inflow reduction: touches only acc_normal.
     const auto updates = ctx.comm.exchange_value_updates(
         ctx.me, s.bins, iteration,
-        options_.uniquify ? comm::UpdateCombine::kSumDouble
-                          : comm::UpdateCombine::kNone,
-        options_.compress, s.iter);
+        {.combine = options_.uniquify ? comm::UpdateCombine::kSumDouble
+                                      : comm::UpdateCombine::kNone,
+         .compress = options_.compress},
+        s.iter);
     for (const comm::VertexUpdate& u : updates) {
       s.acc_normal[u.vertex] += std::bit_cast<double>(u.value);
     }

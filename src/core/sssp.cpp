@@ -315,9 +315,10 @@ class SsspAlgorithm {
     // stream: touches only normal-distance state.
     const auto updates = ctx.comm.exchange_value_updates(
         ctx.me, s.bins, iteration,
-        options_.uniquify ? comm::UpdateCombine::kMin
-                          : comm::UpdateCombine::kNone,
-        options_.compress, s.iter);
+        {.combine = options_.uniquify ? comm::UpdateCombine::kMin
+                                      : comm::UpdateCombine::kNone,
+         .compress = options_.compress},
+        s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.dist_normal[u.vertex]) {
         s.dist_normal[u.vertex] = u.value;

@@ -32,9 +32,8 @@ void CommContext::allreduce_min_words(int gpu, std::span<std::uint64_t> words,
 
 std::vector<comm::VertexUpdate> CommContext::exchange_value_updates(
     sim::GpuCoord me, std::vector<std::vector<comm::VertexUpdate>>& bins,
-    int iteration, comm::UpdateCombine combine, bool compress,
+    int iteration, const comm::UpdateExchangeOptions& options,
     sim::GpuIterationCounters& iter) {
-  const comm::UpdateExchangeOptions options{combine, compress};
   comm::ExchangeCounters ec;
   auto updates = comm::exchange_updates(transport_, spec_, me, bins,
                                         iteration, options, ec);

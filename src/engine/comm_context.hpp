@@ -77,12 +77,13 @@ class CommContext {
   void allreduce_min_words(int gpu, std::span<std::uint64_t> words, int tag);
 
   /// Shared exchange-hook body for the value algorithms: run the update
-  /// exchange with the algorithm's coalesce/compress choice and record the
-  /// exchange counters into the iteration row.  Returns the received
-  /// updates; `bins` are consumed.
+  /// exchange with the algorithm's coalesce/compress/bias choice and record
+  /// the exchange counters into the iteration row.  Returns the received
+  /// updates; `bins` are consumed.  `options` define the wire format and
+  /// must be identical on every GPU in a round.
   std::vector<comm::VertexUpdate> exchange_value_updates(
       sim::GpuCoord me, std::vector<std::vector<comm::VertexUpdate>>& bins,
-      int iteration, comm::UpdateCombine combine, bool compress,
+      int iteration, const comm::UpdateExchangeOptions& options,
       sim::GpuIterationCounters& iter);
 
  private:

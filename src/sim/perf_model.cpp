@@ -69,6 +69,30 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
         ic.gpu.begin(), ic.gpu.end(),
         [](const GpuIterationCounters& g) { return g.delegate_update; });
 
+    // ---- Bucket/phase agreement (delta-stepping previsits). -------------
+    // Bucketed rounds open with a cluster-wide allreduce (next-bucket min or
+    // light-work sum) that no previsit can run before: one small collective
+    // at the latency of the control tree, gating every GPU's iteration
+    // start.  This is the per-round coordination tax the delta ablation
+    // trades against smaller frontiers.
+    TaskId bucket_sync{};
+    if (std::any_of(ic.gpu.begin(), ic.gpu.end(),
+                    [](const GpuIterationCounters& g) {
+                      return g.bucket_coordination;
+                    })) {
+      std::vector<TaskId> deps;
+      for (int g = 0; g < p; ++g) {
+        const auto gi = static_cast<std::size_t>(g);
+        if (prev_mask_bcast[gi].valid()) deps.push_back(prev_mask_bcast[gi]);
+        if (prev_recv_done[gi].valid()) deps.push_back(prev_recv_done[gi]);
+      }
+      const double sync_us =
+          static_cast<double>(NetModel::tree_rounds(spec.num_ranks)) *
+          net_.config().nic_latency_us;
+      bucket_sync =
+          tl.add_task("bucket_sync", kCatControl, sync_us, ResourceId{}, deps);
+    }
+
     // ---- Local computation (Fig. 3): two streams per GPU. -------------
     for (int g = 0; g < p; ++g) {
       const auto gi = static_cast<std::size_t>(g);
@@ -88,6 +112,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
 
       std::vector<TaskId> dprev_deps;
       if (prev_mask_bcast[gi].valid()) dprev_deps.push_back(prev_mask_bcast[gi]);
+      if (bucket_sync.valid()) dprev_deps.push_back(bucket_sync);
       const TaskId dprev = tl.add_task(
           "dprev", kCatComputation,
           dev_.kernel_us(KernelClass::kPrevisit, 0, c.dprev_vertices, 0) +
@@ -97,6 +122,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       std::vector<TaskId> nprev_deps;
       if (prev_recv_done[gi].valid()) nprev_deps.push_back(prev_recv_done[gi]);
       if (prev_dn_visit[gi].valid()) nprev_deps.push_back(prev_dn_visit[gi]);
+      if (bucket_sync.valid()) nprev_deps.push_back(bucket_sync);
       nprev[gi] = tl.add_task(
           "nprev", kCatComputation,
           dev_.kernel_us(KernelClass::kPrevisit, 0, c.nprev_vertices, 0) +

@@ -57,6 +57,21 @@ struct GpuIterationCounters {
   std::uint64_t recv_bytes_remote = 0;
   int send_dest_ranks = 0;               // distinct destination ranks
   bool delegate_update = false;          // participated in mask reduction
+
+  // ---- Bucketed (delta-stepping) rounds; all zero for flat algorithms. ----
+  /// The previsit ran a cluster-wide bucket/phase agreement allreduce (the
+  /// next-bucket min or the light-work sum); the replay charges it as an
+  /// extra small collective gating the iteration's previsits.
+  bool bucket_coordination = false;
+  /// Bucket this iteration worked on, plus one (0 = no open bucket: flat
+  /// algorithms, and the final empty coordination round).
+  std::uint64_t bucket_plus_one = 0;
+  /// This iteration was the bucket's one heavy-edge round (else a light
+  /// sub-round while bucket_plus_one != 0).
+  bool heavy_phase = false;
+  /// Relax attempts split by edge class; sums into the kernel edge counts.
+  std::uint64_t light_edges = 0;
+  std::uint64_t heavy_edges = 0;
 };
 
 struct IterationCounters {

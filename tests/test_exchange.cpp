@@ -585,6 +585,41 @@ TEST(UpdateExchange, CompressionSurvivesUnsortedAndExtremeValues) {
   }
 }
 
+TEST(UpdateExchange, ValueBiasRoundTripsAndShrinksWireBytes) {
+  // Bucket-tagged payload: values clustered just above a large floor (the
+  // open bucket's base distance) encode as multi-byte varints raw but
+  // one-byte varints once biased; the result must be identical either way,
+  // including a bias *larger* than some value (mod-2^64 round trip).
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const std::uint64_t base = 1ULL << 40;
+  const auto fill = [&](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+    auto& bin = bins[static_cast<std::size_t>(1 - g)];
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      bin.push_back(VertexUpdate{static_cast<LocalId>(i), base + i});
+    }
+    bin.push_back(VertexUpdate{100u, base - 3});  // below the floor
+  };
+  std::vector<ExchangeCounters> raw_counters, biased_counters;
+  auto raw = run_update_exchange(spec, {UpdateCombine::kMin, true},
+                                 &raw_counters, fill);
+  auto biased = run_update_exchange(
+      spec, {UpdateCombine::kMin, true, base}, &biased_counters, fill);
+  for (int g = 0; g < 2; ++g) {
+    const auto gi = static_cast<std::size_t>(g);
+    ASSERT_EQ(biased[gi].size(), raw[gi].size());
+    for (std::size_t i = 0; i < raw[gi].size(); ++i) {
+      EXPECT_EQ(biased[gi][i].vertex, raw[gi][i].vertex) << i;
+      EXPECT_EQ(biased[gi][i].value, raw[gi][i].value) << i;
+    }
+  }
+  for (std::size_t g = 0; g < 2; ++g) {
+    EXPECT_LT(biased_counters[g].send_bytes_remote,
+              raw_counters[g].send_bytes_remote);
+  }
+}
+
 // ---- end-to-end: the exchange options preserve algorithm results ---------
 
 TEST(UpdateExchange, SsspBitExactWithUniquifyOnAndOff) {

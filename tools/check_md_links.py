@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/ (CI gate, stdlib only).
+
+Verifies every inline link's target:
+  * relative file targets must exist on disk (resolved from the linking
+    file's directory);
+  * ``#anchor`` fragments pointing at a markdown file (or at the linking
+    file itself) must match a heading, using GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+    suffixed -1, -2, ...);
+  * absolute URLs are accepted syntactically but never fetched (CI must
+    not depend on the network).
+
+Usage: check_md_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+Exits non-zero listing every broken link, so new docs cannot rot silently.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target "title") — target ends at the first
+# unescaped closing paren or whitespace-before-title.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    text = re.sub(r"`([^`]*)`", r"\1", heading)           # drop code ticks
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)                  # strip punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set[str]:
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_md_files(roots: list[str]):
+    for root in roots:
+        p = Path(root)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.md"))
+        elif p.suffix == ".md":
+            yield p
+        else:
+            sys.exit(f"error: {root} is neither a directory nor a .md file")
+
+
+def iter_links(md_path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Ignore inline code spans: links inside backticks are examples.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(stripped):
+            yield lineno, m.group(1)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    checked = 0
+    for md in iter_md_files(argv[1:]):
+        for lineno, target in iter_links(md):
+            checked += 1
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = (md.parent / path_part).resolve() if path_part else md
+            if not dest.exists():
+                errors.append(f"{md}:{lineno}: broken link: {target}")
+                continue
+            if anchor and dest.suffix == ".md":
+                if anchor not in anchors_of(dest):
+                    errors.append(
+                        f"{md}:{lineno}: missing anchor #{anchor} in {dest}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} links, {len(errors)} broken", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
