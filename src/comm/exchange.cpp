@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 
 namespace dsbfs::comm {
 
@@ -57,6 +58,8 @@ std::uint64_t coalesce_bin(std::vector<VertexUpdate>& bin,
     for (; i < bin.size() && bin[i].vertex == u.vertex; ++i) {
       if (combine == UpdateCombine::kMin) {
         u.value = std::min(u.value, bin[i].value);
+      } else if (combine == UpdateCombine::kOr) {
+        u.value |= bin[i].value;
       } else {  // kSumDouble
         u.value = std::bit_cast<std::uint64_t>(
             std::bit_cast<double>(u.value) + std::bit_cast<double>(bin[i].value));
@@ -117,7 +120,7 @@ std::vector<std::uint64_t> pack_updates_compressed(
   return words;
 }
 
-void unpack_updates_compressed(const std::vector<std::uint64_t>& words,
+void unpack_updates_compressed(std::span<const std::uint64_t> words,
                                std::uint64_t value_bias,
                                std::vector<VertexUpdate>& out) {
   if (words.size() < 2) return;
@@ -297,6 +300,13 @@ std::vector<VertexUpdate> exchange_updates(
   const int me_global = spec.global_gpu(me);
   const int tag = kTagExchangeRemote + iteration * kTagBlock;
 
+  // Wire width of one uncompressed update: 4-byte id + the value field.
+  // value_bytes = 8 is the historic (id, 64-bit value) record; lane-word
+  // senders narrow it to their batch width (0 at W = 1, where the record
+  // degenerates to the id exchange's bare 4-byte id).
+  const std::uint64_t record_bytes =
+      4 + static_cast<std::uint64_t>(options.value_bytes);
+
   const auto pack = [](const std::vector<VertexUpdate>& updates) {
     std::vector<std::uint64_t> words;
     words.reserve(1 + updates.size() * 2);
@@ -307,7 +317,7 @@ std::vector<VertexUpdate> exchange_updates(
     }
     return words;
   };
-  const auto unpack = [](const std::vector<std::uint64_t>& words,
+  const auto unpack = [](std::span<const std::uint64_t> words,
                          std::vector<VertexUpdate>& out) {
     if (words.empty()) return;
     const std::uint64_t count = words[0];
@@ -326,18 +336,39 @@ std::vector<VertexUpdate> exchange_updates(
     // wire, so it is left to the receiver's fold, like the id exchange's U).
     if (options.combine != UpdateCombine::kNone) {
       counters.uniquify_vertices += bin.size();
-      counters.uniquify_bytes += bin.size() * 12;
+      counters.uniquify_bytes += bin.size() * record_bytes;
       counters.duplicates_removed += coalesce_bin(bin, options.combine);
     }
     std::vector<std::uint64_t> words;
     std::uint64_t payload;
-    if (options.compress) {
-      counters.encode_bytes += bin.size() * 12;
+    if (options.compress && options.adaptive) {
+      // Trial-encode, ship whichever representation is smaller; a one-word
+      // header flags the choice for the receiver.  The encode kernel ran
+      // either way, so it is charged either way.
+      counters.encode_bytes += bin.size() * record_bytes;
+      const std::uint64_t raw_bytes = bin.size() * record_bytes;
+      std::vector<std::uint64_t> body =
+          pack_updates_compressed(bin, options.value_bias);
+      const bool encoded_wins = body[1] < raw_bytes;
+      if (encoded_wins) {
+        payload = body[1];
+      } else {
+        payload = raw_bytes;
+        body = pack(bin);
+      }
+      if (!bin.empty()) {
+        ++(encoded_wins ? counters.bins_compressed : counters.bins_raw);
+      }
+      words.reserve(body.size() + 1);
+      words.push_back(encoded_wins ? 1 : 0);
+      words.insert(words.end(), body.begin(), body.end());
+    } else if (options.compress) {
+      counters.encode_bytes += bin.size() * record_bytes;
       words = pack_updates_compressed(bin, options.value_bias);
       payload = words[1];  // encoded byte count
     } else {
       words = pack(bin);
-      payload = bin.size() * 12;  // 4 + 8 bytes per update
+      payload = bin.size() * record_bytes;
     }
     if (spec.coord_of(dest).rank != me.rank) {
       counters.send_bytes_remote += payload;
@@ -355,14 +386,20 @@ std::vector<VertexUpdate> exchange_updates(
   for (int src = 0; src < p; ++src) {
     if (src == me_global) continue;
     const auto words = transport.recv(me_global, src, tag);
-    if (spec.coord_of(src).rank != me.rank && !words.empty()) {
-      counters.recv_bytes_remote +=
-          options.compress ? words[1] : words[0] * 12;
+    std::span<const std::uint64_t> body(words);
+    bool encoded = options.compress;
+    if (options.compress && options.adaptive && !words.empty()) {
+      encoded = words[0] == 1;
+      body = body.subspan(1);
     }
-    if (options.compress) {
-      unpack_updates_compressed(words, options.value_bias, received);
+    if (spec.coord_of(src).rank != me.rank && !body.empty()) {
+      counters.recv_bytes_remote +=
+          encoded ? body[1] : body[0] * record_bytes;
+    }
+    if (encoded) {
+      unpack_updates_compressed(body, options.value_bias, received);
     } else {
-      unpack(words, received);
+      unpack(body, received);
     }
   }
   return received;

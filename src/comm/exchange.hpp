@@ -28,7 +28,7 @@ struct ExchangeOptions {
 struct ExchangeCounters {
   std::uint64_t bin_vertices = 0;        // vertices placed in bins (pre-dedup)
   std::uint64_t uniquify_vertices = 0;   // records run through uniquify
-  std::uint64_t uniquify_bytes = 0;      // their byte volume (4 B ids, 12 B updates)
+  std::uint64_t uniquify_bytes = 0;      // their byte volume (4 B ids, 4+value_bytes updates)
   std::uint64_t duplicates_removed = 0;
   std::uint64_t local_bytes = 0;         // NVLink payload (L phase + same-rank bins)
   std::uint64_t send_bytes_remote = 0;   // wire payload bytes, cross-rank
@@ -37,6 +37,10 @@ struct ExchangeCounters {
   /// send/recv/local byte counters above hold the *encoded* sizes, so the
   /// perf models replay the reduced volume and charge the encode kernel.
   std::uint64_t encode_bytes = 0;
+  /// Adaptive compression decisions: non-empty outbound bins that shipped
+  /// encoded vs raw this round (both 0 unless `adaptive` was set).
+  std::uint64_t bins_compressed = 0;
+  std::uint64_t bins_raw = 0;
   int send_dest_ranks = 0;
 };
 
@@ -76,6 +80,7 @@ enum class UpdateCombine {
   kNone,       // ship every candidate (historic behavior)
   kMin,        // keep the smallest value per vertex (SSSP distances, CC labels)
   kSumDouble,  // IEEE-double sum per vertex (PageRank contributions)
+  kOr,         // bitwise OR per vertex (batched-BFS lane words)
 };
 
 struct UpdateExchangeOptions {
@@ -90,11 +95,27 @@ struct UpdateExchangeOptions {
   /// (mod 2^64) from every value before varint encoding and added back
   /// after decoding -- bit-exact for any bias, strictly smaller varints
   /// when all values of the round are >= the bias.  Bucketed senders
-  /// (delta-stepping) set it to the open bucket's base distance, where
-  /// per-round tentative distances cluster just above the floor.  Ignored
-  /// without `compress`; like every field here it defines the wire format,
-  /// so all GPUs must pass the identical value each round.
+  /// (delta-stepping) set it to the open bucket's base distance; flat SSSP
+  /// derives a per-round floor from a min-allreduce of active distances
+  /// (SsspOptions::auto_value_bias).  Ignored without `compress`; like
+  /// every field here it defines the wire format, so all GPUs must pass
+  /// the identical value each round.
   std::uint64_t value_bias = 0;
+  /// Uncompressed wire width of the value field, in bytes.  The historic
+  /// (id, 64-bit value) updates are 4 + 8 bytes; lane-word updates carry
+  /// only the batch's lane width (W/8 bytes, and 0 at W = 1, where the
+  /// single lane is implicit and the update degenerates to the id
+  /// exchange's bare 4-byte vertex id).  Affects the byte *counters* (and
+  /// the adaptive raw-vs-encoded comparison), not the simulated transport,
+  /// which always moves whole words.
+  int value_bytes = 8;
+  /// Adaptive per-bin compression: with `compress` also set, each
+  /// non-empty outbound bin ships the delta+varint encoding only when it
+  /// is smaller than the raw payload (a one-word header flags the choice;
+  /// counters record how many bins went each way).  Protects the rounds
+  /// where varints lose -- scattered ids, large biased values -- while
+  /// keeping the wins.
+  bool adaptive = false;
 };
 
 /// Collective fixed-pattern exchange of VertexUpdate bins (12 bytes of

@@ -7,19 +7,23 @@
 #include "comm/transport.hpp"
 #include "util/bitset.hpp"
 
-/// Two-phase delegate-mask reduction (paper Section V-A).
+/// Two-phase delegate-mask reduction (paper Section V-A), lane-generalized.
 ///
 /// The visited status of delegates may be updated by any GPU and consumed by
 /// any GPU, so each iteration with delegate updates runs a global bitwise-OR
-/// reduction of the d-bit delegate masks:
+/// reduction of the delegate masks:
 ///   phase 1 (local):  every GPU in a rank pushes its updated mask to GPU0
 ///                     of the rank over NVLink; GPU0 ORs them;
 ///   phase 2 (global): GPU0s of all ranks run an (I)Allreduce-equivalent
 ///                     tree OR; the result is broadcast back to the rank's
 ///                     GPUs, which consume it next iteration.
-/// Communication volume per reduction: 2 * d/8 * prank bytes at the rank
-/// level, d/8 * (pgpu-1) * 2 within each rank -- the tests check the
-/// Transport counters against these formulas.
+/// The mask is a util::LaneBitset: W = 1 bit per delegate for single-source
+/// BFS, W lanes per delegate for batched (MS-BFS-style) traversals.  OR is
+/// word-wise, so the reduction is lane-width agnostic -- only the payload
+/// scales, d*W/8 bytes per mask.  Communication volume per reduction:
+/// 2 * d*W/8 * prank bytes at the rank level, d*W/8 * (pgpu-1) * 2 within
+/// each rank -- the tests check the Transport counters against these
+/// formulas (the historic W = 1 numbers unchanged).
 namespace dsbfs::comm {
 
 enum class ReduceMode {

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "util/types.hpp"
+
+/// Batched multi-source BFS (MS-BFS style) on the degree-separated
+/// substrate -- the lane-generalized traversal the paper's Section VI-D
+/// framework sketch leaves open.
+///
+/// One engine run advances up to 64 sources in lockstep: every vertex's
+/// visited state is a W-bit lane word (util::LaneBitset, W in {1, 8, 32,
+/// 64} chosen from the batch size), the delegate mask reduction ORs d*W/8
+/// bytes per round instead of d/8, and the normal exchange ships (id,
+/// lane-word) updates through the same uniquify/compress machinery the
+/// value algorithms use (UpdateCombine::kOr, W/8-byte values on the wire,
+/// bare 4-byte ids at W = 1).  The payoff is amortization: one sweep of
+/// every adjacency row, one reduction and one exchange serve all W sources,
+/// so the modeled cost per source drops well below a single-source run --
+/// the serving-throughput lever for landmark/sketch workloads
+/// (examples/landmark_distance_index.cpp).
+///
+/// Traversal is forward-push only: the union frontier across lanes is dense
+/// from the first rounds, and per-lane direction decisions would disagree
+/// between lanes sharing one sweep.  At W = 1 the run is the forced-push
+/// DistributedBfs bit for bit: same iteration count, same control words,
+/// same wire bytes (tests assert this).
+namespace dsbfs::core {
+
+struct BatchBfsOptions {
+  /// Two-stream overlap: delegate-mask reduction concurrent with the
+  /// lane-update exchange (engine::EngineOptions).
+  bool overlap = true;
+  /// OR-coalesce outbound (id, lane-word) updates per bin before the send
+  /// (the lane analogue of the id exchange's U option); bit-exact, strictly
+  /// fewer records whenever several frontier vertices push the same
+  /// destination.
+  bool uniquify = false;
+  /// Delta+varint-encode the (id, lane-word) wire payload.
+  bool compress = false;
+  /// Per-bin raw-vs-encoded choice (needs `compress`); see
+  /// comm::UpdateExchangeOptions::adaptive.
+  bool adaptive_compress = false;
+  /// Blocking vs non-blocking delegate-mask reduction (Section VI-B).
+  comm::ReduceMode reduce_mode = comm::ReduceMode::kBlocking;
+  /// Also produce one Graph500 BFS tree per lane (BatchBfsResult::parents).
+  bool compute_parents = false;
+  /// Record per-iteration statistics.
+  bool collect_per_iteration = true;
+  /// Hardware models used to convert measured counters to cluster time.
+  sim::DeviceModelConfig device_model{};
+  sim::NetModelConfig net_model{};
+};
+
+struct BatchBfsResult {
+  /// Lane width W the run used (smallest of {1, 8, 32, 64} holding the
+  /// batch).
+  int lane_bits = 1;
+  /// distances[lane][v]: hop distance of vertex v from sources[lane]
+  /// (kUnvisited when unreachable) -- per lane, exactly the single-source
+  /// result for that source.
+  std::vector<std::vector<Depth>> distances;
+  /// parents[lane][v] (only with BatchBfsOptions::compute_parents): a
+  /// Graph500 BFS tree per lane, same conventions as BfsResult::parents.
+  std::vector<std::vector<VertexId>> parents;
+  /// Shared-run metrics: one iteration history covers every lane (the
+  /// whole point); RunMetrics::lane_bits and the per-iteration lane-bit
+  /// occupancy columns say how many sources each sweep advanced.
+  RunMetrics metrics;
+};
+
+class DistributedBatchBfs {
+ public:
+  /// `graph` and `cluster` must outlive the DistributedBatchBfs and share
+  /// spec.
+  DistributedBatchBfs(const graph::DistributedGraph& graph,
+                      sim::Cluster& cluster, BatchBfsOptions options = {});
+
+  const BatchBfsOptions& options() const noexcept { return options_; }
+
+  /// One batched BFS from 1..64 sources (lane l = sources[l]; duplicates
+  /// allowed).  Collective over all simulated GPUs; callable repeatedly.
+  BatchBfsResult run(std::span<const VertexId> sources);
+
+  /// Pick the k-th deterministic pseudo-random source with at least one
+  /// out-edge (identical to DistributedBfs::sample_source).
+  VertexId sample_source(std::uint64_t k) const;
+
+ private:
+  const graph::DistributedGraph& graph_;
+  sim::Cluster& cluster_;
+  BatchBfsOptions options_;
+};
+
+}  // namespace dsbfs::core

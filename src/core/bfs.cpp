@@ -15,10 +15,8 @@ namespace dsbfs::core {
 
 namespace {
 
-/// Control-word packing for the per-iteration termination allreduce:
-/// bit 40+ carries "some GPU has delegate updates", the low bits carry the
-/// amount of new normal work (local discoveries + binned vertices).
-constexpr std::uint64_t kDelegateFlagUnit = 1ULL << 40;
+// Control-word packing (kDelegateFlagUnit) is shared with the batched BFS
+// and lives in core/frontier.hpp.
 
 /// The paper's BFS expressed as engine phases (Fig. 3 pipeline): previsit
 /// forms the queues, visit enqueues the four kernels on the engine's two
@@ -264,13 +262,18 @@ DistributedBfs::DistributedBfs(const graph::DistributedGraph& graph,
   engine::check_specs_match(graph, cluster);
 }
 
-VertexId DistributedBfs::sample_source(std::uint64_t k) const {
-  const VertexId n = graph_.num_vertices();
-  const auto& degrees = graph_.degrees();
+VertexId sample_traversal_source(const graph::DistributedGraph& graph,
+                                 std::uint64_t k) {
+  const VertexId n = graph.num_vertices();
+  const auto& degrees = graph.degrees();
   for (std::uint64_t attempt = 0;; ++attempt) {
     const VertexId v = util::splitmix64(util::hash_combine(k, attempt)) % n;
     if (degrees[v] > 0) return v;
   }
+}
+
+VertexId DistributedBfs::sample_source(std::uint64_t k) const {
+  return sample_traversal_source(graph_, k);
 }
 
 BfsResult DistributedBfs::run(VertexId source) {

@@ -19,6 +19,12 @@
 /// the paper's implementation does) plus the full measured/modeled metrics.
 namespace dsbfs::core {
 
+/// The k-th deterministic pseudo-random vertex with at least one out-edge
+/// (Graph500-style source sampling).  Shared by every traversal facade so
+/// single-source and batched runs draw from the identical pool.
+VertexId sample_traversal_source(const graph::DistributedGraph& graph,
+                                 std::uint64_t k);
+
 struct BfsResult {
   std::vector<Depth> distances;  // indexed by global vertex id
   /// Graph500 BFS tree (only when BfsOptions::compute_parents):

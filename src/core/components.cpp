@@ -144,7 +144,8 @@ class CcAlgorithm {
         ctx.me, s.bins, iteration,
         {.combine = options_.uniquify ? comm::UpdateCombine::kMin
                                       : comm::UpdateCombine::kNone,
-         .compress = options_.compress},
+         .compress = options_.compress,
+         .adaptive = options_.adaptive_compress},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.label_normal[u.vertex]) {

@@ -33,6 +33,9 @@ struct CcOptions {
   bool uniquify = true;
   /// Delta+varint-encode the (id, label) wire payload.
   bool compress = false;
+  /// With `compress`: per-bin raw-vs-encoded choice (the encode ships only
+  /// when it is smaller; comm::UpdateExchangeOptions::adaptive).
+  bool adaptive_compress = false;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};

@@ -43,4 +43,44 @@ void GpuState::end_iteration() {
   delegate_out.clear_all();
 }
 
+LaneState::LaneState(const graph::LocalGraph& graph, int total_gpus,
+                     int lane_bits)
+    : graph_(&graph), lane_bits_(lane_bits) {
+  const std::uint64_t n_local = graph.num_local_normals();
+  const LocalId d = graph.num_delegates();
+  const auto w = static_cast<std::size_t>(lane_bits);
+
+  seen_normal.resize(n_local, lane_bits);
+  frontier_normal.resize(n_local, lane_bits);
+  next_normal.resize(n_local, lane_bits);
+  depth_normal.assign(n_local * w, kUnvisited);
+
+  delegate_visited.resize(d, lane_bits);
+  delegate_out.resize(d, lane_bits);
+  delegate_new.resize(d, lane_bits);
+  depth_delegate.assign(static_cast<std::size_t>(d) * w, kUnvisited);
+
+  parent_normal.assign(n_local * w, kParentNone);
+  parent_delegate =
+      std::make_unique<std::atomic<VertexId>[]>(static_cast<std::size_t>(d) * w);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(d) * w; ++i) {
+    parent_delegate[i].store(kParentNone, std::memory_order_relaxed);
+  }
+
+  bins.resize(static_cast<std::size_t>(total_gpus));
+}
+
+void LaneState::begin_iteration() {
+  iter = sim::GpuIterationCounters{};
+  delegate_queue.clear();
+  frontier.clear();
+  frontier_normal.clear_all();
+}
+
+void LaneState::end_iteration() {
+  // next_local and received carry the next iteration's frontier inputs; the
+  // next normal previsit consumes and clears them.
+  delegate_out.clear_all();
+}
+
 }  // namespace dsbfs::core

@@ -5,12 +5,14 @@
 #include <memory>
 #include <vector>
 
+#include "comm/exchange.hpp"
 #include "core/direction.hpp"
 #include "graph/local_graph.hpp"
 #include "sim/perf_model.hpp"
 #include "util/bitset.hpp"
 
-/// Per-GPU traversal state.
+/// Per-GPU traversal state: GpuState for single-source traversals, its
+/// lane-generalized sibling LaneState for batched (multi-source) ones.
 ///
 /// Level/visited conventions (see DESIGN.md "Iteration/level semantics"):
 /// iteration `depth` expands the distance-`depth` frontier; every discovery
@@ -19,6 +21,13 @@
 /// new discoveries to `delegate_out` / CAS `level_normal` with depth+1 only,
 /// so backward pulls never observe same-iteration discoveries as parents.
 namespace dsbfs::core {
+
+/// Control-word packing for the per-iteration termination allreduce of the
+/// traversal algorithms: bit 40+ carries "some GPU has delegate updates",
+/// the low bits carry the amount of new normal work (local discoveries +
+/// binned vertices).  Shared by DistributedBfs and DistributedBatchBfs so
+/// their control words stay comparable at lane width 1.
+inline constexpr std::uint64_t kDelegateFlagUnit = 1ULL << 40;
 
 /// Parent encodings used during traversal (decoded at gather time).
 inline constexpr VertexId kParentNone = kInvalidVertex;
@@ -101,6 +110,85 @@ class GpuState {
  private:
   const graph::LocalGraph* graph_;
   std::unique_ptr<std::atomic<Depth>[]> level_normal_;
+};
+
+/// Per-GPU state of a batched multi-source traversal (MS-BFS style): the
+/// lane-generalized GpuState.  Lane l of every mask and per-lane array
+/// belongs to source l of the batch; all lanes advance in lockstep through
+/// the same level-synchronous iterations, so one sweep of the
+/// degree-separated subgraphs (and one mask reduction, and one exchange)
+/// serves every source at once.
+///
+/// The single-source level arrays generalize to (item, lane)-indexed depth
+/// arrays plus visited lane masks; the bit-claim that GpuState expresses as
+/// a level CAS becomes an atomic lane-word fetch_or whose return value
+/// identifies the newly claimed lanes.  The same stable-snapshot rule
+/// applies: `seen_normal` and `delegate_visited` only change between
+/// iterations (previsit / post-reduce), never during visits, which write
+/// `next_normal` / `delegate_out` instead.
+class LaneState {
+ public:
+  LaneState(const graph::LocalGraph& graph, int total_gpus, int lane_bits);
+
+  const graph::LocalGraph& graph() const noexcept { return *graph_; }
+  int lane_bits() const noexcept { return lane_bits_; }
+
+  /// Flat index of (item, lane) in the per-lane depth/parent arrays.
+  std::size_t slot(std::size_t item, int lane) const noexcept {
+    return item * static_cast<std::size_t>(lane_bits_) +
+           static_cast<std::size_t>(lane);
+  }
+
+  // --- normal vertices -------------------------------------------------
+  util::LaneBitset seen_normal;      // visited lanes; stable within an iter
+  util::LaneBitset frontier_normal;  // lanes expanded this iteration
+  util::LaneBitset next_normal;      // dn-visit discoveries (depth + 1)
+  std::vector<LocalId> frontier;     // items with nonzero frontier lanes
+  std::vector<LocalId> next_local;   // items first touched by the dn visit
+  /// Exchange arrivals: (destination-local id, lane word) updates, folded
+  /// into the frontier at the next normal previsit.
+  std::vector<comm::VertexUpdate> received;
+  std::vector<Depth> depth_normal;   // indexed by slot(v, lane)
+
+  // --- delegates --------------------------------------------------------
+  util::LaneBitset delegate_visited;  // stable within an iteration
+  util::LaneBitset delegate_out;      // this iteration's updates
+  util::LaneBitset delegate_new;      // lanes that became visited at reduce
+  std::vector<Depth> depth_delegate;  // indexed by slot(t, lane)
+  std::vector<LocalId> delegate_queue;
+
+  // --- exchange ----------------------------------------------------------
+  std::vector<std::vector<comm::VertexUpdate>> bins;  // per dest global GPU
+
+  // --- BFS trees (optional; one per lane) --------------------------------
+  bool record_parents = false;
+  /// Per (local normal, lane): encoded parent (kParent* conventions).
+  std::vector<VertexId> parent_normal;
+  /// Per (delegate, lane): locally-known candidate (kParentDelegateTag
+  /// encoding); min-reduced across GPUs at the end of the run.  Atomic for
+  /// the same reason as GpuState's: the dd (delegate-stream) and nd
+  /// (normal-stream) visits may both record a candidate for the same slot.
+  std::unique_ptr<std::atomic<VertexId>[]> parent_delegate;
+
+  void set_delegate_parent(LocalId delegate, int lane,
+                           VertexId parent_vertex) noexcept {
+    parent_delegate[slot(delegate, lane)].store(parent_vertex,
+                                                std::memory_order_relaxed);
+  }
+
+  // --- bookkeeping --------------------------------------------------------
+  Depth depth = 0;
+  sim::GpuIterationCounters iter;
+
+  /// Reset iteration-scoped scratch (bins stay allocated).
+  void begin_iteration();
+  /// Close the iteration (clears the delegate out-mask; `iter` stays valid
+  /// until the next begin_iteration so the engine can snapshot it).
+  void end_iteration();
+
+ private:
+  const graph::LocalGraph* graph_;
+  int lane_bits_ = 1;
 };
 
 }  // namespace dsbfs::core

@@ -7,16 +7,21 @@ namespace dsbfs::core {
 RunMetrics assemble_metrics(
     const graph::DistributedGraph& graph, const BfsOptions& options,
     std::vector<std::vector<sim::GpuIterationCounters>>&& histories,
-    double measured_ms) {
+    double measured_ms, int lane_bits) {
   RunMetrics m;
   const int p = graph.spec().total_gpus();
   const std::size_t iters = histories.empty() ? 0 : histories[0].size();
   m.iterations = static_cast<int>(iters);
+  m.lane_bits = lane_bits;
   m.teps_edges = graph.num_edges() / 2;
   m.measured_ms = measured_ms;
 
   m.counters.spec = graph.spec();
-  m.counters.delegate_mask_bytes = (graph.num_delegates() + 7) / 8;
+  m.counters.delegate_mask_bytes =
+      (static_cast<std::uint64_t>(graph.num_delegates()) *
+           static_cast<std::uint64_t>(lane_bits) +
+       7) /
+      8;
   m.counters.blocking_reduce =
       options.reduce_mode == comm::ReduceMode::kBlocking;
   m.counters.overlap_comm = options.overlap;
@@ -38,9 +43,13 @@ RunMetrics assemble_metrics(
       m.exchange_local_bytes += c.local_all2all_bytes;
 
       stats.frontier_normals += c.nn.launched ? c.nn.vertices : 0;
+      stats.frontier_lane_bits += c.frontier_lane_bits;
       // Delegates are replicated on every GPU; count them once (GPU 0's
       // delegate_new equals everyone's after the reduction).
-      if (g == 0) stats.new_delegates = c.dprev_vertices;
+      if (g == 0) {
+        stats.new_delegates = c.dprev_vertices;
+        stats.new_delegate_lane_bits = c.delegate_lane_bits;
+      }
       stats.edges_traversed += edges;
       stats.exchanged_vertices += c.bin_vertices;
       stats.delegate_reduce |= c.delegate_update;

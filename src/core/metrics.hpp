@@ -16,6 +16,11 @@ struct IterationStats {
   std::uint64_t new_delegates = 0;     // delegates entering the queue
   std::uint64_t edges_traversed = 0;   // all visit kernels, all GPUs
   std::uint64_t exchanged_vertices = 0;
+  /// Lane occupancy (batched traversals; 0 at lane width 1): lane bits the
+  /// iteration's shared sweeps advanced, summed over GPUs (normals) and
+  /// counted once (delegates, replicated).
+  std::uint64_t frontier_lane_bits = 0;
+  std::uint64_t new_delegate_lane_bits = 0;
   bool delegate_reduce = false;
   bool dd_backward = false, dn_backward = false, nd_backward = false;
 };
@@ -23,6 +28,9 @@ struct IterationStats {
 struct RunMetrics {
   int iterations = 0;                  // S
   int delegate_reduce_iterations = 0;  // S' (paper: about half of S on RMAT)
+  /// Lane width W of the run (1 = single-source; batched runs reduce
+  /// d*W/8-byte masks and ship (id, W/8-byte lane word) updates).
+  int lane_bits = 1;
 
   std::uint64_t edges_traversed = 0;   // workload m' (paper Section IV-B)
   std::uint64_t exchange_remote_bytes = 0;
@@ -43,11 +51,13 @@ struct RunMetrics {
   sim::RunCounters counters;  // full trace for re-modeling
 };
 
-/// Assemble metrics from the per-GPU iteration histories.
+/// Assemble metrics from the per-GPU iteration histories.  `lane_bits`
+/// scales the delegate-mask payload (d*W/8 bytes per reduction) for batched
+/// traversals; 1 reproduces the historic single-source accounting exactly.
 RunMetrics assemble_metrics(const graph::DistributedGraph& graph,
                             const BfsOptions& options,
                             std::vector<std::vector<sim::GpuIterationCounters>>&& histories,
-                            double measured_ms);
+                            double measured_ms, int lane_bits = 1);
 
 /// Host-side assembly shared by the value algorithms (CC, PageRank, SSSP):
 /// the delegate payload is d x 8 bytes of *values* per reduction instead of

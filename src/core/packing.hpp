@@ -39,10 +39,55 @@ constexpr Depth parent_probe_level(std::uint64_t word) noexcept {
   return static_cast<Depth>(word & kParentDepthMask);
 }
 
+// ---- Lane-generalized parent probes (batched MS-BFS traversals) ----------
+//
+// A batched traversal resolves nn parents per (vertex, lane) pair, so the
+// probe word additionally carries the lane index: low kParentDepthBits the
+// level, then kParentLaneBits the lane, the rest the destination local id.
+
+/// Bits of lane index in a lane parent probe (supports the 64-lane maximum
+/// batch width).
+inline constexpr int kParentLaneBits = 6;
+inline constexpr std::uint64_t kParentLaneMask = (1ULL << kParentLaneBits) - 1;
+/// Bits left for the destination local id in a lane probe.
+inline constexpr int kLaneParentLocalBits =
+    64 - kParentDepthBits - kParentLaneBits;
+
+constexpr std::uint64_t pack_lane_parent_probe(std::uint64_t dest_local,
+                                               int lane, Depth level) noexcept {
+  return (dest_local << (kParentDepthBits + kParentLaneBits)) |
+         ((static_cast<std::uint64_t>(lane) & kParentLaneMask)
+          << kParentDepthBits) |
+         (static_cast<std::uint64_t>(level) & kParentDepthMask);
+}
+
+constexpr LocalId lane_parent_probe_local(std::uint64_t word) noexcept {
+  return static_cast<LocalId>(word >> (kParentDepthBits + kParentLaneBits));
+}
+
+constexpr int lane_parent_probe_lane(std::uint64_t word) noexcept {
+  return static_cast<int>((word >> kParentDepthBits) & kParentLaneMask);
+}
+
+constexpr Depth lane_parent_probe_level(std::uint64_t word) noexcept {
+  return static_cast<Depth>(word & kParentDepthMask);
+}
+
 // The packing must round-trip every 32-bit local id at the deepest
 // representable level.
 static_assert(kParentLocalBits >= 32,
               "parent probes must carry any 32-bit local id");
+static_assert(kLaneParentLocalBits >= 32,
+              "lane parent probes must carry any 32-bit local id");
+static_assert(lane_parent_probe_local(pack_lane_parent_probe(
+                  kInvalidLocal, 63, static_cast<Depth>(kParentDepthMask))) ==
+              kInvalidLocal);
+static_assert(lane_parent_probe_lane(pack_lane_parent_probe(
+                  kInvalidLocal, 63, static_cast<Depth>(kParentDepthMask))) ==
+              63);
+static_assert(lane_parent_probe_level(pack_lane_parent_probe(
+                  kInvalidLocal, 63, static_cast<Depth>(kParentDepthMask))) ==
+              static_cast<Depth>(kParentDepthMask));
 static_assert(parent_probe_local(pack_parent_probe(
                   kInvalidLocal, static_cast<Depth>(kParentDepthMask))) ==
               kInvalidLocal);

@@ -159,7 +159,8 @@ class PagerankAlgorithm {
         ctx.me, s.bins, iteration,
         {.combine = options_.uniquify ? comm::UpdateCombine::kSumDouble
                                       : comm::UpdateCombine::kNone,
-         .compress = options_.compress},
+         .compress = options_.compress,
+         .adaptive = options_.adaptive_compress},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {
       s.acc_normal[u.vertex] += std::bit_cast<double>(u.value);

@@ -41,6 +41,11 @@ struct PagerankOptions {
   /// Delta+varint-encode the (id, share) wire payload.  Bit-cast doubles
   /// barely shrink, so this mostly demonstrates the opt-in cost.
   bool compress = false;
+  /// With `compress`: per-bin raw-vs-encoded choice.  PageRank is the case
+  /// adaptivity exists for -- bit-cast doubles varint-encode *larger* than
+  /// raw, so nearly every bin should ship raw and the adaptive run should
+  /// track the uncompressed byte volume.
+  bool adaptive_compress = false;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};

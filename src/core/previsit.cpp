@@ -1,5 +1,7 @@
 #include "core/previsit.hpp"
 
+#include <bit>
+
 namespace dsbfs::core {
 
 void delegate_previsit(GpuState& s, const BfsOptions& options) {
@@ -70,6 +72,66 @@ void normal_previsit(GpuState& s, const BfsOptions& options) {
   if (q > 0) {
     s.dir_nd.update(s.fv_nd, s.bv_nd, options.direction_optimized);
   }
+}
+
+void delegate_previsit_lanes(LaneState& s) {
+  const graph::LocalGraph& g = s.graph();
+  std::uint64_t new_items = 0;
+  std::uint64_t new_bits = 0;
+  s.delegate_new.for_each_nonzero_lanes([&](std::size_t t, std::uint64_t w) {
+    ++new_items;
+    new_bits += static_cast<std::uint64_t>(std::popcount(w));
+    if (g.dd().row_length(t) == 0 && g.dn().row_length(t) == 0) {
+      return;  // zero-out-degree filter
+    }
+    s.delegate_queue.push_back(static_cast<LocalId>(t));
+  });
+  s.iter.dprev_vertices = new_items;
+  s.iter.delegate_lane_bits = new_bits;
+}
+
+void normal_previsit_lanes(LaneState& s) {
+  s.iter.nprev_vertices = s.next_local.size() + s.received.size();
+
+  // Locally discovered lanes were already claimed by the dn visit (depths
+  // recorded at discovery); fold them into the visited mask and the
+  // frontier.  `frontier_normal.or_lanes` returning 0 means first touch,
+  // which keeps the frontier queue duplicate-free.
+  for (const LocalId v : s.next_local) {
+    const std::uint64_t lanes = s.next_normal.lanes(v);
+    s.seen_normal.or_lanes(v, lanes);
+    if (s.frontier_normal.or_lanes(v, lanes) == 0) s.frontier.push_back(v);
+  }
+  s.next_local.clear();
+  s.next_normal.clear_all();
+
+  // Exchange arrivals are deduplicated against the visited lanes here: the
+  // sender ships its whole frontier word, the receiver keeps the lanes it
+  // has not seen (the lane analogue of the level-array dedup).
+  const Depth d = s.depth;
+  for (const comm::VertexUpdate& u : s.received) {
+    const std::uint64_t prev_seen = s.seen_normal.or_lanes(u.vertex, u.value);
+    std::uint64_t fresh = u.value & ~prev_seen;
+    if (fresh == 0) continue;
+    for (std::uint64_t b = fresh; b != 0; b &= b - 1) {
+      const std::size_t sl = s.slot(u.vertex, std::countr_zero(b));
+      s.depth_normal[sl] = d;
+      // The sender's identity is not transmitted during traversal; the
+      // end-of-run lane parent exchange resolves these.
+      if (s.record_parents) s.parent_normal[sl] = kParentViaNn;
+    }
+    if (s.frontier_normal.or_lanes(u.vertex, fresh) == 0) {
+      s.frontier.push_back(u.vertex);
+    }
+  }
+  s.received.clear();
+
+  std::uint64_t frontier_bits = 0;
+  for (const LocalId v : s.frontier) {
+    frontier_bits +=
+        static_cast<std::uint64_t>(std::popcount(s.frontier_normal.lanes(v)));
+  }
+  s.iter.frontier_lane_bits = frontier_bits;
 }
 
 }  // namespace dsbfs::core

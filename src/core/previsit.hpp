@@ -25,4 +25,21 @@ void delegate_previsit(GpuState& s, const BfsOptions& options);
 /// the unvisited pools, computes fv_nd/bv_nd and updates dir_nd.
 void normal_previsit(GpuState& s, const BfsOptions& options);
 
+// ---- lane-generalized previsits (batched MS-BFS traversals) --------------
+// The same two queue-formation steps over LaneState: queue membership is
+// "any lane active", the per-item lane word rides along, and the frontier
+// lane-bit counters feed the batch occupancy metrics.  Batched traversals
+// run forward-push only, so there are no direction estimates to compute.
+
+/// Delegate-stream lane previsit.  Reads `delegate_new` lane words; fills
+/// `delegate_queue` (items with local out-edges) and the delegate lane-bit
+/// counter.
+void delegate_previsit_lanes(LaneState& s);
+
+/// Normal-stream lane previsit.  Merges the dn visit's `next_local` /
+/// `next_normal` discoveries and the exchange's `received` (id, lane-word)
+/// updates into `frontier` / `frontier_normal`, assigning the current depth
+/// to every freshly claimed (vertex, lane) pair.
+void normal_previsit_lanes(LaneState& s);
+
 }  // namespace dsbfs::core

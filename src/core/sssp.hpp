@@ -84,6 +84,18 @@ struct SsspOptions {
   bool uniquify = true;
   /// Delta+varint-encode the (id, distance) wire payload.
   bool compress = false;
+  /// With `compress`: per-bin raw-vs-encoded choice (the encode ships only
+  /// when it is smaller; comm::UpdateExchangeOptions::adaptive).
+  bool adaptive_compress = false;
+  /// With `compress`: derive the wire bias automatically each round.  Every
+  /// candidate this round is dist[active] + w >= the minimum active
+  /// distance, so a one-word min-allreduce of the active distances at the
+  /// previsit yields a cluster-agreed floor -- the generalization of
+  /// delta-stepping's bucket-base bias to the flat label-correcting rounds
+  /// (comm::UpdateExchangeOptions::value_bias).  Bit-exact for any floor;
+  /// the collective is charged by the perf model like the delta-stepping
+  /// bucket agreement.
+  bool auto_value_bias = true;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};

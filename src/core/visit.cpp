@@ -1,5 +1,7 @@
 #include "core/visit.hpp"
 
+#include <bit>
+
 namespace dsbfs::core {
 
 void visit_dd(GpuState& s) {
@@ -133,6 +135,114 @@ void visit_nd(GpuState& s) {
       }
     }
   }
+}
+
+// ---- lane-generalized visits (batched MS-BFS traversals) -----------------
+// One row traversal serves every lane of the frontier word at once: the
+// single-source "unvisited? claim" test becomes `word & ~visited_lanes`
+// followed by an atomic lane-word OR whose return value identifies the
+// freshly claimed lanes (MS-BFS's visitNext |= visit & ~seen).  All four
+// kernels run forward-push: the batch amortizes the sweep across lanes
+// instead of skipping edges per lane, and the union frontier is dense
+// enough that per-lane pull heuristics would disagree between lanes.
+
+void visit_dd_lanes(LaneState& s) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.dd;
+  k.backward = false;
+  if (s.delegate_queue.empty()) return;
+  k.launched = true;
+  for (const LocalId t : s.delegate_queue) {
+    const std::uint64_t f = s.delegate_new.lanes(t);
+    const auto row = g.dd().row(t);
+    k.edges += row.size();
+    for (const LocalId c : row) {
+      const std::uint64_t rem = f & ~s.delegate_visited.lanes(c);
+      if (rem == 0) continue;
+      const std::uint64_t prev = s.delegate_out.or_lanes(c, rem);
+      if (s.record_parents) {
+        for (std::uint64_t b = rem & ~prev; b != 0; b &= b - 1) {
+          s.set_delegate_parent(c, std::countr_zero(b),
+                                kParentDelegateTag | t);
+        }
+      }
+    }
+  }
+  k.vertices = s.delegate_queue.size();
+}
+
+void visit_dn_lanes(LaneState& s) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.dn;
+  k.backward = false;
+  if (s.delegate_queue.empty()) return;
+  k.launched = true;
+  const Depth next_depth = s.depth + 1;
+  for (const LocalId t : s.delegate_queue) {
+    const std::uint64_t f = s.delegate_new.lanes(t);
+    const auto row = g.dn().row(t);
+    k.edges += row.size();
+    for (const LocalId v : row) {
+      const std::uint64_t rem = f & ~s.seen_normal.lanes(v);
+      if (rem == 0) continue;
+      const std::uint64_t prev = s.next_normal.or_lanes(v, rem);
+      if (prev == 0) s.next_local.push_back(v);
+      for (std::uint64_t b = rem & ~prev; b != 0; b &= b - 1) {
+        const std::size_t sl = s.slot(v, std::countr_zero(b));
+        s.depth_normal[sl] = next_depth;
+        if (s.record_parents) s.parent_normal[sl] = kParentDelegateTag | t;
+      }
+    }
+  }
+  k.vertices = s.delegate_queue.size();
+}
+
+void visit_nd_lanes(LaneState& s) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.nd;
+  k.backward = false;
+  if (s.frontier.empty()) return;
+  k.launched = true;
+
+  const sim::ClusterSpec& spec = g.spec();
+  const sim::GpuCoord me = g.me();
+  for (const LocalId v : s.frontier) {
+    const std::uint64_t f = s.frontier_normal.lanes(v);
+    const auto row = g.nd().row(v);
+    k.edges += row.size();
+    for (const LocalId c : row) {
+      const std::uint64_t rem = f & ~s.delegate_visited.lanes(c);
+      if (rem == 0) continue;
+      const std::uint64_t prev = s.delegate_out.or_lanes(c, rem);
+      if (s.record_parents) {
+        const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
+        for (std::uint64_t b = rem & ~prev; b != 0; b &= b - 1) {
+          s.set_delegate_parent(c, std::countr_zero(b), v_global);
+        }
+      }
+    }
+  }
+  k.vertices = s.frontier.size();
+}
+
+void visit_nn_lanes(LaneState& s, const sim::ClusterSpec& spec) {
+  const graph::LocalGraph& g = s.graph();
+  sim::KernelCounters& k = s.iter.nn;
+  k.backward = false;
+  if (s.frontier.empty()) return;
+  k.launched = true;
+  const std::uint64_t p = static_cast<std::uint64_t>(spec.total_gpus());
+  for (const LocalId v : s.frontier) {
+    const std::uint64_t f = s.frontier_normal.lanes(v);
+    const auto row = g.nn().row(v);
+    k.edges += row.size();
+    for (const VertexId dst : row) {
+      const int owner = spec.owner_global_gpu(dst);
+      s.bins[static_cast<std::size_t>(owner)].push_back(
+          comm::VertexUpdate{static_cast<LocalId>(dst / p), f});
+    }
+  }
+  k.vertices = s.frontier.size();
 }
 
 void visit_nn(GpuState& s, const sim::ClusterSpec& spec) {

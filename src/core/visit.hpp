@@ -36,4 +36,26 @@ void visit_nd(GpuState& s);
 /// 32-bit destination-local ids.
 void visit_nn(GpuState& s, const sim::ClusterSpec& spec);
 
+// ---- lane-generalized visits (batched MS-BFS traversals) -----------------
+// Same four kernels over LaneState: each frontier entry carries a lane word
+// and one row traversal advances every lane at once (visitNext |= visit &
+// ~seen, per neighbor).  All forward-push; the same write discipline holds
+// with `next_normal` (atomic lane OR + single-writer next_local) in place
+// of the level CAS.
+
+/// delegate -> delegate, lane words into `delegate_out`.
+void visit_dd_lanes(LaneState& s);
+
+/// delegate -> normal: claims (vertex, lane) pairs in `next_normal`,
+/// records per-lane depths/parents, appends first-touched vertices to
+/// `next_local`.
+void visit_dn_lanes(LaneState& s);
+
+/// normal -> delegate, lane words into `delegate_out`.
+void visit_nd_lanes(LaneState& s);
+
+/// normal -> normal: fills per-destination-GPU bins with (32-bit
+/// destination-local id, frontier lane word) updates.
+void visit_nn_lanes(LaneState& s, const sim::ClusterSpec& spec);
+
 }  // namespace dsbfs::core

@@ -41,6 +41,8 @@ std::vector<comm::VertexUpdate> CommContext::exchange_value_updates(
   iter.uniquify_vertices = ec.uniquify_vertices;
   iter.uniquify_bytes = ec.uniquify_bytes;
   iter.encode_bytes = ec.encode_bytes;
+  iter.bins_compressed = ec.bins_compressed;
+  iter.bins_uncompressed = ec.bins_raw;
   iter.send_bytes_remote = ec.send_bytes_remote;
   iter.recv_bytes_remote = ec.recv_bytes_remote;
   iter.send_dest_ranks = ec.send_dest_ranks;

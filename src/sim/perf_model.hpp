@@ -50,13 +50,23 @@ struct GpuIterationCounters {
 
   std::uint64_t bin_vertices = 0;        // nn outputs binned + converted
   std::uint64_t uniquify_vertices = 0;   // records into uniquify (0 = disabled)
-  std::uint64_t uniquify_bytes = 0;      // their volume (4 B ids, 12 B updates)
+  std::uint64_t uniquify_bytes = 0;      // their volume (4 B ids, 4+value_bytes updates)
   std::uint64_t encode_bytes = 0;        // raw bytes varint-encoded (0 = off)
+  std::uint64_t bins_compressed = 0;     // adaptive compression: bins encoded
+  std::uint64_t bins_uncompressed = 0;   // adaptive compression: bins shipped raw
   std::uint64_t local_all2all_bytes = 0; // gathered over NVLink within rank
   std::uint64_t send_bytes_remote = 0;   // to GPUs in other ranks (wire bytes)
   std::uint64_t recv_bytes_remote = 0;
   int send_dest_ranks = 0;               // distinct destination ranks
   bool delegate_update = false;          // participated in mask reduction
+
+  // ---- Lane occupancy (batched MS-BFS traversals; 0 for the single-source
+  // algorithms).  The visit/exchange workload counters above
+  // are already lane-amortized -- one row traversal and one (id, lane-word)
+  // update serve every concurrent source -- so these record how many lane
+  // bits that shared work advanced, the substance of the batch speedup.
+  std::uint64_t frontier_lane_bits = 0;  // normal-frontier lane bits expanded
+  std::uint64_t delegate_lane_bits = 0;  // newly visited delegate lane bits
 
   // ---- Bucketed (delta-stepping) rounds; all zero for flat algorithms. ----
   /// The previsit ran a cluster-wide bucket/phase agreement allreduce (the
@@ -80,7 +90,8 @@ struct IterationCounters {
 
 struct RunCounters {
   ClusterSpec spec;
-  std::uint64_t delegate_mask_bytes = 0;  // d/8, what a mask reduce moves
+  std::uint64_t delegate_mask_bytes = 0;  // d*W/8, what a mask reduce moves
+                                          // (W = lane width; d/8 classic BFS)
   bool blocking_reduce = true;            // BR vs IR
   /// Two-stream overlap: delegate reduction concurrent with the normal
   /// exchange.  False replays the sequential schedule -- each GPU's

@@ -5,8 +5,17 @@
 
 namespace dsbfs::util {
 
-void AtomicBitset::or_with(const AtomicBitset& other) noexcept {
-  assert(bits_ == other.bits_);
+void LaneBitset::resize(std::size_t items, int lane_bits) {
+  assert(lane_bits > 0 && lane_bits <= 64 && 64 % lane_bits == 0 &&
+         "lane width must divide the 64-bit storage word");
+  items_ = items;
+  lane_bits_ = lane_bits;
+  lane_mask_ = lane_bits == 64 ? ~0ULL : (1ULL << lane_bits) - 1;
+  words_.assign(word_count(), Word{0});
+}
+
+void LaneBitset::or_with(const LaneBitset& other) noexcept {
+  assert(items_ == other.items_ && lane_bits_ == other.lane_bits_);
   const std::size_t nw = word_count();
   for (std::size_t w = 0; w < nw; ++w) {
     const std::uint64_t v = other.word(w);
@@ -14,7 +23,7 @@ void AtomicBitset::or_with(const AtomicBitset& other) noexcept {
   }
 }
 
-std::size_t AtomicBitset::count() const noexcept {
+std::size_t LaneBitset::count() const noexcept {
   std::size_t total = 0;
   const std::size_t nw = word_count();
   for (std::size_t w = 0; w < nw; ++w) {
@@ -23,7 +32,13 @@ std::size_t AtomicBitset::count() const noexcept {
   return total;
 }
 
-bool AtomicBitset::none() const noexcept {
+std::size_t LaneBitset::count_nonzero_items() const noexcept {
+  std::size_t total = 0;
+  for_each_nonzero_lanes([&total](std::size_t, std::uint64_t) { ++total; });
+  return total;
+}
+
+bool LaneBitset::none() const noexcept {
   const std::size_t nw = word_count();
   for (std::size_t w = 0; w < nw; ++w) {
     if (word(w) != 0) return false;
@@ -31,22 +46,34 @@ bool AtomicBitset::none() const noexcept {
   return true;
 }
 
-void AtomicBitset::diff_into(const AtomicBitset& next, const AtomicBitset& prev,
-                             AtomicBitset& out) noexcept {
-  assert(next.bits_ == prev.bits_ && next.bits_ == out.bits_);
+void LaneBitset::diff_into(const LaneBitset& next, const LaneBitset& prev,
+                           LaneBitset& out) noexcept {
+  assert(next.items_ == prev.items_ && next.items_ == out.items_);
+  assert(next.lane_bits_ == prev.lane_bits_ &&
+         next.lane_bits_ == out.lane_bits_);
   const std::size_t nw = next.word_count();
   for (std::size_t w = 0; w < nw; ++w) {
     out.set_word(w, next.word(w) & ~prev.word(w));
   }
 }
 
-bool AtomicBitset::operator==(const AtomicBitset& other) const noexcept {
-  if (bits_ != other.bits_) return false;
+bool LaneBitset::operator==(const LaneBitset& other) const noexcept {
+  if (items_ != other.items_ || lane_bits_ != other.lane_bits_) return false;
   const std::size_t nw = word_count();
   for (std::size_t w = 0; w < nw; ++w) {
     if (word(w) != other.word(w)) return false;
   }
   return true;
+}
+
+int lane_width_for(std::size_t lanes) noexcept {
+  // The traversal substrate quantizes to the widths whose per-vertex state
+  // stays word-addressable on a GPU: 1 (the classic mask), one byte, one
+  // 32-bit word, one 64-bit word.
+  for (const int w : {1, 8, 32}) {
+    if (lanes <= static_cast<std::size_t>(w)) return w;
+  }
+  return 64;
 }
 
 }  // namespace dsbfs::util

@@ -6,38 +6,62 @@
 
 #include "util/types.hpp"
 
-/// Concurrent fixed-size bitset used for delegate visited masks.
+/// Concurrent fixed-size lane bitset used for delegate visited masks and,
+/// more generally, any per-item W-bit state that is communicated by
+/// word-level OR reduction.
 ///
-/// The paper stores the visited status of every delegate in a 1-bit-per-vertex
-/// mask (Section IV-A) and communicates it by OR-reduction (Section V-A).
-/// This class supports the three access patterns that need to coexist:
-///   * concurrent `set()` from visit kernels (relaxed atomic fetch_or),
-///   * word-level bulk operations for reduction/broadcast (or_with, diff),
-///   * read-only tests from backward-pull kernels against a *stable* snapshot.
+/// The paper stores the visited status of every delegate in a
+/// 1-bit-per-vertex mask (Section IV-A) and communicates it by OR-reduction
+/// (Section V-A).  MS-BFS-style batched traversals generalize that mask to a
+/// *lane word* per item: W concurrent sources each own one bit of every
+/// item's word, and one OR still merges all of them at once (the Section
+/// VI-D "more bits of state for delegates" direction).  LaneBitset supports
+/// both uses with one layout: item `v` occupies bits [v*W, (v+1)*W) of a
+/// packed word array, W in {1, 2, 4, 8, 16, 32, 64} so a lane word never
+/// straddles a storage word, and W = 1 is bit-identical to the historic
+/// single-source mask (AtomicBitset remains as an alias for that use).
+///
+/// Three access patterns coexist:
+///   * concurrent per-bit `set()` / per-item `or_lanes()` from visit kernels
+///     (relaxed atomic fetch_or),
+///   * word-level bulk operations for reduction/broadcast (or_with, diff) --
+///     lane-width agnostic, which is what keeps the two-phase mask reduce
+///     unchanged across widths,
+///   * read-only tests from backward-pull kernels against a *stable*
+///     snapshot.
 namespace dsbfs::util {
 
-class AtomicBitset {
+class LaneBitset {
  public:
-  AtomicBitset() = default;
-  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+  LaneBitset() = default;
+  /// `items` entries of `lane_bits` bits each; lane_bits must divide 64.
+  explicit LaneBitset(std::size_t items, int lane_bits = 1) {
+    resize(items, lane_bits);
+  }
 
-  AtomicBitset(const AtomicBitset& other) { copy_from(other); }
-  AtomicBitset& operator=(const AtomicBitset& other) {
+  LaneBitset(const LaneBitset& other) { copy_from(other); }
+  LaneBitset& operator=(const LaneBitset& other) {
     if (this != &other) copy_from(other);
     return *this;
   }
-  AtomicBitset(AtomicBitset&&) noexcept = default;
-  AtomicBitset& operator=(AtomicBitset&&) noexcept = default;
+  LaneBitset(LaneBitset&&) noexcept = default;
+  LaneBitset& operator=(LaneBitset&&) noexcept = default;
 
-  void resize(std::size_t bits) {
-    bits_ = bits;
-    words_.assign(word_count(), Word{0});
+  void resize(std::size_t items, int lane_bits = 1);
+
+  /// Item count (== bit count at the historic W = 1).
+  std::size_t size() const noexcept { return items_; }
+  int lane_bits() const noexcept { return lane_bits_; }
+  /// All-ones mask of one lane word.
+  std::uint64_t lane_mask() const noexcept { return lane_mask_; }
+  std::size_t word_count() const noexcept {
+    return (items_ * static_cast<std::size_t>(lane_bits_) + 63) / 64;
   }
-
-  std::size_t size() const noexcept { return bits_; }
-  std::size_t word_count() const noexcept { return (bits_ + 63) / 64; }
-  /// Bytes occupied by the payload (what communication would transmit).
+  /// Bytes occupied by the payload (what communication would transmit) --
+  /// scales with the lane width: ceil(items * W / 8) rounded to words.
   std::size_t byte_size() const noexcept { return word_count() * 8; }
+
+  // ---- flat-bit interface (the W = 1 mask API) --------------------------
 
   /// Set bit i.  Returns true when this call flipped it from 0 to 1.
   bool set(std::size_t i) noexcept {
@@ -58,6 +82,25 @@ class AtomicBitset {
     return (words_[i >> 6].v.load(std::memory_order_relaxed) >> (i & 63)) & 1;
   }
 
+  // ---- lane interface ----------------------------------------------------
+
+  /// Item v's lane word (bits [v*W, (v+1)*W) right-aligned).
+  std::uint64_t lanes(std::size_t v) const noexcept {
+    const std::size_t bit = v * static_cast<std::size_t>(lane_bits_);
+    return (words_[bit >> 6].v.load(std::memory_order_relaxed) >> (bit & 63)) &
+           lane_mask_;
+  }
+
+  /// Atomically OR `bits` (right-aligned, must fit the lane) into item v's
+  /// lane word; returns the lane word *before* the OR, so callers can
+  /// compute newly-set bits (`bits & ~prev`) and first-touch (`prev == 0`).
+  std::uint64_t or_lanes(std::size_t v, std::uint64_t bits) noexcept {
+    const std::size_t bit = v * static_cast<std::size_t>(lane_bits_);
+    const std::uint64_t prev = words_[bit >> 6].v.fetch_or(
+        bits << (bit & 63), std::memory_order_relaxed);
+    return (prev >> (bit & 63)) & lane_mask_;
+  }
+
   void clear_all() noexcept {
     for (auto& w : words_) w.v.store(0, std::memory_order_relaxed);
   }
@@ -72,22 +115,27 @@ class AtomicBitset {
     if (value != 0) words_[w].v.fetch_or(value, std::memory_order_relaxed);
   }
 
-  /// this |= other  (word-parallel; sizes must match).
-  void or_with(const AtomicBitset& other) noexcept;
+  /// this |= other  (word-parallel; item counts and widths must match).
+  void or_with(const LaneBitset& other) noexcept;
 
-  /// Number of set bits.
+  /// Number of set bits (across all lanes).
   std::size_t count() const noexcept;
+
+  /// Number of items with at least one lane bit set (frontier occupancy;
+  /// equals count() at W = 1).
+  std::size_t count_nonzero_items() const noexcept;
 
   /// True when no bit is set.
   bool none() const noexcept;
 
   /// Writes, into `out`, the bits set in `next` but not in `prev`
-  /// (out = next & ~prev).  All three must be the same size.  This extracts
-  /// "newly visited delegates" after a mask reduction.
-  static void diff_into(const AtomicBitset& next, const AtomicBitset& prev,
-                        AtomicBitset& out) noexcept;
+  /// (out = next & ~prev).  All three must share size and width.  This
+  /// extracts "newly visited delegates" (or newly occupied lanes) after a
+  /// mask reduction.
+  static void diff_into(const LaneBitset& next, const LaneBitset& prev,
+                        LaneBitset& out) noexcept;
 
-  /// Call `fn(index)` for every set bit.
+  /// Call `fn(index)` for every set bit (flat bit indices).
   template <typename Fn>
   void for_each_set(Fn&& fn) const {
     const std::size_t nw = word_count();
@@ -101,7 +149,26 @@ class AtomicBitset {
     }
   }
 
-  bool operator==(const AtomicBitset& other) const noexcept;
+  /// Call `fn(item, lane_word)` for every item with a nonzero lane word.
+  /// Skips zero storage words outright (64/W items at a time), so sparse
+  /// rounds cost one load per word like the W = 1 for_each_set scan.
+  template <typename Fn>
+  void for_each_nonzero_lanes(Fn&& fn) const {
+    const auto w = static_cast<std::size_t>(lane_bits_);
+    const std::size_t per_word = 64 / w;
+    const std::size_t nw = word_count();
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+      const std::uint64_t stored = word(wi);
+      if (stored == 0) continue;
+      const std::size_t base = wi * per_word;
+      for (std::size_t j = 0; j < per_word && base + j < items_; ++j) {
+        const std::uint64_t lane_word = (stored >> (j * w)) & lane_mask_;
+        if (lane_word != 0) fn(base + j, lane_word);
+      }
+    }
+  }
+
+  bool operator==(const LaneBitset& other) const noexcept;
 
  private:
   // std::atomic is not copyable; wrap it so vector works, and copy manually.
@@ -117,13 +184,24 @@ class AtomicBitset {
     }
   };
 
-  void copy_from(const AtomicBitset& other) {
-    bits_ = other.bits_;
+  void copy_from(const LaneBitset& other) {
+    items_ = other.items_;
+    lane_bits_ = other.lane_bits_;
+    lane_mask_ = other.lane_mask_;
     words_ = other.words_;
   }
 
-  std::size_t bits_ = 0;
+  std::size_t items_ = 0;
+  int lane_bits_ = 1;
+  std::uint64_t lane_mask_ = 1;
   std::vector<Word> words_;
 };
+
+/// Historic name for the 1-bit-per-vertex use (delegate visited masks,
+/// subgraph source masks); every W = 1 call pattern is unchanged.
+using AtomicBitset = LaneBitset;
+
+/// Smallest supported lane width that fits `lanes` concurrent lanes.
+int lane_width_for(std::size_t lanes) noexcept;
 
 }  // namespace dsbfs::util

@@ -1,0 +1,262 @@
+#include "core/batch_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/serial_bfs.hpp"
+#include "core/bfs.hpp"
+#include "core/validate.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+/// Batched multi-source BFS: every lane must be bit-exact against the
+/// serial single-source reference (depths and a valid per-lane BFS tree),
+/// and the degenerate one-source batch must reproduce the single-source
+/// engine run counter for counter.
+namespace dsbfs::core {
+namespace {
+
+enum class GraphFamily { kRmat, kGrid };
+
+struct BatchCase {
+  std::string name;
+  GraphFamily family;
+  int ranks, gpus;
+  std::uint32_t threshold;
+  std::size_t batch;  // number of sources
+  bool uniquify = false;
+  bool compress = false;
+};
+
+graph::EdgeList make_graph(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kRmat:
+      return graph::rmat_graph500({.scale = 10, .seed = 81});
+    case GraphFamily::kGrid:
+      return graph::grid_graph(32, 32);
+  }
+  return {};
+}
+
+std::vector<VertexId> pick_sources(const DistributedBatchBfs& bfs,
+                                   std::size_t count) {
+  std::vector<VertexId> sources;
+  sources.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    sources.push_back(bfs.sample_source(k * 13 + 1));
+  }
+  return sources;
+}
+
+class BatchBfsProperty : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchBfsProperty, EveryLaneMatchesSerialWithValidParents) {
+  const BatchCase c = GetParam();
+  const graph::EdgeList g = make_graph(c.family);
+  sim::ClusterSpec spec;
+  spec.num_ranks = c.ranks;
+  spec.gpus_per_rank = c.gpus;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, c.threshold);
+  const graph::HostCsr csr = graph::build_host_csr(g);
+
+  BatchBfsOptions options;
+  options.uniquify = c.uniquify;
+  options.compress = c.compress;
+  options.compute_parents = true;
+  DistributedBatchBfs bfs(dg, cluster, options);
+  const std::vector<VertexId> sources = pick_sources(bfs, c.batch);
+
+  const BatchBfsResult r = bfs.run(sources);
+  EXPECT_EQ(r.lane_bits, util::lane_width_for(c.batch));
+  ASSERT_EQ(r.distances.size(), sources.size());
+  ASSERT_EQ(r.parents.size(), sources.size());
+
+  for (std::size_t lane = 0; lane < sources.size(); ++lane) {
+    const auto expected = baseline::serial_bfs(csr, sources[lane]);
+    const ValidationReport ref =
+        validate_against_reference(r.distances[lane], expected);
+    ASSERT_TRUE(ref.ok) << "lane " << lane << ": " << ref.error;
+
+    const ValidationReport tree =
+        validate_parents(g, sources[lane], r.distances[lane], r.parents[lane]);
+    ASSERT_TRUE(tree.ok) << "lane " << lane << ": " << tree.error;
+  }
+
+  const RunMetrics& m = r.metrics;
+  EXPECT_EQ(m.lane_bits, r.lane_bits);
+  EXPECT_GT(m.iterations, 0);
+  EXPECT_GT(m.edges_traversed, 0u);
+}
+
+std::vector<BatchCase> batch_cases() {
+  std::vector<BatchCase> cases;
+  // The lane-width ladder on both families: 1 (degenerate single-source),
+  // 3 (partial byte lane), 32, 64.
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{32}, std::size_t{64}}) {
+    cases.push_back({"rmat_w" + std::to_string(batch), GraphFamily::kRmat, 2,
+                     2, 16, batch});
+    cases.push_back({"grid_w" + std::to_string(batch), GraphFamily::kGrid, 2,
+                     2, 4, batch});
+  }
+  // Topology variants at full width.
+  cases.push_back({"rmat_w64_4x1", GraphFamily::kRmat, 4, 1, 16, 64});
+  cases.push_back({"rmat_w64_1x4", GraphFamily::kRmat, 1, 4, 16, 64});
+  cases.push_back({"rmat_w64_3x2", GraphFamily::kRmat, 3, 2, 16, 64});
+  // Exchange levers must stay bit-exact.
+  cases.push_back({"rmat_w64_u", GraphFamily::kRmat, 2, 2, 16, 64, true,
+                   false});
+  cases.push_back({"rmat_w64_uc", GraphFamily::kRmat, 2, 2, 16, 64, true,
+                   true});
+  cases.push_back({"rmat_w64_c", GraphFamily::kRmat, 2, 2, 16, 64, false,
+                   true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchBfsProperty,
+                         ::testing::ValuesIn(batch_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+/// Sum a per-GPU counter field over the whole run.
+template <typename Fn>
+std::uint64_t sum_counters(const sim::RunCounters& counters, Fn&& field) {
+  std::uint64_t total = 0;
+  for (const auto& ic : counters.iterations) {
+    for (const auto& gc : ic.gpu) total += field(gc);
+  }
+  return total;
+}
+
+TEST(BatchBfsRegression, WidthOneReproducesSingleSourceCountersExactly) {
+  // A one-source batch must be the forced-push DistributedBfs run bit for
+  // bit: same iteration count, same wire bytes (the W = 1 lane record is
+  // the id exchange's bare 4-byte id), same mask-reduce volume, same
+  // traversal workload.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 82});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 16);
+
+  BfsOptions single_options;
+  single_options.direction_optimized = false;  // the batch is push-only
+  DistributedBfs single(dg, cluster, single_options);
+  DistributedBatchBfs batch(dg, cluster, {});
+
+  const VertexId source = single.sample_source(1);
+  const BfsResult sr = single.run(source);
+  const std::vector<VertexId> sources{source};
+  const BatchBfsResult br = batch.run(sources);
+
+  EXPECT_EQ(br.lane_bits, 1);
+  ASSERT_EQ(br.distances.size(), 1u);
+  EXPECT_EQ(br.distances[0], sr.distances);
+
+  const RunMetrics& sm = sr.metrics;
+  const RunMetrics& bm = br.metrics;
+  EXPECT_EQ(bm.iterations, sm.iterations);
+  EXPECT_EQ(bm.delegate_reduce_iterations, sm.delegate_reduce_iterations);
+  EXPECT_EQ(bm.edges_traversed, sm.edges_traversed);
+  EXPECT_EQ(bm.exchange_remote_bytes, sm.exchange_remote_bytes);
+  EXPECT_EQ(bm.exchange_local_bytes, sm.exchange_local_bytes);
+  EXPECT_EQ(bm.mask_reduce_bytes, sm.mask_reduce_bytes);
+  EXPECT_EQ(bm.counters.delegate_mask_bytes, sm.counters.delegate_mask_bytes);
+  EXPECT_EQ(sum_counters(bm.counters,
+                         [](const auto& c) { return c.recv_bytes_remote; }),
+            sum_counters(sm.counters,
+                         [](const auto& c) { return c.recv_bytes_remote; }));
+  EXPECT_EQ(sum_counters(bm.counters,
+                         [](const auto& c) { return c.bin_vertices; }),
+            sum_counters(sm.counters,
+                         [](const auto& c) { return c.bin_vertices; }));
+}
+
+TEST(BatchBfs, LaneOccupancyCountersAndScaledMaskBytes) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 83});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 16);
+  DistributedBatchBfs bfs(dg, cluster, {});
+  const std::vector<VertexId> sources = pick_sources(bfs, 64);
+  const BatchBfsResult r = bfs.run(sources);
+
+  EXPECT_EQ(r.lane_bits, 64);
+  // The mask reduction moves d * 64 / 8 bytes per round.
+  EXPECT_EQ(r.metrics.counters.delegate_mask_bytes,
+            static_cast<std::uint64_t>(dg.num_delegates()) * 8);
+  // Lane occupancy flows through the per-iteration trace: the shared
+  // sweeps advanced more lane bits than frontier vertices in the dense
+  // rounds (that is the amortization).
+  std::uint64_t frontier_vertices = 0, frontier_bits = 0, delegate_bits = 0;
+  for (const IterationStats& it : r.metrics.per_iteration) {
+    frontier_vertices += it.frontier_normals;
+    frontier_bits += it.frontier_lane_bits;
+    delegate_bits += it.new_delegate_lane_bits;
+  }
+  EXPECT_GT(frontier_bits, frontier_vertices);
+  EXPECT_GT(delegate_bits, 0u);
+}
+
+TEST(BatchBfs, DuplicateSourcesProduceIdenticalLanes) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 84});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 16);
+  DistributedBatchBfs bfs(dg, cluster, {});
+  const VertexId s = bfs.sample_source(5);
+  const std::vector<VertexId> sources{s, s, s};
+  const BatchBfsResult r = bfs.run(sources);
+  ASSERT_EQ(r.distances.size(), 3u);
+  EXPECT_EQ(r.distances[0], r.distances[1]);
+  EXPECT_EQ(r.distances[0], r.distances[2]);
+}
+
+TEST(BatchBfs, UniquifyCutsWireBytesAndStaysBitExact) {
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 10, .seed = 85});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 16);
+
+  std::uint64_t bytes_on = 0, bytes_off = 0;
+  std::vector<std::vector<Depth>> dist_on, dist_off;
+  for (const bool uniquify : {false, true}) {
+    BatchBfsOptions options;
+    options.uniquify = uniquify;
+    DistributedBatchBfs bfs(dg, cluster, options);
+    const std::vector<VertexId> sources = pick_sources(bfs, 64);
+    const BatchBfsResult r = bfs.run(sources);
+    (uniquify ? bytes_on : bytes_off) = r.metrics.exchange_remote_bytes;
+    (uniquify ? dist_on : dist_off) = r.distances;
+  }
+  EXPECT_EQ(dist_on, dist_off);
+  // Dense RMAT rounds bin several updates per destination vertex; the OR
+  // coalesce must strictly shrink the wire volume.
+  EXPECT_LT(bytes_on, bytes_off);
+}
+
+TEST(BatchBfs, RejectsBadBatches) {
+  const graph::EdgeList g = graph::path_graph(8);
+  sim::ClusterSpec spec;
+  spec.num_ranks = 1;
+  spec.gpus_per_rank = 1;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 4);
+  DistributedBatchBfs bfs(dg, cluster, {});
+  EXPECT_THROW(bfs.run(std::vector<VertexId>{}), std::invalid_argument);
+  EXPECT_THROW(bfs.run(std::vector<VertexId>(65, 0)), std::invalid_argument);
+  EXPECT_THROW(bfs.run(std::vector<VertexId>{999}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dsbfs::core

@@ -185,5 +185,104 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSizes,
                          ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
                                            1000, 4096));
 
+// ---- lane-generalized interface (batched MS-BFS substrate) ---------------
+
+TEST(LaneBitset, WidthOneIsTheClassicMask) {
+  LaneBitset b(100);  // default width 1
+  EXPECT_EQ(b.lane_bits(), 1);
+  EXPECT_EQ(b.lane_mask(), 1u);
+  EXPECT_EQ(b.word_count(), 2u);  // identical layout to AtomicBitset(100)
+  b.set(42);
+  EXPECT_EQ(b.lanes(42), 1u);
+  EXPECT_EQ(b.or_lanes(7, 1), 0u);
+  EXPECT_TRUE(b.test(7));
+}
+
+TEST(LaneBitset, LayoutPacksLanesWithoutStraddling) {
+  for (const int w : {1, 8, 32, 64}) {
+    LaneBitset b(100, w);
+    EXPECT_EQ(b.lane_bits(), w);
+    EXPECT_EQ(b.word_count(), (100u * static_cast<std::size_t>(w) + 63) / 64);
+    EXPECT_EQ(b.byte_size(), b.word_count() * 8);
+  }
+}
+
+TEST(LaneBitset, OrLanesReturnsPreviousWord) {
+  LaneBitset b(10, 8);
+  EXPECT_EQ(b.or_lanes(3, 0b0011), 0u);       // first touch
+  EXPECT_EQ(b.or_lanes(3, 0b0110), 0b0011u);  // previous word back
+  EXPECT_EQ(b.lanes(3), 0b0111u);
+  EXPECT_EQ(b.lanes(2), 0u);  // neighbors untouched
+  EXPECT_EQ(b.lanes(4), 0u);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_EQ(b.count_nonzero_items(), 1u);
+}
+
+TEST(LaneBitset, FullWidthLanesRoundTrip) {
+  LaneBitset b(5, 64);
+  const std::uint64_t word = 0xdeadbeefcafef00dULL;
+  EXPECT_EQ(b.or_lanes(4, word), 0u);
+  EXPECT_EQ(b.lanes(4), word);
+  EXPECT_EQ(b.lane_mask(), ~0ULL);
+}
+
+TEST(LaneBitset, WordOpsAreLaneAgnostic) {
+  // The two-phase mask reduce ORs words; lanes must merge transparently.
+  LaneBitset a(6, 8), b(6, 8), diff(6, 8);
+  a.or_lanes(0, 0x0f);
+  b.or_lanes(0, 0xf0);
+  b.or_lanes(5, 0x01);
+  a.or_with(b);
+  EXPECT_EQ(a.lanes(0), 0xffu);
+  EXPECT_EQ(a.lanes(5), 0x01u);
+  LaneBitset prev(6, 8);
+  prev.or_lanes(0, 0x0f);
+  LaneBitset::diff_into(a, prev, diff);
+  EXPECT_EQ(diff.lanes(0), 0xf0u);
+  EXPECT_EQ(diff.lanes(5), 0x01u);
+}
+
+TEST(LaneBitset, ForEachNonzeroLanesVisitsOccupiedItems) {
+  LaneBitset b(50, 32);
+  b.or_lanes(1, 5);
+  b.or_lanes(49, 1u << 31);
+  std::vector<std::pair<std::size_t, std::uint64_t>> seen;
+  b.for_each_nonzero_lanes(
+      [&](std::size_t v, std::uint64_t w) { seen.emplace_back(v, w); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::size_t, std::uint64_t>{1, 5}));
+  EXPECT_EQ(seen[1],
+            (std::pair<std::size_t, std::uint64_t>{49, 1ULL << 31}));
+}
+
+TEST(LaneBitset, ConcurrentOrLanesLossless) {
+  // Two threads OR disjoint lane sets of the same items; every bit must
+  // land and first-touch must be claimed exactly once per item.
+  LaneBitset b(256, 8);
+  std::atomic<int> first_touches{0};
+  auto worker = [&](std::uint64_t lanes) {
+    for (std::size_t v = 0; v < 256; ++v) {
+      if (b.or_lanes(v, lanes) == 0) first_touches.fetch_add(1);
+    }
+  };
+  std::thread t1(worker, 0x0f);
+  std::thread t2(worker, 0xf0);
+  t1.join();
+  t2.join();
+  for (std::size_t v = 0; v < 256; ++v) EXPECT_EQ(b.lanes(v), 0xffu);
+  EXPECT_EQ(first_touches.load(), 256);
+}
+
+TEST(LaneBitset, LaneWidthForQuantizesToSupportedWidths) {
+  EXPECT_EQ(lane_width_for(1), 1);
+  EXPECT_EQ(lane_width_for(2), 8);
+  EXPECT_EQ(lane_width_for(3), 8);
+  EXPECT_EQ(lane_width_for(8), 8);
+  EXPECT_EQ(lane_width_for(9), 32);
+  EXPECT_EQ(lane_width_for(32), 32);
+  EXPECT_EQ(lane_width_for(33), 64);
+  EXPECT_EQ(lane_width_for(64), 64);
+}
+
 }  // namespace
 }  // namespace dsbfs::util

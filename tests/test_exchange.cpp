@@ -620,6 +620,144 @@ TEST(UpdateExchange, ValueBiasRoundTripsAndShrinksWireBytes) {
   }
 }
 
+TEST(UpdateExchange, OrCoalesceMergesLaneWords) {
+  // The batched-BFS combine: candidates for one destination vertex OR their
+  // lane words into a single update.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(
+      spec, {UpdateCombine::kOr, false}, &counters,
+      [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+        auto& bin = bins[static_cast<std::size_t>(1 - g)];
+        bin.push_back(VertexUpdate{5, 0b0001});
+        bin.push_back(VertexUpdate{5, 0b1000});
+        bin.push_back(VertexUpdate{9, 0b0110});
+      });
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.duplicates_removed, 1u);
+    EXPECT_EQ(c.send_bytes_remote, 2u * 12);
+  }
+  for (int g = 0; g < 2; ++g) {
+    auto& r = received[static_cast<std::size_t>(g)];
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0].vertex, 5u);
+    EXPECT_EQ(r[0].value, 0b1001u);
+    EXPECT_EQ(r[1].vertex, 9u);
+    EXPECT_EQ(r[1].value, 0b0110u);
+  }
+}
+
+TEST(UpdateExchange, ValueBytesScalesTheWireCounters) {
+  // Lane-word updates are narrower than the historic 12-byte record: the
+  // counters must charge 4 + value_bytes per update (and the bare 4-byte
+  // id at value_bytes = 0, the W = 1 batch where the lane is implicit).
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  for (const int value_bytes : {0, 1, 4, 8}) {
+    std::vector<ExchangeCounters> counters;
+    UpdateExchangeOptions options;
+    options.combine = UpdateCombine::kOr;
+    options.value_bytes = value_bytes;
+    auto received = run_update_exchange(
+        spec, options, &counters,
+        [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+          auto& bin = bins[static_cast<std::size_t>(1 - g)];
+          for (LocalId i = 0; i < 10; ++i) bin.push_back(VertexUpdate{i, 1});
+        });
+    const std::uint64_t expected =
+        10u * (4u + static_cast<std::uint64_t>(value_bytes));
+    for (const auto& c : counters) {
+      EXPECT_EQ(c.send_bytes_remote, expected) << "width " << value_bytes;
+      EXPECT_EQ(c.recv_bytes_remote, expected) << "width " << value_bytes;
+      EXPECT_EQ(c.uniquify_bytes, expected) << "width " << value_bytes;
+    }
+    for (int g = 0; g < 2; ++g) {
+      EXPECT_EQ(received[static_cast<std::size_t>(g)].size(), 10u);
+    }
+  }
+}
+
+TEST(UpdateExchange, AdaptiveCompressionPicksTheSmallerPathPerBin) {
+  // Two bins from each GPU: one with tiny sorted ids and values (the
+  // encode wins), one with scattered ids and full-range values (raw wins).
+  // Both must round-trip bit for bit and the counters must record one
+  // choice each way; the shipped bytes equal the per-bin minimum.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 3;
+  spec.gpus_per_rank = 1;
+  UpdateExchangeOptions options;
+  options.compress = true;
+  options.adaptive = true;
+  const std::vector<VertexUpdate> wins = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}};
+  std::vector<VertexUpdate> loses;
+  for (int i = 0; i < 6; ++i) {
+    // Alternating extremes: 5-byte zigzag deltas plus 10-byte values.
+    loses.push_back(VertexUpdate{i % 2 == 0 ? 0xffffffffu : 0u,
+                                 0x8000000000000000ull +
+                                     static_cast<std::uint64_t>(i)});
+  }
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(
+      spec, options, &counters,
+      [&](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+        bins[static_cast<std::size_t>((g + 1) % 3)] = wins;
+        bins[static_cast<std::size_t>((g + 2) % 3)] = loses;
+      });
+  const std::uint64_t raw_bytes = 6u * 12;
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.bins_compressed, 1u);
+    EXPECT_EQ(c.bins_raw, 1u);
+    // Encoded small bin is ~2 bytes per update; the raw bin ships 72.
+    EXPECT_LT(c.send_bytes_remote, 2 * raw_bytes);
+    EXPECT_GE(c.send_bytes_remote, raw_bytes);
+    EXPECT_EQ(c.encode_bytes, 2 * raw_bytes);  // both bins were trialed
+  }
+  for (int g = 0; g < 3; ++g) {
+    auto r = received[static_cast<std::size_t>(g)];
+    ASSERT_EQ(r.size(), wins.size() + loses.size());
+    std::sort(r.begin(), r.end(), [](const auto& a, const auto& b) {
+      return a.value < b.value;
+    });
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+      EXPECT_EQ(r[i].vertex, wins[i].vertex);
+      EXPECT_EQ(r[i].value, wins[i].value);
+    }
+    for (std::size_t i = 0; i < loses.size(); ++i) {
+      EXPECT_EQ(r[wins.size() + i].value,
+                0x8000000000000000ull + static_cast<std::uint64_t>(i));
+    }
+  }
+}
+
+TEST(UpdateExchange, AdaptiveNeverExceedsEitherFixedPolicy) {
+  // Same payload through off / forced / adaptive: adaptive's wire volume
+  // is the per-bin minimum, so it can beat both and must never lose.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const auto fill = [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+    auto& bin = bins[static_cast<std::size_t>(1 - g)];
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      bin.push_back(VertexUpdate{static_cast<LocalId>(i * 2), i});
+    }
+  };
+  std::uint64_t bytes[3];
+  for (int mode = 0; mode < 3; ++mode) {
+    UpdateExchangeOptions options;
+    options.compress = mode >= 1;
+    options.adaptive = mode == 2;
+    std::vector<ExchangeCounters> counters;
+    run_update_exchange(spec, options, &counters, fill);
+    bytes[mode] = counters[0].send_bytes_remote;
+  }
+  EXPECT_LE(bytes[2], bytes[0]);
+  EXPECT_LE(bytes[2], bytes[1]);
+}
+
 // ---- end-to-end: the exchange options preserve algorithm results ---------
 
 TEST(UpdateExchange, SsspBitExactWithUniquifyOnAndOff) {
@@ -672,6 +810,43 @@ TEST(UpdateExchange, CcBitExactAndFewerBytesWithUniquify) {
   // RMAT dense rounds produce duplicate label candidates per destination;
   // coalescing must strictly shrink the wire volume.
   EXPECT_LT(bytes_on, bytes_off);
+}
+
+TEST(UpdateExchange, SsspAutoBiasBitExactAndFewerCompressedBytes) {
+  // The automatic wire bias (one min-allreduce of active distances per
+  // round) generalizes delta-stepping's bucket-base bias to flat SSSP:
+  // distances must stay bit-exact, and the biased varints must strictly
+  // shrink the compressed wire volume on a weighted RMAT run whose
+  // tentative distances sit far above zero in later rounds.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 57});
+  const graph::HostCsr host = graph::build_host_csr(g);
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = graph::build_distributed(g, spec, 16);
+
+  // Wide hashed weights push tentative distances into multi-byte varint
+  // territory, where subtracting the per-round floor pays off.
+  constexpr std::uint32_t kWideWeights = 1u << 20;
+  const auto expected_wide = baseline::serial_sssp(host, 3, kWideWeights);
+
+  std::uint64_t bytes_biased = 0, bytes_plain = 0;
+  for (const bool auto_bias : {false, true}) {
+    core::SsspOptions options;
+    options.max_weight = kWideWeights;
+    options.compress = true;
+    options.auto_value_bias = auto_bias;
+    core::DistributedSssp sssp(dg, cluster, options);
+    const core::SsspResult r = sssp.run(3);
+    ASSERT_EQ(r.distances.size(), expected_wide.size());
+    for (VertexId v = 0; v < expected_wide.size(); ++v) {
+      ASSERT_EQ(r.distances[v], expected_wide[v])
+          << "vertex " << v << " auto_bias " << auto_bias;
+    }
+    (auto_bias ? bytes_biased : bytes_plain) = r.update_bytes_remote;
+  }
+  EXPECT_LT(bytes_biased, bytes_plain);
 }
 
 }  // namespace
