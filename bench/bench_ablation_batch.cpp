@@ -1,25 +1,29 @@
 // Ablation of the batched multi-source BFS (MS-BFS lanes): batch width x
-// two-stream overlap x wire compression on an RMAT graph.  Every lane of
-// every configuration is validated bit for bit against the per-source
-// serial BFS, and the headline number is the *modeled batch speedup*: the
-// summed modeled time of W independent single-source runs (forced push,
-// the batch's traversal mode) divided by the one batched run that serves
-// the same W sources -- the amortization a landmark/sketch serving tier
-// would bank.
+// two-stream overlap x wire compression on an RMAT graph, plus a traversal
+// direction axis (forced push vs the union-frontier hybrid) at W in
+// {1, 32, 64}.  Every lane of every configuration is validated bit for bit
+// against the per-source serial BFS (the direction sweep additionally
+// validates a BFS tree per lane), and the headline number is the *modeled
+// batch speedup*: the summed modeled time of W independent single-source
+// runs divided by the one batched run that serves the same W sources -- the
+// amortization a landmark/sketch serving tier would bank.
 //
 // Exit status is non-zero when any lane diverges from its serial
 // reference, when the W = 1 batch fails to reproduce the single-source
-// engine's iteration count and wire bytes, or when the full-width batch
-// fails to beat W sequential runs in modeled time -- CI runs this on a
-// tiny graph as a smoke test.
+// engine's iteration count and wire bytes, when the full-width batch fails
+// to beat W sequential runs in modeled time, when the wide hybrid takes no
+// bottom-up round, or when the hybrid fails to beat forced push at W = 64
+// -- CI runs this on a tiny graph as a smoke test.
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baseline/serial_bfs.hpp"
 #include "bench_common.hpp"
 #include "core/batch_bfs.hpp"
 #include "core/bfs.hpp"
+#include "core/validate.hpp"
 #include "graph/csr.hpp"
 #include "graph/rmat.hpp"
 #include "util/cli.hpp"
@@ -43,8 +47,38 @@ struct RunRecord {
   bool valid = false;
 };
 
+/// One row of the direction sweep (push vs union-frontier hybrid).
+struct DirectionRecord {
+  std::size_t batch = 0;
+  bool hybrid = false;
+  int iterations = 0;
+  int pull_rounds = 0;  // rounds with any dd/dn/nd kernel backward
+  double modeled_ms = 0;
+  std::uint64_t edges_traversed = 0;
+  bool valid = false;  // depths + BFS tree per lane
+  // Per-round audit columns.
+  std::vector<std::uint64_t> live_frontier_lanes;
+  std::vector<std::uint64_t> live_delegate_lanes;
+  std::vector<bool> pulled;
+};
+
+template <typename T>
+void emit_array(std::ostream& os, const std::vector<T>& xs) {
+  os << "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if constexpr (std::is_same_v<T, bool>) {
+      os << (xs[i] ? "true" : "false");
+    } else {
+      os << xs[i];
+    }
+    if (i + 1 < xs.size()) os << ", ";
+  }
+  os << "]";
+}
+
 void emit_json(std::ostream& os, const std::vector<RunRecord>& runs,
-               int scale, const sim::ClusterSpec& spec, std::uint64_t vertices,
+               const std::vector<DirectionRecord>& dir_runs, int scale,
+               const sim::ClusterSpec& spec, std::uint64_t vertices,
                std::uint64_t edges, std::uint32_t threshold, bool all_checks) {
   os << "{\n  \"graph\": {\"scale\": " << scale << ", \"vertices\": "
      << vertices << ", \"edges\": " << edges << ", \"cluster\": \""
@@ -65,6 +99,23 @@ void emit_json(std::ostream& os, const std::vector<RunRecord>& runs,
        << ", \"frontier_lane_bits\": " << r.frontier_lane_bits
        << ", \"valid\": " << (r.valid ? "true" : "false") << "}"
        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"direction_runs\": [\n";
+  for (std::size_t i = 0; i < dir_runs.size(); ++i) {
+    const DirectionRecord& r = dir_runs[i];
+    os << "    {\"batch\": " << r.batch << ", \"direction\": \""
+       << (r.hybrid ? "hybrid" : "push") << "\", \"iterations\": "
+       << r.iterations << ", \"pull_rounds\": " << r.pull_rounds
+       << ", \"modeled_ms\": " << r.modeled_ms
+       << ", \"edges_traversed\": " << r.edges_traversed
+       << ", \"valid\": " << (r.valid ? "true" : "false")
+       << ", \"live_frontier_lanes\": ";
+    emit_array(os, r.live_frontier_lanes);
+    os << ", \"live_delegate_lanes\": ";
+    emit_array(os, r.live_delegate_lanes);
+    os << ", \"pulled\": ";
+    emit_array(os, r.pulled);
+    os << "}" << (i + 1 < dir_runs.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"checks_passed\": " << (all_checks ? "true" : "false")
      << "\n}\n";
@@ -167,6 +218,58 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- direction sweep: forced push vs union-frontier hybrid -------------
+  // Fixed wire options (overlap, raw payload), BFS trees on so the hybrid's
+  // pull-claimed parents are validated too.
+  std::vector<DirectionRecord> dir_runs;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{32},
+                                  std::size_t{64}}) {
+    for (const bool hybrid : {false, true}) {
+      core::BatchBfsOptions options;
+      options.direction = hybrid ? core::TraversalDirection::kHybrid
+                                 : core::TraversalDirection::kForcedPush;
+      options.compute_parents = true;
+      core::DistributedBatchBfs bfs(dg, cluster, options);
+      const std::span<const VertexId> sources(pool.data(), batch);
+      const core::BatchBfsResult r = bfs.run(sources);
+
+      DirectionRecord rec;
+      rec.batch = batch;
+      rec.hybrid = hybrid;
+      rec.iterations = r.metrics.iterations;
+      rec.modeled_ms = r.metrics.modeled_ms;
+      rec.edges_traversed = r.metrics.edges_traversed;
+      for (const core::IterationStats& it : r.metrics.per_iteration) {
+        const bool pulled = it.dd_backward || it.dn_backward || it.nd_backward;
+        rec.pull_rounds += pulled ? 1 : 0;
+        rec.pulled.push_back(pulled);
+        rec.live_frontier_lanes.push_back(it.live_frontier_lanes);
+        rec.live_delegate_lanes.push_back(it.live_delegate_lanes);
+      }
+
+      rec.valid = true;
+      for (std::size_t lane = 0; lane < batch; ++lane) {
+        if (r.distances[lane] != serial[lane]) {
+          std::cerr << "FAIL: direction sweep batch " << batch << " lane "
+                    << lane << " diverged from serial BFS (hybrid=" << hybrid
+                    << ")\n";
+          rec.valid = false;
+          ok = false;
+        }
+        const core::ValidationReport tree = core::validate_parents(
+            g, pool[lane], r.distances[lane], r.parents[lane]);
+        if (!tree.ok) {
+          std::cerr << "FAIL: direction sweep batch " << batch << " lane "
+                    << lane << " invalid BFS tree (hybrid=" << hybrid
+                    << "): " << tree.error << "\n";
+          rec.valid = false;
+          ok = false;
+        }
+      }
+      dir_runs.push_back(rec);
+    }
+  }
+
   // ---- ablation orderings ------------------------------------------------
   // W = 1 must reproduce the single-source engine exactly (default wire
   // options: no uniquify, no compression).
@@ -203,13 +306,31 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  // Wide hybrids must actually take bottom-up rounds (the union frontier
+  // saturates RMAT cores fast), and at full width the hybrid must beat
+  // forced push in modeled time -- the tentpole claim.
+  double push64 = 0, hybrid64 = 0;
+  for (const DirectionRecord& r : dir_runs) {
+    if (r.hybrid && r.batch >= 32 && r.pull_rounds < 1) {
+      std::cerr << "FAIL: hybrid batch " << r.batch
+                << " took no bottom-up round\n";
+      ok = false;
+    }
+    if (r.batch == 64) (r.hybrid ? hybrid64 : push64) = r.modeled_ms;
+  }
+  if (hybrid64 <= 0 || hybrid64 >= push64) {
+    std::cerr << "FAIL: hybrid W=64 modeled " << hybrid64
+              << " ms does not beat forced push " << push64 << " ms\n";
+    ok = false;
+  }
   if (ok) {
-    std::cerr << "checks passed: every lane matches serial BFS, W=1"
-              << " reproduces the single-source run, batched runs beat"
-              << " sequential singles in modeled time\n";
+    std::cerr << "checks passed: every lane matches serial BFS (valid trees"
+              << " in the direction sweep), W=1 reproduces the single-source"
+              << " run, batched runs beat sequential singles, and the W=64"
+              << " hybrid pulls and beats forced push in modeled time\n";
   }
 
-  emit_json(std::cout, runs, scale, spec, dg.num_vertices(), dg.num_edges(),
-            static_cast<std::uint32_t>(th), ok);
+  emit_json(std::cout, runs, dir_runs, scale, spec, dg.num_vertices(),
+            dg.num_edges(), static_cast<std::uint32_t>(th), ok);
   return ok ? 0 : 1;
 }

@@ -8,15 +8,21 @@
 // Bellman-Ford baseline, asserts push and pull modes agree with each other,
 // and asserts the pull path is *actually taken* by the direction-optimized
 // runs (pull_iterations > 0) -- a direction ablation that never pulls would
-// be vacuous.  Emits a JSON report (stdout) with modeled cluster time,
-// iteration/pull-round counts and exchanged bytes; non-zero exit on any
-// failed check.  CI runs this on a tiny graph as a smoke test.
+// be vacuous.  A second sweep pits the online DirectionController
+// (adaptive_direction, the default) against the pinned static TUNING.md
+// factors for both direction-optimized BFS and SSSP, asserting the
+// controller is never worse in modeled time.  Emits a JSON report (stdout)
+// with modeled cluster time, iteration/pull-round counts and exchanged
+// bytes; non-zero exit on any failed check.  CI runs this on a tiny graph
+// as a smoke test.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "baseline/host_apps.hpp"
+#include "baseline/serial_bfs.hpp"
 #include "bench_common.hpp"
+#include "core/bfs.hpp"
 #include "core/sssp.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
@@ -39,6 +45,16 @@ struct RunRecord {
   std::vector<std::uint64_t> distances;
 };
 
+/// One row of the adaptive-controller sweep (per app, static vs adaptive).
+struct AppRecord {
+  std::string app;  // "bfs" | "sssp"
+  bool adaptive = false;
+  int iterations = 0;
+  int pull_iterations = 0;
+  double modeled_ms = 0;
+  bool valid = false;
+};
+
 std::uint64_t relaxed_edges(const sim::RunCounters& counters) {
   std::uint64_t total = 0;
   for (const auto& ic : counters.iterations) {
@@ -50,7 +66,8 @@ std::uint64_t relaxed_edges(const sim::RunCounters& counters) {
 }
 
 void emit_json(std::ostream& os, const std::vector<RunRecord>& runs,
-               int scale, const sim::ClusterSpec& spec, std::uint64_t vertices,
+               const std::vector<AppRecord>& apps, int scale,
+               const sim::ClusterSpec& spec, std::uint64_t vertices,
                std::uint64_t edges, std::uint32_t threshold, bool all_checks) {
   os << "{\n  \"graph\": {\"scale\": " << scale << ", \"vertices\": "
      << vertices << ", \"edges\": " << edges << ", \"cluster\": \""
@@ -66,8 +83,26 @@ void emit_json(std::ostream& os, const std::vector<RunRecord>& runs,
        << ", \"valid\": " << (r.valid ? "true" : "false") << "}"
        << (i + 1 < runs.size() ? "," : "") << "\n";
   }
+  os << "  ],\n  \"controller_runs\": [\n";
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const AppRecord& r = apps[i];
+    os << "    {\"app\": \"" << r.app << "\", \"adaptive\": "
+       << (r.adaptive ? "true" : "false") << ", \"iterations\": "
+       << r.iterations << ", \"pull_iterations\": " << r.pull_iterations
+       << ", \"modeled_ms\": " << r.modeled_ms << ", \"valid\": "
+       << (r.valid ? "true" : "false") << "}"
+       << (i + 1 < apps.size() ? "," : "") << "\n";
+  }
   os << "  ],\n  \"checks_passed\": " << (all_checks ? "true" : "false")
      << "\n}\n";
+}
+
+int count_pull_rounds(const std::vector<core::IterationStats>& per_iteration) {
+  int pulls = 0;
+  for (const core::IterationStats& it : per_iteration) {
+    if (it.dd_backward || it.dn_backward || it.nd_backward) ++pulls;
+  }
+  return pulls;
 }
 
 }  // namespace
@@ -170,11 +205,70 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- online controller vs static TUNING.md factors ----------------------
+  // Same direction-optimized run with the controller pinned off (the pinned
+  // static seeds decide every round) and on (the default).  On graphs this
+  // size the controller's posterior stays prior-dominated, so it must
+  // reproduce the static decisions -- and in general it must never be worse
+  // in modeled time than the factors it was seeded from.
+  std::vector<AppRecord> apps;
+  {
+    const graph::DistributedGraph dg =
+        graph::build_distributed(hashed, spec, static_cast<std::uint32_t>(th));
+    sim::Cluster cluster(spec);
+    const graph::HostCsr bfs_host = graph::build_host_csr(hashed);
+    const auto serial_depths = baseline::serial_bfs(bfs_host, source);
+    const graph::WeightedHostCsr whost = graph::build_weighted_host_csr(hashed);
+    const auto serial_dists = baseline::serial_sssp(
+        whost.csr, source, static_cast<std::uint32_t>(w_max));
+
+    for (const bool adaptive : {false, true}) {
+      core::BfsOptions bo;
+      bo.adaptive_direction = adaptive;  // direction_optimized stays default-on
+      const core::BfsResult r = core::DistributedBfs(dg, cluster, bo).run(source);
+      apps.push_back({.app = "bfs",
+                      .adaptive = adaptive,
+                      .iterations = r.metrics.iterations,
+                      .pull_iterations = count_pull_rounds(r.metrics.per_iteration),
+                      .modeled_ms = r.metrics.modeled_ms,
+                      .valid = r.distances == serial_depths});
+    }
+    for (const bool adaptive : {false, true}) {
+      core::SsspOptions so;
+      so.max_weight = static_cast<std::uint32_t>(w_max);
+      so.adaptive_direction = adaptive;
+      const core::SsspResult r =
+          core::DistributedSssp(dg, cluster, so).run(source);
+      apps.push_back({.app = "sssp",
+                      .adaptive = adaptive,
+                      .iterations = r.iterations,
+                      .pull_iterations = r.pull_iterations,
+                      .modeled_ms = r.modeled_ms,
+                      .valid = r.distances == serial_dists});
+    }
+    for (std::size_t i = 0; i + 1 < apps.size(); i += 2) {
+      const AppRecord& pinned = apps[i];
+      const AppRecord& tuned = apps[i + 1];
+      if (!pinned.valid || !tuned.valid) {
+        std::cerr << "FAIL: " << pinned.app
+                  << " controller ablation diverged from the serial baseline\n";
+        ok = false;
+      }
+      if (tuned.modeled_ms > pinned.modeled_ms * (1.0 + 1e-9)) {
+        std::cerr << "FAIL: adaptive " << tuned.app << " modeled "
+                  << tuned.modeled_ms << " ms, worse than static "
+                  << pinned.modeled_ms << " ms\n";
+        ok = false;
+      }
+    }
+  }
+
   if (ok) {
     std::cerr << "checks passed: push == pull == serial on both weight"
-              << " sources; pull path taken in direction-optimized runs\n";
+              << " sources; pull path taken in direction-optimized runs;"
+              << " adaptive controller no worse than static factors\n";
   }
-  emit_json(std::cout, runs, scale, spec,
+  emit_json(std::cout, runs, apps, scale, spec,
             static_cast<std::uint64_t>(hashed.num_vertices), hashed.size(),
             static_cast<std::uint32_t>(th), ok);
   return ok ? 0 : 1;

@@ -49,7 +49,19 @@ class BatchBfsAlgorithm {
         std::make_unique<State>(graph_.local(ctx.gpu), ctx.total_gpus,
                                 lane_bits_);
     LaneState& s = state->gpu;
+    const graph::LocalGraph& lg = s.graph();
     s.record_parents = options_.compute_parents;
+    s.direction_optimized = options_.direction == TraversalDirection::kHybrid;
+    s.adaptive_direction = options_.adaptive_direction;
+    s.dd_seed = options_.dd_factors;
+    s.dn_seed = options_.dn_factors;
+    s.nd_seed = options_.nd_factors;
+    s.dir_dd = DirectionState(options_.dd_factors);
+    s.dir_dn = DirectionState(options_.dn_factors);
+    s.dir_nd = DirectionState(options_.nd_factors);
+    s.controller = DirectionController(options_.device_model);
+    s.batch_mask = sources_.size() >= 64 ? ~0ULL
+                                         : (1ULL << sources_.size()) - 1;
 
     // Seed lane l at sources[l].  A delegate source activates on every GPU
     // (its adjacency is scattered); a normal source on its owner only.
@@ -59,7 +71,12 @@ class BatchBfsAlgorithm {
       const LocalId src_delegate = graph_.delegates().delegate_id(source);
       if (src_delegate != kInvalidLocal) {
         s.delegate_new.or_lanes(src_delegate, bit);
-        s.delegate_visited.or_lanes(src_delegate, bit);
+        if (s.delegate_visited.or_lanes(src_delegate, bit) == 0) {
+          // First touch in any lane: leaves the all-lane unvisited pools
+          // (duplicate sources only decrement once).
+          if (lg.dd_source_mask().test(src_delegate)) --s.unvisited_dd_sources;
+          if (lg.dn_source_mask().test(src_delegate)) --s.unvisited_dn_sources;
+        }
         s.depth_delegate[s.slot(src_delegate, static_cast<int>(lane))] = 0;
         if (s.record_parents) {
           s.set_delegate_parent(src_delegate, static_cast<int>(lane), source);
@@ -155,15 +172,24 @@ class BatchBfsAlgorithm {
                                      options_.reduce_mode);
       util::LaneBitset::diff_into(reduced, gs.delegate_visited,
                                   gs.delegate_new);
-      gs.delegate_visited = reduced;
 
+      // Assign depths and maintain the all-lane unvisited pools before the
+      // old visited mask is overwritten: a delegate leaves a pool when its
+      // first lane anywhere becomes visited (== the single-source pool
+      // decrement at W = 1).
+      const graph::LocalGraph& lg = gs.graph();
       const Depth next_depth = gs.depth + 1;
       gs.delegate_new.for_each_nonzero_lanes(
           [&](std::size_t t, std::uint64_t w) {
+            if (gs.delegate_visited.lanes(t) == 0) {
+              if (lg.dd_source_mask().test(t)) --gs.unvisited_dd_sources;
+              if (lg.dn_source_mask().test(t)) --gs.unvisited_dn_sources;
+            }
             for (std::uint64_t b = w; b != 0; b &= b - 1) {
               gs.depth_delegate[gs.slot(t, std::countr_zero(b))] = next_depth;
             }
           });
+      gs.delegate_visited = reduced;
     } else {
       gs.delegate_new.clear_all();
     }
@@ -173,6 +199,11 @@ class BatchBfsAlgorithm {
                      std::uint64_t control) {
     ctx.normal_stream.synchronize();  // exchange complete; received filled
     s.gpu.end_iteration();
+    if (s.gpu.direction_optimized && s.gpu.adaptive_direction) {
+      // Fold this iteration's realized kernel rates into the controller
+      // before the next previsit re-derives the factors from them.
+      s.gpu.controller.observe(s.gpu.iter);
+    }
     s.gpu.depth += 1;
     const bool any_delegate_update = control >= kDelegateFlagUnit;
     const std::uint64_t normal_work = control % kDelegateFlagUnit;
@@ -362,7 +393,8 @@ BatchBfsResult DistributedBatchBfs::run(std::span<const VertexId> sources) {
 
   // ---- Model: one shared counter history, lane-scaled mask payload. -----
   BfsOptions equiv;
-  equiv.direction_optimized = false;  // batch traversal is forward-push only
+  equiv.direction_optimized =
+      options_.direction == TraversalDirection::kHybrid;
   equiv.overlap = options_.overlap;
   equiv.reduce_mode = options_.reduce_mode;
   equiv.collect_per_iteration = options_.collect_per_iteration;

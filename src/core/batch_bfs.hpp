@@ -26,11 +26,19 @@
 /// the serving-throughput lever for landmark/sketch workloads
 /// (examples/landmark_distance_index.cpp).
 ///
-/// Traversal is forward-push only: the union frontier across lanes is dense
-/// from the first rounds, and per-lane direction decisions would disagree
-/// between lanes sharing one sweep.  At W = 1 the run is the forced-push
-/// DistributedBfs bit for bit: same iteration count, same control words,
-/// same wire bytes (tests assert this).
+/// Traversal direction: forced push by default, with an opt-in hybrid
+/// (BatchBfsOptions::direction) that generalizes the paper's
+/// direction-optimized traversal to the *union* frontier.  Per-lane
+/// direction decisions would disagree between lanes sharing one sweep, so
+/// the decision is taken once per switchable kernel for all lanes together:
+/// the forward estimate is the union frontier's edge mass (every row is
+/// swept once regardless of how many lanes ride it), and the backward
+/// estimate scales the remaining-unvisited pull mass by the live-lane
+/// population (core::lane_backward_workload) -- a pull candidate early-exits
+/// per lane, so the expected scan grows only harmonically in the number of
+/// live lanes.  At W = 1 either mode is the corresponding DistributedBfs
+/// bit for bit: same iteration count, same per-round direction decisions,
+/// same control words, same wire bytes (tests assert this).
 namespace dsbfs::core {
 
 struct BatchBfsOptions {
@@ -49,6 +57,18 @@ struct BatchBfsOptions {
   bool adaptive_compress = false;
   /// Blocking vs non-blocking delegate-mask reduction (Section VI-B).
   comm::ReduceMode reduce_mode = comm::ReduceMode::kBlocking;
+  /// Traversal direction policy.  kForcedPush keeps the MS-BFS default;
+  /// kHybrid enables union-frontier bottom-up rounds (see the header
+  /// comment) decided per iteration per switchable kernel.
+  TraversalDirection direction = TraversalDirection::kForcedPush;
+  /// Hysteresis factor seeds per switchable kernel (docs/TUNING.md); only
+  /// consulted with direction == kHybrid.
+  DirectionFactors dd_factors = kBfsDirectionSeeds.dd;
+  DirectionFactors dn_factors = kBfsDirectionSeeds.dn;
+  DirectionFactors nd_factors = kBfsDirectionSeeds.nd;
+  /// Online factor self-tuning (core::DirectionController), seeded from the
+  /// static factors above; only consulted with direction == kHybrid.
+  bool adaptive_direction = true;
   /// Also produce one Graph500 BFS tree per lane (BatchBfsResult::parents).
   bool compute_parents = false;
   /// Record per-iteration statistics.

@@ -45,6 +45,10 @@ class BfsAlgorithm {
     auto state = std::make_unique<State>(graph_.local(ctx.gpu), ctx.total_gpus);
     GpuState& s = state->gpu;
     s.record_parents = options_.compute_parents;
+    s.dir_dd = DirectionState(options_.dd_factors);
+    s.dir_dn = DirectionState(options_.dn_factors);
+    s.dir_nd = DirectionState(options_.nd_factors);
+    s.controller = DirectionController(options_.device_model);
 
     // Seed the source.
     const LocalId src_delegate = graph_.delegates().delegate_id(source_);
@@ -162,6 +166,11 @@ class BfsAlgorithm {
                      std::uint64_t control) {
     ctx.normal_stream.synchronize();  // exchange complete; gpu.received filled
     s.gpu.end_iteration();
+    if (options_.direction_optimized && options_.adaptive_direction) {
+      // Fold this iteration's realized kernel rates into the controller
+      // before the next previsit re-derives the factors from them.
+      s.gpu.controller.observe(s.gpu.iter);
+    }
     s.gpu.depth += 1;
     const bool any_delegate_update = control >= kDelegateFlagUnit;
     const std::uint64_t normal_work = control % kDelegateFlagUnit;

@@ -4,23 +4,15 @@
 
 #include "comm/exchange.hpp"
 #include "comm/mask_reduce.hpp"
+#include "core/direction.hpp"
 #include "sim/device_model.hpp"
 #include "sim/net_model.hpp"
 
 /// Run-time options of the distributed (DO)BFS (paper Section VI-B).
+/// DirectionFactors and the tuned per-kernel seed tables live in
+/// core/direction.hpp (the single source of truth shared with SSSP and the
+/// batched BFS).
 namespace dsbfs::core {
-
-/// Per-subgraph direction-switching factors (Section IV-B): starting from
-/// forward-push, a kernel switches to backward-pull when
-///   FV > to_backward * BV
-/// and back to forward when
-///   FV < to_forward * BV.
-/// The paper reports (0.5, 0.05, 1e-7) for dd, dn, nd as near-optimal on
-/// RMAT across the weak-scaling curve, with no switch-back needed.
-struct DirectionFactors {
-  double to_backward = 0.5;
-  double to_forward = 0.0;  // 0 = never switch back
-};
 
 struct BfsOptions {
   /// Direction optimization on dd / dn / nd visits (nn is always forward:
@@ -42,9 +34,21 @@ struct BfsOptions {
   /// cost differs (Section VI-B, Fig. 8).
   comm::ReduceMode reduce_mode = comm::ReduceMode::kBlocking;
 
-  DirectionFactors dd_factors{0.5, 0.0};
-  DirectionFactors dn_factors{0.05, 0.0};
-  DirectionFactors nd_factors{1e-7, 0.0};
+  /// Switching-factor seeds, defaulting to the tuned table in
+  /// core/direction.hpp.  With `adaptive_direction` these seed the
+  /// DirectionController; without it they are used verbatim.
+  DirectionFactors dd_factors = kBfsDirectionSeeds.dd;
+  DirectionFactors dn_factors = kBfsDirectionSeeds.dn;
+  DirectionFactors nd_factors = kBfsDirectionSeeds.nd;
+
+  /// Online self-tuning of the direction factors (core::DirectionController,
+  /// seeded from the *_factors above): realized push/pull round costs
+  /// measured from the iteration counters rescale the switching thresholds
+  /// as the run executes.  Until the observed edge mass rivals the
+  /// controller's prior, decisions are exactly the static factors', so this
+  /// is safe to leave on; turn it off to pin the static TUNING.md factors
+  /// for paper-figure reproduction.
+  bool adaptive_direction = true;
 
   /// Record per-iteration statistics (small overhead; benches keep it on).
   bool collect_per_iteration = true;

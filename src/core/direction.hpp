@@ -1,9 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
-#include "core/config.hpp"
+#include "sim/device_model.hpp"
+#include "sim/perf_model.hpp"
 
 /// Direction optimization state machine (paper Section IV-B).
 ///
@@ -46,7 +48,61 @@
 /// (it needs the *minimum* of dist + weight over the whole row), so its
 /// backward workload is simply the pull candidates' total edge mass -- see
 /// sssp_backward_workload below and the relax-step contract in sssp.hpp.
+/// Batched (lane) traversals pull for every live lane in one sweep, so their
+/// estimate scales the scalar BV by the expected scan of the *slowest* lane
+/// -- see lane_backward_workload.
+///
+/// ## Static seeds vs the online controller
+///
+/// The per-kernel factors below (kBfsDirectionSeeds / kSsspDirectionSeeds)
+/// encode the device model's push/pull kernel-rate crossovers, derived in
+/// docs/TUNING.md.  With `adaptive_direction` (on by default), they are only
+/// the *seeds*: a per-GPU DirectionController measures the realized
+/// effective cost per edge of the push and pull kernels as the run executes
+/// -- launch overhead and per-vertex cost amortized over the actual round
+/// shapes, not the asymptotic rates -- and rescales the factors by how far
+/// the realized pull/push cost ratio drifts from the assumed one.  On dense
+/// RMAT cores the estimates stay at the asymptotic rates and the controller
+/// reproduces the static decisions; on long-tail graphs the tiny pull
+/// kernels' fixed overhead inflates the realized pull cost and the
+/// controller backs off the switch -- the Section VI-D failure mode, handled
+/// online instead of by hand-picking factors per graph.
 namespace dsbfs::core {
+
+/// Per-subgraph direction-switching factors (Section IV-B): starting from
+/// forward-push, a kernel switches to backward-pull when
+///   FV > to_backward * BV
+/// and back to forward when
+///   FV < to_forward * BV.
+struct DirectionFactors {
+  double to_backward = 0.5;
+  double to_forward = 0.0;  // 0 = never switch back
+};
+
+/// One tuned factor triple for the three switchable kernels.
+struct DirectionSeeds {
+  DirectionFactors dd, dn, nd;
+};
+
+/// The paper's near-optimal BFS setting on RMAT across the weak-scaling
+/// curve (Fig. 7): (0.5, 0.05, 1e-7) for dd, dn, nd, no switch-back.
+/// Single source of truth -- BfsOptions and BatchBfsOptions default to this
+/// table, and the DirectionController treats it as its seed.
+inline constexpr DirectionSeeds kBfsDirectionSeeds{
+    .dd = {0.5, 0.0}, .dn = {0.05, 0.0}, .nd = {1e-7, 0.0}};
+
+/// SSSP factors sit at the modeled kernel-rate crossover (pull edges cost
+/// ns_per_edge_backward / ns_per_edge_forward_* of a push edge, and SSSP
+/// pull scans whole rows), and unlike BFS must switch back for the sparse
+/// converging tail -- docs/TUNING.md "SSSP" derives both.
+inline constexpr DirectionSeeds kSsspDirectionSeeds{
+    .dd = {0.8, 0.6}, .dn = {0.65, 0.5}, .nd = {0.65, 0.5}};
+
+/// Traversal direction policy of the batched (lane) BFS.
+enum class TraversalDirection {
+  kForcedPush,  // historic MS-BFS behavior; W = 1 == forced-push BFS
+  kHybrid,      // per-kernel union-frontier direction optimization
+};
 
 /// Backward-workload estimate BV for BFS-style early-exit pull.
 inline double backward_workload(std::uint64_t unvisited_reverse_sources,
@@ -56,6 +112,25 @@ inline double backward_workload(std::uint64_t unvisited_reverse_sources,
   const double q = static_cast<double>(frontier_len);
   const double s = static_cast<double>(unvisited_forward_sources);
   return static_cast<double>(unvisited_reverse_sources) * (q + s) / q;
+}
+
+/// Lane-aware BV for batched pulls: a pull candidate keeps scanning until
+/// *every* one of its unvisited live lanes has found a parent, so the
+/// expected scan length is the maximum of `live_lanes` early-exit
+/// (geometric) scans -- the harmonic number H_L times the scalar estimate.
+/// L = 1 reproduces backward_workload exactly (H_1 = 1), which is what makes
+/// the W = 1 hybrid batch reproduce single-source decisions bit for bit; an
+/// empty union frontier (q = 0 or no live lanes) is infinite, pinning the
+/// kernel forward.
+inline double lane_backward_workload(std::uint64_t unvisited_reverse_sources,
+                                     std::uint64_t frontier_len,
+                                     std::uint64_t unvisited_forward_sources,
+                                     int live_lanes) {
+  if (live_lanes <= 0) return std::numeric_limits<double>::infinity();
+  double harmonic = 0;
+  for (int i = 1; i <= live_lanes; ++i) harmonic += 1.0 / i;
+  return harmonic * backward_workload(unvisited_reverse_sources, frontier_len,
+                                      unvisited_forward_sources);
 }
 
 /// Backward-workload estimate for weighted SSSP pull: a pull round scans
@@ -81,6 +156,11 @@ class DirectionState {
   explicit DirectionState(DirectionFactors factors) : factors_(factors) {}
 
   bool backward() const noexcept { return backward_; }
+
+  /// Replace the factors (the controller re-installs adapted factors each
+  /// iteration); the forward/backward position is kept -- hysteresis
+  /// continues from the current state under the new thresholds.
+  void set_factors(DirectionFactors factors) noexcept { factors_ = factors; }
 
   /// Apply the paper's switching rule for this iteration's workloads.
   /// Returns the direction chosen for the upcoming visit.
@@ -108,6 +188,100 @@ class DirectionState {
  private:
   DirectionFactors factors_{};
   bool backward_ = false;
+};
+
+/// Online self-tuning of the direction factors (one instance per GPU, per
+/// run).  The static seeds assume the device model's asymptotic kernel
+/// rates; real rounds also pay the fixed launch overhead and the per-vertex
+/// cost, so the *effective* cost per edge of a round depends on its shape.
+/// After every iteration the controller folds each launched kernel's
+/// realized effective ns/edge -- what the device model charges for exactly
+/// that round, amortized over its edges -- into an edge-weighted running
+/// estimate per kernel class, seeded with the asymptotic rate at a fixed
+/// prior weight.  `factors()` then rescales a seed by how far the realized
+/// pull/push cost ratio has drifted from the assumed one:
+///
+///   adapted = seed * (est_pull / est_push) / (rate_pull / rate_push)
+///
+/// applied to both thresholds, so hysteresis width is preserved.  Until the
+/// observed edge mass rivals the prior, adapted == seed exactly (the
+/// multiplier is 1.0 bit for bit), making the controller a strict
+/// generalization of the static table: smoke-scale runs reproduce the
+/// static decisions, while long runs of launch-dominated pull rounds (the
+/// long-tail regime) push est_pull up and disengage pulling.  Every input
+/// is a deterministic counter, so decisions are reproducible run to run.
+class DirectionController {
+ public:
+  DirectionController() : DirectionController(sim::DeviceModelConfig{}) {}
+  explicit DirectionController(const sim::DeviceModelConfig& config)
+      : dev_(config),
+        merge_{config.ns_per_edge_forward_merge, kPriorEdges},
+        dynamic_{config.ns_per_edge_forward_dynamic, kPriorEdges},
+        backward_{config.ns_per_edge_backward, kPriorEdges} {}
+
+  /// Fold one iteration's launched visit kernels into the estimates.
+  void observe(const sim::GpuIterationCounters& c) noexcept {
+    observe_kernel(c.dd, /*merge_based=*/true);
+    observe_kernel(c.dn, /*merge_based=*/false);
+    observe_kernel(c.nd, /*merge_based=*/false);
+    observe_kernel(c.nn, /*merge_based=*/false);
+  }
+
+  /// Seed factors rescaled by the realized-vs-assumed cost-ratio drift.
+  DirectionFactors factors(DirectionFactors seed,
+                           bool merge_based) const noexcept {
+    const double est_push =
+        merge_based ? merge_.ns_per_edge : dynamic_.ns_per_edge;
+    const double rate_push = merge_based
+                                 ? dev_.config().ns_per_edge_forward_merge
+                                 : dev_.config().ns_per_edge_forward_dynamic;
+    const double multiplier = (backward_.ns_per_edge / est_push) /
+                              (dev_.config().ns_per_edge_backward / rate_push);
+    return DirectionFactors{seed.to_backward * multiplier,
+                            seed.to_forward * multiplier};
+  }
+
+  /// Current effective-cost estimates (exposed for tests and benches).
+  double estimated_push_ns_per_edge(bool merge_based) const noexcept {
+    return merge_based ? merge_.ns_per_edge : dynamic_.ns_per_edge;
+  }
+  double estimated_pull_ns_per_edge() const noexcept {
+    return backward_.ns_per_edge;
+  }
+
+ private:
+  struct Estimate {
+    double ns_per_edge = 0;
+    double weight = 0;  // edge mass behind the estimate
+  };
+
+  /// Prior weight: the estimate only moves materially once the observed
+  /// edge mass rivals a few million edges -- below that, decisions are the
+  /// static table's.  Capped so late rounds keep a fixed adaptation rate
+  /// (an exponentially weighted average with ~1/16th-per-64M-edges decay).
+  static constexpr double kPriorEdges = 4e6;
+  static constexpr double kMaxWeight = 64e6;
+
+  void observe_kernel(const sim::KernelCounters& k,
+                      bool merge_based) noexcept {
+    if (!k.launched || k.edges == 0) return;
+    Estimate& e =
+        k.backward ? backward_ : (merge_based ? merge_ : dynamic_);
+    const sim::KernelClass cls =
+        k.backward ? sim::KernelClass::kBackwardPull
+                   : (merge_based ? sim::KernelClass::kForwardMerge
+                                  : sim::KernelClass::kForwardDynamic);
+    const double realized =
+        dev_.kernel_us(cls, k.edges, k.vertices, 0) * 1000.0 /
+        static_cast<double>(k.edges);
+    const double w = static_cast<double>(k.edges);
+    e.ns_per_edge =
+        (e.ns_per_edge * e.weight + realized * w) / (e.weight + w);
+    e.weight = std::min(e.weight + w, kMaxWeight);
+  }
+
+  sim::DeviceModel dev_;
+  Estimate merge_, dynamic_, backward_;
 };
 
 }  // namespace dsbfs::core

@@ -67,6 +67,10 @@ LaneState::LaneState(const graph::LocalGraph& graph, int total_gpus,
     parent_delegate[i].store(kParentNone, std::memory_order_relaxed);
   }
 
+  unvisited_nd_sources = graph.nd_source_count();
+  unvisited_dd_sources = graph.dd_source_count();
+  unvisited_dn_sources = graph.dn_source_count();
+
   bins.resize(static_cast<std::size_t>(total_gpus));
 }
 

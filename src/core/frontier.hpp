@@ -70,6 +70,10 @@ class GpuState {
 
   // --- direction optimization -------------------------------------------
   DirectionState dir_dd, dir_dn, dir_nd;
+  /// Online factor self-tuning (BfsOptions::adaptive_direction); observes
+  /// this GPU's kernel counters at end_iteration, re-seeds the factors each
+  /// previsit.
+  DirectionController controller;
   // Unvisited-source pools (decremented as vertices become visited).
   std::uint64_t unvisited_nd_sources = 0;  // normals with nd edges
   std::uint64_t unvisited_dd_sources = 0;  // delegates with dd edges
@@ -156,6 +160,27 @@ class LaneState {
   util::LaneBitset delegate_new;      // lanes that became visited at reduce
   std::vector<Depth> depth_delegate;  // indexed by slot(t, lane)
   std::vector<LocalId> delegate_queue;
+
+  // --- direction optimization (BatchBfsOptions::direction == kHybrid) -----
+  // The lane generalization of GpuState's machinery: one DirectionState per
+  // switchable kernel deciding for the *union* frontier (one pull sweep
+  // serves every live lane), unvisited pools counting items untouched in
+  // every lane (== the single-source pools at W = 1), and the constant
+  // all-active-lanes word the pull kernels mask their candidates with.
+  bool direction_optimized = false;   // kHybrid
+  bool adaptive_direction = false;
+  DirectionState dir_dd, dir_dn, dir_nd;
+  DirectionController controller;
+  DirectionFactors dd_seed, dn_seed, nd_seed;
+  /// Low `batch size` bits set -- lanes that carry a source.  Constant for
+  /// the run; unused lanes of the lane word stay excluded so pull early
+  /// exits are not chasing bits no source owns.
+  std::uint64_t batch_mask = 0;
+  std::uint64_t unvisited_nd_sources = 0;  // normals with nd edges
+  std::uint64_t unvisited_dd_sources = 0;  // delegates with dd edges
+  std::uint64_t unvisited_dn_sources = 0;  // delegates with dn edges
+  double fv_dd = 0, fv_dn = 0, fv_nd = 0;
+  double bv_dd = 0, bv_dn = 0, bv_nd = 0;
 
   // --- exchange ----------------------------------------------------------
   std::vector<std::vector<comm::VertexUpdate>> bins;  // per dest global GPU

@@ -44,11 +44,14 @@ RunMetrics assemble_metrics(
 
       stats.frontier_normals += c.nn.launched ? c.nn.vertices : 0;
       stats.frontier_lane_bits += c.frontier_lane_bits;
+      stats.live_frontier_lanes =
+          std::max(stats.live_frontier_lanes, c.frontier_live_lanes);
       // Delegates are replicated on every GPU; count them once (GPU 0's
       // delegate_new equals everyone's after the reduction).
       if (g == 0) {
         stats.new_delegates = c.dprev_vertices;
         stats.new_delegate_lane_bits = c.delegate_lane_bits;
+        stats.live_delegate_lanes = c.delegate_live_lanes;
       }
       stats.edges_traversed += edges;
       stats.exchanged_vertices += c.bin_vertices;

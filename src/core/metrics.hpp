@@ -21,6 +21,12 @@ struct IterationStats {
   /// counted once (delegates, replicated).
   std::uint64_t frontier_lane_bits = 0;
   std::uint64_t new_delegate_lane_bits = 0;
+  /// Union-frontier live-lane population: how many distinct lanes the
+  /// iteration's shared sweeps carried (max over GPUs for normals, GPU 0's
+  /// replicated value for delegates).  This is the L in the batched
+  /// direction decisions' harmonic pull scaling (lane_backward_workload).
+  std::uint64_t live_frontier_lanes = 0;
+  std::uint64_t live_delegate_lanes = 0;
   bool delegate_reduce = false;
   bool dd_backward = false, dn_backward = false, nd_backward = false;
 };

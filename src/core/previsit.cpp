@@ -28,6 +28,10 @@ void delegate_previsit(GpuState& s, const BfsOptions& options) {
   // potential parents are delegates with dn edges.
   s.bv_dn = backward_workload(s.unvisited_nd_sources, q, s.unvisited_dn_sources);
 
+  if (options.direction_optimized && options.adaptive_direction) {
+    s.dir_dd.set_factors(s.controller.factors(options.dd_factors, true));
+    s.dir_dn.set_factors(s.controller.factors(options.dn_factors, false));
+  }
   if (q > 0) {
     s.dir_dd.update(s.fv_dd, s.bv_dd, options.direction_optimized);
     s.dir_dn.update(s.fv_dn, s.bv_dn, options.direction_optimized);
@@ -69,6 +73,9 @@ void normal_previsit(GpuState& s, const BfsOptions& options) {
   // with dn edges, potential parents are normals with nd edges.
   s.bv_nd = backward_workload(s.unvisited_dn_sources, q, s.unvisited_nd_sources);
 
+  if (options.direction_optimized && options.adaptive_direction) {
+    s.dir_nd.set_factors(s.controller.factors(options.nd_factors, false));
+  }
   if (q > 0) {
     s.dir_nd.update(s.fv_nd, s.bv_nd, options.direction_optimized);
   }
@@ -78,28 +85,66 @@ void delegate_previsit_lanes(LaneState& s) {
   const graph::LocalGraph& g = s.graph();
   std::uint64_t new_items = 0;
   std::uint64_t new_bits = 0;
+  std::uint64_t lane_union = 0;
+  double fv_dd = 0, fv_dn = 0;
   s.delegate_new.for_each_nonzero_lanes([&](std::size_t t, std::uint64_t w) {
     ++new_items;
     new_bits += static_cast<std::uint64_t>(std::popcount(w));
-    if (g.dd().row_length(t) == 0 && g.dn().row_length(t) == 0) {
-      return;  // zero-out-degree filter
-    }
+    lane_union |= w;
+    const std::uint32_t dd_len = g.dd().row_length(t);
+    const std::uint32_t dn_len = g.dn().row_length(t);
+    if (dd_len == 0 && dn_len == 0) return;  // zero-out-degree filter
     s.delegate_queue.push_back(static_cast<LocalId>(t));
+    fv_dd += dd_len;
+    fv_dn += dn_len;
   });
   s.iter.dprev_vertices = new_items;
   s.iter.delegate_lane_bits = new_bits;
+  const int live = std::popcount(lane_union);
+  s.iter.delegate_live_lanes = static_cast<std::uint64_t>(live);
+  s.iter.direction_decisions = s.direction_optimized;
+  // FV/BV estimation rides the queue-formation scan above, so the replay is
+  // told not to charge the single-source algorithms' extra estimation
+  // launches (sim::GpuIterationCounters::direction_decisions_fused).
+  s.iter.direction_decisions_fused = s.direction_optimized;
+  if (!s.direction_optimized) return;
+
+  const std::uint64_t q = s.delegate_queue.size();
+  s.fv_dd = fv_dd;
+  s.fv_dn = fv_dn;
+  // The union frontier pulls for every live lane at once: one sweep of the
+  // reverse rows, each candidate early-exiting per lane (the harmonic
+  // scaling inside lane_backward_workload).  Pools count items untouched in
+  // every lane, so at W = 1 these collapse to the single-source estimates.
+  s.bv_dd = lane_backward_workload(s.unvisited_dd_sources, q,
+                                   s.unvisited_dd_sources, live);
+  s.bv_dn = lane_backward_workload(s.unvisited_nd_sources, q,
+                                   s.unvisited_dn_sources, live);
+  if (s.adaptive_direction) {
+    s.dir_dd.set_factors(s.controller.factors(s.dd_seed, true));
+    s.dir_dn.set_factors(s.controller.factors(s.dn_seed, false));
+  }
+  if (q > 0) {
+    s.dir_dd.update(s.fv_dd, s.bv_dd, true);
+    s.dir_dn.update(s.fv_dn, s.bv_dn, true);
+  }
 }
 
 void normal_previsit_lanes(LaneState& s) {
+  const graph::LocalGraph& g = s.graph();
   s.iter.nprev_vertices = s.next_local.size() + s.received.size();
 
   // Locally discovered lanes were already claimed by the dn visit (depths
   // recorded at discovery); fold them into the visited mask and the
   // frontier.  `frontier_normal.or_lanes` returning 0 means first touch,
-  // which keeps the frontier queue duplicate-free.
+  // which keeps the frontier queue duplicate-free.  An item first touched in
+  // *any* lane leaves the unvisited nd-source pool (all-lane pools, the
+  // W = 1-exact generalization of the single-source pools).
   for (const LocalId v : s.next_local) {
     const std::uint64_t lanes = s.next_normal.lanes(v);
-    s.seen_normal.or_lanes(v, lanes);
+    if (s.seen_normal.or_lanes(v, lanes) == 0 && g.nd_source_mask().test(v)) {
+      --s.unvisited_nd_sources;
+    }
     if (s.frontier_normal.or_lanes(v, lanes) == 0) s.frontier.push_back(v);
   }
   s.next_local.clear();
@@ -111,6 +156,9 @@ void normal_previsit_lanes(LaneState& s) {
   const Depth d = s.depth;
   for (const comm::VertexUpdate& u : s.received) {
     const std::uint64_t prev_seen = s.seen_normal.or_lanes(u.vertex, u.value);
+    if (prev_seen == 0 && g.nd_source_mask().test(u.vertex)) {
+      --s.unvisited_nd_sources;
+    }
     std::uint64_t fresh = u.value & ~prev_seen;
     if (fresh == 0) continue;
     for (std::uint64_t b = fresh; b != 0; b &= b - 1) {
@@ -127,11 +175,27 @@ void normal_previsit_lanes(LaneState& s) {
   s.received.clear();
 
   std::uint64_t frontier_bits = 0;
+  std::uint64_t lane_union = 0;
+  double fv_nd = 0;
   for (const LocalId v : s.frontier) {
-    frontier_bits +=
-        static_cast<std::uint64_t>(std::popcount(s.frontier_normal.lanes(v)));
+    const std::uint64_t w = s.frontier_normal.lanes(v);
+    frontier_bits += static_cast<std::uint64_t>(std::popcount(w));
+    lane_union |= w;
+    fv_nd += g.nd().row_length(v);
   }
   s.iter.frontier_lane_bits = frontier_bits;
+  const int live = std::popcount(lane_union);
+  s.iter.frontier_live_lanes = static_cast<std::uint64_t>(live);
+  if (!s.direction_optimized) return;
+
+  const std::uint64_t q = s.frontier.size();
+  s.fv_nd = fv_nd;
+  s.bv_nd = lane_backward_workload(s.unvisited_dn_sources, q,
+                                   s.unvisited_nd_sources, live);
+  if (s.adaptive_direction) {
+    s.dir_nd.set_factors(s.controller.factors(s.nd_seed, false));
+  }
+  if (q > 0) s.dir_nd.update(s.fv_nd, s.bv_nd, true);
 }
 
 }  // namespace dsbfs::core

@@ -28,18 +28,26 @@ void normal_previsit(GpuState& s, const BfsOptions& options);
 // ---- lane-generalized previsits (batched MS-BFS traversals) --------------
 // The same two queue-formation steps over LaneState: queue membership is
 // "any lane active", the per-item lane word rides along, and the frontier
-// lane-bit counters feed the batch occupancy metrics.  Batched traversals
-// run forward-push only, so there are no direction estimates to compute.
+// lane-bit counters feed the batch occupancy metrics.  Under
+// BatchBfsOptions::direction == kHybrid they also fix the direction for the
+// union frontier: FV sums ride the queue scan that runs anyway (so the
+// replay charges no extra estimation launches), BV comes from the all-lane
+// unvisited pools scaled by the live-lane population
+// (lane_backward_workload), and the optional DirectionController re-seeds
+// the factors each iteration.
 
 /// Delegate-stream lane previsit.  Reads `delegate_new` lane words; fills
-/// `delegate_queue` (items with local out-edges) and the delegate lane-bit
-/// counter.
+/// `delegate_queue` (items with local out-edges), the delegate lane-bit /
+/// live-lane counters, and -- when direction-optimized -- fv/bv for the dd
+/// and dn visits plus their DirectionState updates.
 void delegate_previsit_lanes(LaneState& s);
 
 /// Normal-stream lane previsit.  Merges the dn visit's `next_local` /
 /// `next_normal` discoveries and the exchange's `received` (id, lane-word)
 /// updates into `frontier` / `frontier_normal`, assigning the current depth
-/// to every freshly claimed (vertex, lane) pair.
+/// to every freshly claimed (vertex, lane) pair.  Maintains the unvisited
+/// nd-source pool (first touch in any lane) and, when direction-optimized,
+/// computes fv_nd/bv_nd and updates dir_nd.
 void normal_previsit_lanes(LaneState& s);
 
 }  // namespace dsbfs::core

@@ -39,6 +39,7 @@ class SsspAlgorithm {
     // Direction optimization: per-kernel state plus the constant pull-edge
     // masses of this GPU's subgraphs (the SSSP backward workload).
     DirectionState dir_dd, dir_dn, dir_nd;
+    DirectionController controller;
     std::uint64_t dd_pull_edges = 0;
     std::uint64_t dn_pull_edges = 0;  // nd subgraph: reverse of dn
     std::uint64_t nd_pull_edges = 0;  // dn subgraph: reverse of nd
@@ -65,6 +66,7 @@ class SsspAlgorithm {
     s.dir_dd = DirectionState(options_.dd_factors);
     s.dir_dn = DirectionState(options_.dn_factors);
     s.dir_nd = DirectionState(options_.nd_factors);
+    s.controller = DirectionController(options_.device_model);
     s.dd_pull_edges = lg.dd().num_edges();
     s.dn_pull_edges = lg.nd().num_edges();
     s.nd_pull_edges = lg.dn().num_edges();
@@ -137,6 +139,11 @@ class SsspAlgorithm {
     }
     for (const LocalId v : s.active_normals) {
       fv_nd += lg.nd().row_length(v);
+    }
+    if (options_.adaptive_direction) {
+      s.dir_dd.set_factors(s.controller.factors(options_.dd_factors, true));
+      s.dir_dn.set_factors(s.controller.factors(options_.dn_factors, false));
+      s.dir_nd.set_factors(s.controller.factors(options_.nd_factors, false));
     }
     s.dir_dd.update(fv_dd, sssp_backward_workload(s.dd_pull_edges), true);
     s.dir_dn.update(fv_dn, sssp_backward_workload(s.dn_pull_edges), true);
@@ -368,6 +375,11 @@ class SsspAlgorithm {
 
   bool end_iteration(engine::GpuContext&, State& s, int,
                      std::uint64_t control) {
+    if (options_.direction_optimized && options_.adaptive_direction) {
+      // Fold this iteration's realized kernel rates into the controller
+      // before the next previsit re-derives the factors from them.
+      s.controller.observe(s.iter);
+    }
     s.active_normals = std::move(s.next_normals);
     s.active_delegates = std::move(s.next_delegates);
     s.next_normals = {};

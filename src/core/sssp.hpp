@@ -68,14 +68,19 @@ struct SsspOptions {
   /// SSSP switching factors (see docs/TUNING.md): forward -> backward when
   /// the kernel's frontier edge mass exceeds to_backward times the
   /// subgraph's pull-edge mass; back to forward below to_forward times it.
-  /// Defaults sit at the modeled kernel-rate crossover (backward edges cost
-  /// ns_per_edge_backward / ns_per_edge_forward_* of a forward edge, so pull
-  /// wins once FV/E exceeds ~0.79 for the merge-based dd and ~0.61 for
-  /// dn/nd).  Unlike BFS (to_forward = 0), SSSP must switch back: the
-  /// converging tail rounds are sparse again.
-  DirectionFactors dd_factors{0.8, 0.6};
-  DirectionFactors dn_factors{0.65, 0.5};
-  DirectionFactors nd_factors{0.65, 0.5};
+  /// Defaults come from the tuned table in core/direction.hpp
+  /// (kSsspDirectionSeeds), which sits at the modeled kernel-rate crossover
+  /// (backward edges cost ns_per_edge_backward / ns_per_edge_forward_* of a
+  /// forward edge, so pull wins once FV/E exceeds ~0.79 for the merge-based
+  /// dd and ~0.61 for dn/nd).  Unlike BFS (to_forward = 0), SSSP must switch
+  /// back: the converging tail rounds are sparse again.
+  DirectionFactors dd_factors = kSsspDirectionSeeds.dd;
+  DirectionFactors dn_factors = kSsspDirectionSeeds.dn;
+  DirectionFactors nd_factors = kSsspDirectionSeeds.nd;
+  /// Online self-tuning of the factors above (core::DirectionController;
+  /// see BfsOptions::adaptive_direction -- identical semantics).  Only
+  /// consulted when direction_optimized is on.
+  bool adaptive_direction = true;
   /// Two-stream overlap: delegate distance min-reduction concurrent with
   /// the tentative-distance exchange (engine::EngineOptions).
   bool overlap = true;

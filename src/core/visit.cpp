@@ -30,6 +30,11 @@ void visit_dd(GpuState& s) {
 
   // Backward pull: every unvisited delegate with dd edges looks for one
   // visited parent (dd is locally symmetric, so it is its own reverse).
+  // An empty delegate queue means no delegate was newly visited last round,
+  // and every older (visited, unvisited) edge was already exploited by that
+  // round's kernel -- the pull cannot discover anything, so the host skips
+  // the launch exactly as the push path does.
+  if (s.delegate_queue.empty()) return;
   k.launched = true;
   const LocalId d = g.num_delegates();
   for (LocalId t = 0; t < d; ++t) {
@@ -71,6 +76,9 @@ void visit_dn(GpuState& s) {
 
   // Backward pull over the nd subgraph (reverse of dn on this GPU): each
   // unvisited normal with delegate parents scans them for a visited one.
+  // New hits can only come from delegates visited last round -- with an
+  // empty delegate queue the pull is a no-op and is not launched.
+  if (s.delegate_queue.empty()) return;
   k.launched = true;
   for (const LocalId v : g.nd_source_list()) {
     if (s.normal_level(v) != kUnvisited) continue;
@@ -118,7 +126,10 @@ void visit_nd(GpuState& s) {
 
   // Backward pull over the dn subgraph: each unvisited delegate with local
   // normal parents scans them for one visited at distance <= depth (the
-  // stable snapshot; dn-visit writes carry depth+1 and are excluded).
+  // stable snapshot; dn-visit writes carry depth+1 and are excluded).  New
+  // hits can only come from normals visited last round -- with an empty
+  // normal frontier the pull is a no-op and is not launched.
+  if (s.frontier.empty()) return;
   k.launched = true;
   const LocalId d = g.num_delegates();
   const Depth depth = s.depth;
@@ -138,18 +149,58 @@ void visit_nd(GpuState& s) {
 }
 
 // ---- lane-generalized visits (batched MS-BFS traversals) -----------------
-// One row traversal serves every lane of the frontier word at once: the
-// single-source "unvisited? claim" test becomes `word & ~visited_lanes`
-// followed by an atomic lane-word OR whose return value identifies the
-// freshly claimed lanes (MS-BFS's visitNext |= visit & ~seen).  All four
-// kernels run forward-push: the batch amortizes the sweep across lanes
-// instead of skipping edges per lane, and the union frontier is dense
-// enough that per-lane pull heuristics would disagree between lanes.
+// One row traversal serves every lane of the frontier word at once.
+// Forward push: the single-source "unvisited? claim" test becomes
+// `word & ~visited_lanes` followed by an atomic lane-word OR whose return
+// value identifies the freshly claimed lanes (MS-BFS's visitNext |= visit &
+// ~seen).  Backward pull reuses the same claim detection in reverse: an item
+// unvisited in some live lanes (`miss = batch_mask & ~visited`) probes its
+// in-edges and claims itself in every lane whose visited word intersects a
+// neighbor's (`hit = miss & visited(neighbor)`), clearing hit lanes from
+// `miss` and early-exiting once every live lane has found a parent -- one
+// pull sweep serves all W sources.  The visited masks consumed are the
+// iteration-stable snapshots (seen_normal / delegate_visited), so pulls
+// never observe same-iteration discoveries, exactly the single-source
+// discipline; at W = 1 each pull is bit-identical (candidates, edge counts,
+// early exits) to its GpuState counterpart.
 
 void visit_dd_lanes(LaneState& s) {
   const graph::LocalGraph& g = s.graph();
   sim::KernelCounters& k = s.iter.dd;
-  k.backward = false;
+  k.backward = s.dir_dd.backward();
+
+  if (k.backward) {
+    // Pull over dd itself (locally symmetric): every delegate with dd edges
+    // still unvisited in a live lane scans its row for visited parents.
+    // Empty delegate queue = no lane gained a delegate last round = nothing
+    // new to hit; skip the launch like the push path (same gate in the
+    // single-source kernel, so W = 1 stays counter-exact).
+    if (s.delegate_queue.empty()) return;
+    k.launched = true;
+    const LocalId d = g.num_delegates();
+    for (LocalId t = 0; t < d; ++t) {
+      if (!g.dd_source_mask().test(t)) continue;
+      std::uint64_t miss = s.batch_mask & ~s.delegate_visited.lanes(t);
+      if (miss == 0) continue;
+      ++k.vertices;
+      for (const LocalId c : g.dd().row(t)) {
+        ++k.edges;
+        const std::uint64_t hit = miss & s.delegate_visited.lanes(c);
+        if (hit == 0) continue;
+        const std::uint64_t prev = s.delegate_out.or_lanes(t, hit);
+        if (s.record_parents) {
+          for (std::uint64_t b = hit & ~prev; b != 0; b &= b - 1) {
+            s.set_delegate_parent(t, std::countr_zero(b),
+                                  kParentDelegateTag | c);
+          }
+        }
+        miss &= ~hit;
+        if (miss == 0) break;
+      }
+    }
+    return;
+  }
+
   if (s.delegate_queue.empty()) return;
   k.launched = true;
   for (const LocalId t : s.delegate_queue) {
@@ -174,10 +225,40 @@ void visit_dd_lanes(LaneState& s) {
 void visit_dn_lanes(LaneState& s) {
   const graph::LocalGraph& g = s.graph();
   sim::KernelCounters& k = s.iter.dn;
-  k.backward = false;
+  k.backward = s.dir_dn.backward();
+  const Depth next_depth = s.depth + 1;
+
+  if (k.backward) {
+    // Pull over the nd subgraph (reverse of dn on this GPU): each normal
+    // with delegate parents, unvisited in a live lane, scans them for
+    // visited delegates and claims itself in the intersecting lanes.  New
+    // hits require a delegate newly visited last round; empty queue = no-op.
+    if (s.delegate_queue.empty()) return;
+    k.launched = true;
+    for (const LocalId v : g.nd_source_list()) {
+      std::uint64_t miss = s.batch_mask & ~s.seen_normal.lanes(v);
+      if (miss == 0) continue;
+      ++k.vertices;
+      for (const LocalId c : g.nd().row(v)) {
+        ++k.edges;
+        const std::uint64_t hit = miss & s.delegate_visited.lanes(c);
+        if (hit == 0) continue;
+        const std::uint64_t prev = s.next_normal.or_lanes(v, hit);
+        if (prev == 0) s.next_local.push_back(v);
+        for (std::uint64_t b = hit & ~prev; b != 0; b &= b - 1) {
+          const std::size_t sl = s.slot(v, std::countr_zero(b));
+          s.depth_normal[sl] = next_depth;
+          if (s.record_parents) s.parent_normal[sl] = kParentDelegateTag | c;
+        }
+        miss &= ~hit;
+        if (miss == 0) break;
+      }
+    }
+    return;
+  }
+
   if (s.delegate_queue.empty()) return;
   k.launched = true;
-  const Depth next_depth = s.depth + 1;
   for (const LocalId t : s.delegate_queue) {
     const std::uint64_t f = s.delegate_new.lanes(t);
     const auto row = g.dn().row(t);
@@ -200,12 +281,45 @@ void visit_dn_lanes(LaneState& s) {
 void visit_nd_lanes(LaneState& s) {
   const graph::LocalGraph& g = s.graph();
   sim::KernelCounters& k = s.iter.nd;
-  k.backward = false;
-  if (s.frontier.empty()) return;
-  k.launched = true;
+  k.backward = s.dir_nd.backward();
 
   const sim::ClusterSpec& spec = g.spec();
   const sim::GpuCoord me = g.me();
+
+  if (k.backward) {
+    // Pull over the dn subgraph: each delegate with local normal parents,
+    // unvisited in a live lane, scans them against the stable seen_normal
+    // snapshot (same-iteration dn-visit discoveries live in next_normal and
+    // are invisible here, exactly the single-source lvl <= depth test).  New
+    // hits require a normal newly visited last round; empty frontier = no-op.
+    if (s.frontier.empty()) return;
+    k.launched = true;
+    const LocalId d = g.num_delegates();
+    for (LocalId t = 0; t < d; ++t) {
+      if (!g.dn_source_mask().test(t)) continue;
+      std::uint64_t miss = s.batch_mask & ~s.delegate_visited.lanes(t);
+      if (miss == 0) continue;
+      ++k.vertices;
+      for (const LocalId v : g.dn().row(t)) {
+        ++k.edges;
+        const std::uint64_t hit = miss & s.seen_normal.lanes(v);
+        if (hit == 0) continue;
+        const std::uint64_t prev = s.delegate_out.or_lanes(t, hit);
+        if (s.record_parents) {
+          const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
+          for (std::uint64_t b = hit & ~prev; b != 0; b &= b - 1) {
+            s.set_delegate_parent(t, std::countr_zero(b), v_global);
+          }
+        }
+        miss &= ~hit;
+        if (miss == 0) break;
+      }
+    }
+    return;
+  }
+
+  if (s.frontier.empty()) return;
+  k.launched = true;
   for (const LocalId v : s.frontier) {
     const std::uint64_t f = s.frontier_normal.lanes(v);
     const auto row = g.nd().row(v);

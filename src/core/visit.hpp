@@ -39,19 +39,26 @@ void visit_nn(GpuState& s, const sim::ClusterSpec& spec);
 // ---- lane-generalized visits (batched MS-BFS traversals) -----------------
 // Same four kernels over LaneState: each frontier entry carries a lane word
 // and one row traversal advances every lane at once (visitNext |= visit &
-// ~seen, per neighbor).  All forward-push; the same write discipline holds
-// with `next_normal` (atomic lane OR + single-writer next_local) in place
-// of the level CAS.
+// ~seen, per neighbor).  dd/dn/nd honor their DirectionState exactly like
+// the single-source kernels: backward pulls sweep the reverse subgraph once
+// for the whole union frontier, each candidate clearing its still-unvisited
+// lane word (`miss`) against neighbors' visited words and early-exiting
+// when every live lane has a parent.  nn is always forward.  The same write
+// discipline holds with `next_normal` (atomic lane OR + single-writer
+// next_local) in place of the level CAS.
 
-/// delegate -> delegate, lane words into `delegate_out`.
+/// delegate -> delegate, lane words into `delegate_out`; backward pull runs
+/// over dd itself (locally symmetric).
 void visit_dd_lanes(LaneState& s);
 
 /// delegate -> normal: claims (vertex, lane) pairs in `next_normal`,
 /// records per-lane depths/parents, appends first-touched vertices to
-/// `next_local`.
+/// `next_local`.  Backward pull runs over the nd subgraph from its source
+/// list.
 void visit_dn_lanes(LaneState& s);
 
-/// normal -> delegate, lane words into `delegate_out`.
+/// normal -> delegate, lane words into `delegate_out`; backward pull runs
+/// over the dn subgraph from its source mask.
 void visit_nd_lanes(LaneState& s);
 
 /// normal -> normal: fills per-destination-GPU bins with (32-bit

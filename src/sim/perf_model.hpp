@@ -46,6 +46,12 @@ struct GpuIterationCounters {
   /// This is the "additional workload for direction decisions" that makes
   /// DOBFS lose to BFS on long-tail graphs (paper Section VI-D).
   bool direction_decisions = false;
+  /// The decision estimates were fused into previsit passes that already
+  /// existed (the batched lane previsits iterate their queues counting lane
+  /// bits regardless, so FV/BV estimation rides the same scan): the replay
+  /// charges no extra estimation launches.  Only meaningful with
+  /// direction_decisions set.
+  bool direction_decisions_fused = false;
   KernelCounters dd, dn, nd, nn;
 
   std::uint64_t bin_vertices = 0;        // nn outputs binned + converted
@@ -67,6 +73,12 @@ struct GpuIterationCounters {
   // bits that shared work advanced, the substance of the batch speedup.
   std::uint64_t frontier_lane_bits = 0;  // normal-frontier lane bits expanded
   std::uint64_t delegate_lane_bits = 0;  // newly visited delegate lane bits
+  /// Union-frontier lane occupancy: popcount of the OR of this GPU's
+  /// frontier (resp. newly-visited-delegate) lane words -- how many lanes
+  /// are live in the shared sweep, the population the batched direction
+  /// decisions scale their pull estimates by.
+  std::uint64_t frontier_live_lanes = 0;
+  std::uint64_t delegate_live_lanes = 0;
 
   // ---- Bucketed (delta-stepping) rounds; all zero for flat algorithms. ----
   /// The previsit ran a cluster-wide bucket/phase agreement allreduce (the

@@ -86,5 +86,127 @@ TEST(DirectionState, ResetRestoresForward) {
   EXPECT_FALSE(s.backward());
 }
 
+TEST(DirectionState, SetFactorsKeepsPosition) {
+  DirectionState s(DirectionFactors{0.5, 0.0});
+  s.update(100.0, 100.0, true);
+  ASSERT_TRUE(s.backward());
+  // Re-installing factors (what the controller does each previsit) must not
+  // reset the hysteresis position.
+  s.set_factors(DirectionFactors{0.5, 0.05});
+  EXPECT_TRUE(s.backward());
+  EXPECT_FALSE(s.update(1.0, 1000.0, true));  // new to_forward in effect
+}
+
+// ---- lane-aware backward workload (batched union-frontier pulls) ---------
+
+TEST(LaneBackwardWorkload, OneLiveLaneIsExactlyScalar) {
+  // H_1 = 1: the W = 1 hybrid batch must reproduce single-source estimates
+  // bit for bit.
+  EXPECT_EQ(lane_backward_workload(100, 10, 90, 1),
+            backward_workload(100, 10, 90));
+  EXPECT_EQ(lane_backward_workload(1, 1, 0, 1), backward_workload(1, 1, 0));
+}
+
+TEST(LaneBackwardWorkload, AllLanesLiveScalesByHarmonic) {
+  double h64 = 0;
+  for (int i = 1; i <= 64; ++i) h64 += 1.0 / i;
+  EXPECT_DOUBLE_EQ(lane_backward_workload(100, 10, 90, 64),
+                   h64 * backward_workload(100, 10, 90));
+  // The expected max of 64 early-exit scans is well under 64 full scans.
+  EXPECT_LT(lane_backward_workload(100, 10, 90, 64),
+            64.0 * backward_workload(100, 10, 90));
+}
+
+TEST(LaneBackwardWorkload, EmptyUnionFrontierIsInfinite) {
+  EXPECT_TRUE(std::isinf(lane_backward_workload(100, 0, 50, 8)));  // q = 0
+  EXPECT_TRUE(std::isinf(lane_backward_workload(100, 10, 50, 0)));  // no lanes
+}
+
+TEST(LaneBackwardWorkload, GrowsWithLiveLanes) {
+  const double one = lane_backward_workload(1000, 10, 990, 1);
+  const double some = lane_backward_workload(1000, 10, 990, 8);
+  const double all = lane_backward_workload(1000, 10, 990, 64);
+  EXPECT_LT(one, some);
+  EXPECT_LT(some, all);
+}
+
+// ---- online direction controller -----------------------------------------
+
+sim::GpuIterationCounters iteration_with(std::uint64_t pull_edges,
+                                         std::uint64_t pull_vertices,
+                                         std::uint64_t push_edges,
+                                         std::uint64_t push_vertices) {
+  sim::GpuIterationCounters c;
+  if (pull_edges > 0) {
+    c.dd.launched = true;
+    c.dd.backward = true;
+    c.dd.edges = pull_edges;
+    c.dd.vertices = pull_vertices;
+  }
+  if (push_edges > 0) {
+    c.nn.launched = true;
+    c.nn.edges = push_edges;
+    c.nn.vertices = push_vertices;
+  }
+  return c;
+}
+
+TEST(DirectionController, PriorReproducesSeedExactly) {
+  // Until observations rival the prior edge mass, the multiplier must be
+  // 1.0 bit for bit ((a/b) / (a/b) in IEEE), so adaptive-on changes nothing
+  // at smoke scales.
+  const DirectionController ctl;
+  const DirectionFactors seed{0.5, 0.05};
+  const DirectionFactors merge = ctl.factors(seed, /*merge_based=*/true);
+  const DirectionFactors dyn = ctl.factors(seed, /*merge_based=*/false);
+  EXPECT_EQ(merge.to_backward, seed.to_backward);
+  EXPECT_EQ(merge.to_forward, seed.to_forward);
+  EXPECT_EQ(dyn.to_backward, seed.to_backward);
+  EXPECT_EQ(dyn.to_forward, seed.to_forward);
+}
+
+TEST(DirectionController, LaunchDominatedPullsRaiseTheSwitchThreshold) {
+  // Tiny pull rounds pay the fixed launch overhead over few edges: the
+  // realized pull cost per edge far exceeds the asymptotic rate, so the
+  // controller must back off switching (larger to_backward) -- the paper's
+  // Section VI-D long-tail failure mode, handled online.
+  DirectionController ctl;
+  for (int i = 0; i < 20000; ++i) {
+    ctl.observe(iteration_with(/*pull_edges=*/1000, /*pull_vertices=*/500,
+                               /*push_edges=*/1000, /*push_vertices=*/500));
+  }
+  const DirectionFactors seed{0.5, 0.05};
+  const DirectionFactors adapted = ctl.factors(seed, /*merge_based=*/true);
+  EXPECT_GT(adapted.to_backward, seed.to_backward);
+  // Hysteresis width (the threshold ratio) is preserved.
+  EXPECT_DOUBLE_EQ(adapted.to_forward / adapted.to_backward,
+                   seed.to_forward / seed.to_backward);
+  EXPECT_GT(ctl.estimated_pull_ns_per_edge(),
+            sim::DeviceModelConfig{}.ns_per_edge_backward);
+}
+
+TEST(DirectionController, IdenticalObservationsGiveIdenticalFactors) {
+  // Every controller input is a deterministic counter; two controllers fed
+  // the same sequence must agree bit for bit (run-to-run reproducibility of
+  // the direction decisions rests on this).
+  DirectionController a, b;
+  for (int i = 0; i < 100; ++i) {
+    const auto c = iteration_with(1000 + static_cast<std::uint64_t>(i) * 17,
+                                  40 + static_cast<std::uint64_t>(i),
+                                  5000 + static_cast<std::uint64_t>(i) * 31,
+                                  200 + static_cast<std::uint64_t>(i));
+    a.observe(c);
+    b.observe(c);
+  }
+  const DirectionFactors seed{0.5, 0.05};
+  const DirectionFactors fa = a.factors(seed, false);
+  const DirectionFactors fb = b.factors(seed, false);
+  EXPECT_EQ(fa.to_backward, fb.to_backward);
+  EXPECT_EQ(fa.to_forward, fb.to_forward);
+  EXPECT_EQ(a.estimated_push_ns_per_edge(false),
+            b.estimated_push_ns_per_edge(false));
+  EXPECT_EQ(a.estimated_pull_ns_per_edge(), b.estimated_pull_ns_per_edge());
+}
+
 }  // namespace
 }  // namespace dsbfs::core
