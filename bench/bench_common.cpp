@@ -50,6 +50,17 @@ void print_banner(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");
 }
 
+sim::ResilienceOptions parse_fault_cli(util::Cli& cli) {
+  sim::ResilienceOptions r;
+  r.faults.seed = static_cast<std::uint64_t>(
+      cli.get_int("fault-seed", 1, "fault schedule seed"));
+  r.faults.drop_rate = cli.get_double(
+      "fault-drop-rate", 0.0, "per-message drop probability (data plane)");
+  r.faults.corrupt_rate = cli.get_double(
+      "fault-corrupt-rate", 0.0, "per-message bit-flip probability");
+  return r;
+}
+
 std::vector<std::uint32_t> sqrt2_ladder(std::uint32_t lo, std::uint32_t hi) {
   std::vector<std::uint32_t> out;
   double x = lo;

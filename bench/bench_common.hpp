@@ -7,6 +7,7 @@
 #include "core/bfs.hpp"
 #include "graph/builder.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 
@@ -47,5 +48,11 @@ void print_banner(const std::string& title, const std::string& paper_ref);
 
 /// Round x to the nearest integer in a sqrt(2)-spaced threshold ladder.
 std::vector<std::uint32_t> sqrt2_ladder(std::uint32_t lo, std::uint32_t hi);
+
+/// Declare the shared chaos flags (--fault-seed, --fault-drop-rate,
+/// --fault-corrupt-rate) on `cli` and fold them into a resilience config.
+/// All-zero rates (the defaults) leave the transport clean, so a binary
+/// taking these flags costs nothing unless they are set.
+sim::ResilienceOptions parse_fault_cli(util::Cli& cli);
 
 }  // namespace dsbfs::bench

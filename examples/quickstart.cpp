@@ -2,6 +2,7 @@
 // a simulated 4-GPU cluster, and print distances plus the run metrics.
 //
 //   ./quickstart [--scale=16] [--gpus=1x2x2] [--threshold=0 (auto)]
+//                [--fault-seed=1] [--fault-drop-rate=0] [--fault-corrupt-rate=0]
 #include <cstdio>
 #include <iostream>
 
@@ -20,6 +21,13 @@ int main(int argc, char** argv) {
   const std::string gpus = cli.get_string("gpus", "1x2x2", "cluster NxRxG");
   std::uint32_t threshold = static_cast<std::uint32_t>(
       cli.get_int("threshold", 0, "degree threshold (0 = auto-suggest)"));
+  core::BfsOptions options;
+  options.resilience.faults.seed = static_cast<std::uint64_t>(
+      cli.get_int("fault-seed", 1, "fault schedule seed"));
+  options.resilience.faults.drop_rate = cli.get_double(
+      "fault-drop-rate", 0.0, "per-message drop probability (chaos mode)");
+  options.resilience.faults.corrupt_rate = cli.get_double(
+      "fault-corrupt-rate", 0.0, "per-message bit-flip probability");
   if (cli.help_requested()) {
     cli.print_help("Quickstart: one DOBFS run on a simulated GPU cluster");
     return 0;
@@ -47,8 +55,10 @@ int main(int argc, char** argv) {
               util::format_count(dg.enn()).c_str(),
               util::format_bytes(dg.total_subgraph_bytes()).c_str());
 
-  // 3. Run a direction-optimized BFS from a random source.
-  core::DistributedBfs bfs(dg, cluster);
+  // 3. Run a direction-optimized BFS from a random source (under the chaos
+  //    schedule when the fault flags are set; distances must come out
+  //    identical either way -- the self-healing wire absorbs the faults).
+  core::DistributedBfs bfs(dg, cluster, options);
   const VertexId source = bfs.sample_source(7);
   const core::BfsResult result = bfs.run(source);
 
@@ -68,6 +78,14 @@ int main(int argc, char** argv) {
               "%.1f ms)\n",
               result.metrics.modeled_ms, result.metrics.modeled_gteps,
               result.metrics.measured_ms);
+  if (options.resilience.faults.enabled()) {
+    std::printf("resilience: %zu injected faults, %llu retransmissions, "
+                "%llu checksum rejects, %.3f ms recovery\n",
+                result.metrics.fault.events.size(),
+                static_cast<unsigned long long>(result.metrics.retries),
+                static_cast<unsigned long long>(result.metrics.corrupt_bins),
+                static_cast<double>(result.metrics.recovery_ns) / 1e6);
+  }
 
   std::printf("\nper-iteration trace (first 10):\n");
   util::Table trace({"iter", "normal_frontier", "new_delegates",

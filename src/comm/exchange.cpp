@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <span>
+#include <string>
+
+#include "util/hash.hpp"
 
 namespace dsbfs::comm {
 
@@ -23,17 +26,6 @@ std::vector<std::uint64_t> pack_ids(const std::vector<LocalId>& ids) {
     out.push_back(static_cast<std::uint64_t>(ids.back()));
   }
   return out;
-}
-
-void unpack_ids(const std::vector<std::uint64_t>& words, std::size_t& pos,
-                std::vector<LocalId>& out) {
-  const std::uint64_t count = words[pos++];
-  out.reserve(out.size() + count);
-  for (std::uint64_t i = 0; i < count; i += 2) {
-    const std::uint64_t w = words[pos++];
-    out.push_back(static_cast<LocalId>(w & 0xffffffffULL));
-    if (i + 1 < count) out.push_back(static_cast<LocalId>(w >> 32));
-  }
 }
 
 std::uint64_t uniquify_bin(std::vector<LocalId>& bin) {
@@ -120,27 +112,201 @@ std::vector<std::uint64_t> pack_updates_compressed(
   return words;
 }
 
-void unpack_updates_compressed(std::span<const std::uint64_t> words,
+// ---- hardened wire helpers ------------------------------------------------
+
+/// Checksum + frame an outbound payload on a lossy transport; pass-through
+/// (and zero extra work) on a clean one.
+std::vector<std::uint64_t> maybe_frame(const Transport& transport,
+                                       std::vector<std::uint64_t> payload,
+                                       ExchangeCounters& counters) {
+  if (!transport.lossy()) return payload;
+  counters.checksum_bytes += payload.size() * sizeof(std::uint64_t);
+  return frame_payload(std::move(payload));
+}
+
+/// Reliable receive on link (from -> to, tag).  Clean transport: a plain
+/// recv.  Lossy transport: receive frames until one verifies, treating a
+/// lost tombstone as the modeled receive timeout and a framing/checksum
+/// failure as a NACK; each failure charges the current retry window to
+/// recovery_ns, widens it by the backoff factor (capped), and requests a
+/// retransmission of the retained pristine copy.  Throws TransportError
+/// when the retry budget is exhausted.
+std::vector<std::uint64_t> recv_reliable(Transport& transport, int to,
+                                         int from, int tag,
+                                         const sim::RetryPolicy& retry,
+                                         ExchangeCounters& counters) {
+  if (!transport.lossy()) return transport.recv(to, from, tag);
+  std::uint64_t window = retry.timeout_ns;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    Message m = transport.recv_message(to, from, tag);
+    // A delayed-but-intact frame still costs its hold-back.
+    if (m.delay_ns > 0) counters.recovery_ns += m.delay_ns;
+    if (!m.lost) {
+      if (m.words.size() > 2) {
+        counters.checksum_bytes +=
+            (m.words.size() - 2) * sizeof(std::uint64_t);
+      }
+      bool accepted = false;
+      try {
+        verify_frame(m.words);
+        accepted = true;
+      } catch (const DecodeError&) {
+        ++counters.corrupt_bins;
+      }
+      if (accepted) {
+        // Drain duplicate copies already queued on this link; a duplicated
+        // attempt enqueues both copies atomically, so none can trail in,
+        // and each logical frame owns its (from, to, tag) triple outright.
+        while (transport.probe(to, from, tag)) {
+          transport.recv_message(to, from, tag);
+        }
+        m.words.erase(m.words.begin(), m.words.begin() + 2);
+        return std::move(m.words);
+      }
+    }
+    // Lost (detected at the modeled timeout) or rejected by its checksum:
+    // charge the wait, then ask the sender for the retained copy.
+    counters.recovery_ns += window;
+    window = std::min<std::uint64_t>(
+        retry.max_backoff_ns,
+        static_cast<std::uint64_t>(static_cast<double>(window) *
+                                   retry.backoff));
+    if (attempt >= max_attempts) {
+      throw TransportError(
+          "hardened exchange: retry budget exhausted on link (from=" +
+          std::to_string(from) + ", to=" + std::to_string(to) +
+          ", tag=" + std::to_string(tag) + ") after " +
+          std::to_string(max_attempts) + " attempts");
+    }
+    ++counters.retries;
+    if (!transport.retransmit(from, to, tag)) {
+      throw TransportError(
+          "hardened exchange: no retained frame to retransmit on link "
+          "(from=" +
+          std::to_string(from) + ", to=" + std::to_string(to) +
+          ", tag=" + std::to_string(tag) + ")");
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t frame_checksum(std::span<const std::uint64_t> payload) noexcept {
+  // Order-sensitive splitmix chain seeded with the length: swapped, moved or
+  // bit-flipped words all change the digest.
+  std::uint64_t h = util::splitmix64(0x9E3779B97F4A7C15ULL ^ payload.size());
+  for (const std::uint64_t w : payload) h = util::splitmix64(h ^ w);
+  return h;
+}
+
+std::vector<std::uint64_t> frame_payload(std::vector<std::uint64_t> payload) {
+  std::vector<std::uint64_t> framed;
+  framed.reserve(payload.size() + 2);
+  framed.push_back((kFrameMagic << 32) |
+                   static_cast<std::uint64_t>(payload.size()));
+  framed.push_back(frame_checksum(payload));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  return framed;
+}
+
+std::span<const std::uint64_t> verify_frame(
+    std::span<const std::uint64_t> framed) {
+  if (framed.size() < 2) {
+    throw DecodeError("frame shorter than its 2-word header");
+  }
+  if ((framed[0] >> 32) != kFrameMagic) {
+    throw DecodeError("bad frame magic");
+  }
+  const std::uint64_t words = framed[0] & 0xffffffffULL;
+  if (words != framed.size() - 2) {
+    throw DecodeError("frame length mismatch: header declares " +
+                      std::to_string(words) + " payload words, frame holds " +
+                      std::to_string(framed.size() - 2));
+  }
+  const auto payload = framed.subspan(2);
+  if (frame_checksum(payload) != framed[1]) {
+    throw DecodeError("frame checksum mismatch");
+  }
+  return payload;
+}
+
+void decode_ids(std::span<const std::uint64_t> words, std::size_t& pos,
+                std::vector<LocalId>& out) {
+  if (pos >= words.size()) {
+    throw DecodeError("id segment missing its count header");
+  }
+  const std::uint64_t count = words[pos++];
+  const std::uint64_t need = count / 2 + (count & 1);  // overflow-safe ceil
+  if (need > words.size() - pos) {
+    throw DecodeError("id segment truncated: count " + std::to_string(count) +
+                      " needs " + std::to_string(need) + " words, " +
+                      std::to_string(words.size() - pos) + " remain");
+  }
+  out.reserve(out.size() + count);
+  for (std::uint64_t i = 0; i < count; i += 2) {
+    const std::uint64_t w = words[pos++];
+    out.push_back(static_cast<LocalId>(w & 0xffffffffULL));
+    if (i + 1 < count) out.push_back(static_cast<LocalId>(w >> 32));
+  }
+}
+
+void decode_updates_raw(std::span<const std::uint64_t> words,
+                        std::vector<VertexUpdate>& out) {
+  if (words.empty()) {
+    throw DecodeError("raw update payload missing its count header");
+  }
+  const std::uint64_t count = words[0];
+  if (count > (words.size() - 1) / 2) {
+    throw DecodeError("raw update payload truncated: count " +
+                      std::to_string(count) + " needs " +
+                      std::to_string(count) + " word pairs, " +
+                      std::to_string(words.size() - 1) + " words remain");
+  }
+  if (words.size() - 1 != count * 2) {
+    throw DecodeError("raw update payload has trailing words");
+  }
+  out.reserve(out.size() + count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = words[1 + 2 * i];
+    if ((id >> 32) != 0) {
+      throw DecodeError("raw update vertex id overflows 32 bits");
+    }
+    out.push_back(VertexUpdate{static_cast<LocalId>(id), words[2 + 2 * i]});
+  }
+}
+
+void decode_updates_compressed(std::span<const std::uint64_t> words,
                                std::uint64_t value_bias,
                                std::vector<VertexUpdate>& out) {
-  if (words.size() < 2) return;
+  if (words.size() < 2) {
+    throw DecodeError("compressed update payload missing its 2-word header");
+  }
   const std::uint64_t count = words[0];
-  // Total decoder: trust neither header word.  The byte cursor is bounded
-  // by the payload bytes actually present, so a truncated or corrupt
-  // message stops cleanly instead of reading out of bounds.
-  const std::uint64_t limit =
-      std::min<std::uint64_t>(words[1], (words.size() - 2) * 8);
+  const std::uint64_t byte_count = words[1];
+  const std::uint64_t body_words = words.size() - 2;
+  // The byte count must land inside the final word: both a short body and
+  // trailing whole words of garbage are rejected.
+  if (byte_count > body_words * 8 ||
+      (body_words > 0 && byte_count <= (body_words - 1) * 8)) {
+    throw DecodeError("compressed payload length mismatch: " +
+                      std::to_string(byte_count) + " declared bytes vs " +
+                      std::to_string(body_words) + " body words");
+  }
+  // Every update encodes to at least two bytes (one per varint).
+  if (count > byte_count / 2) {
+    throw DecodeError("compressed update count " + std::to_string(count) +
+                      " exceeds its " + std::to_string(byte_count) +
+                      "-byte payload");
+  }
   std::size_t pos = 0;
-  bool ok = true;
   // Decode varints straight out of the word buffer (no byte-vector copy).
-  const auto get = [&words, &pos, limit, &ok] {
+  const auto get = [&words, &pos, byte_count] {
     std::uint64_t v = 0;
     int shift = 0;
     while (true) {
-      if (pos >= limit || shift > 63) {
-        ok = false;
-        return v;
-      }
+      if (pos >= byte_count) throw DecodeError("varint truncated");
+      if (shift > 63) throw DecodeError("varint wider than 64 bits");
       const auto b = static_cast<std::uint8_t>(words[2 + pos / 8] >>
                                                (8 * (pos % 8)));
       ++pos;
@@ -149,18 +315,20 @@ void unpack_updates_compressed(std::span<const std::uint64_t> words,
       shift += 7;
     }
   };
-  // Every update encodes to at least two bytes, so `limit` also caps the
-  // credible count (guards reserve() against a hostile header).
-  out.reserve(out.size() + std::min<std::uint64_t>(count, limit));
-  std::int64_t prev = 0;
-  for (std::uint64_t i = 0; i < count && ok; ++i) {
-    prev += unzigzag(get());
+  out.reserve(out.size() + count);
+  std::uint64_t prev = 0;  // unsigned: delta arithmetic wraps mod 2^64
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prev += static_cast<std::uint64_t>(unzigzag(get()));
+    if ((prev >> 32) != 0) {
+      throw DecodeError("decoded vertex id overflows 32 bits");
+    }
     const std::uint64_t value = get() + value_bias;
-    if (ok) out.push_back(VertexUpdate{static_cast<LocalId>(prev), value});
+    out.push_back(VertexUpdate{static_cast<LocalId>(prev), value});
+  }
+  if (pos != byte_count) {
+    throw DecodeError("compressed payload has trailing bytes");
   }
 }
-
-}  // namespace
 
 NormalExchange::NormalExchange(Transport& transport, sim::ClusterSpec spec)
     : transport_(transport), spec_(spec) {}
@@ -172,6 +340,7 @@ std::vector<LocalId> NormalExchange::exchange(
   const int me_global = spec_.global_gpu(me);
   const int local_tag = kTagExchangeLocal + iteration * kTagBlock;
   const int remote_tag = kTagExchangeRemote + iteration * kTagBlock;
+  const bool lossy = transport_.lossy();
 
   for (const auto& bin : bins) counters.bin_vertices += bin.size();
 
@@ -191,27 +360,35 @@ std::vector<LocalId> NormalExchange::exchange(
     for (int g = 0; g < p; ++g) {
       if (g == me_global) continue;
       auto& bin = bins[static_cast<std::size_t>(g)];
-      const std::uint64_t payload_bytes = bin.size() * 4;
+      const std::uint64_t payload_bytes =
+          bin.size() * 4 + (lossy ? kFrameOverheadBytes : 0);
       if (spec_.coord_of(g).rank != me.rank) {
         counters.send_bytes_remote += payload_bytes;
         ++counters.send_dest_ranks;
       } else {
         counters.local_bytes += payload_bytes;
       }
-      transport_.send(me_global, g, remote_tag, pack_ids(bin));
+      transport_.send(me_global, g, remote_tag,
+                      maybe_frame(transport_, pack_ids(bin), counters));
       bin.clear();
     }
     received = std::move(bins[static_cast<std::size_t>(me_global)]);
     bins[static_cast<std::size_t>(me_global)].clear();
     for (int g = 0; g < p; ++g) {
       if (g == me_global) continue;
-      const auto words = transport_.recv(me_global, g, remote_tag);
+      const auto words = recv_reliable(transport_, me_global, g, remote_tag,
+                                       options.retry, counters);
       const std::uint64_t count = words.empty() ? 0 : words[0];
       if (spec_.coord_of(g).rank != me.rank) {
-        counters.recv_bytes_remote += count * 4;
+        counters.recv_bytes_remote +=
+            count * 4 + (lossy ? kFrameOverheadBytes : 0);
       }
+      const std::span<const std::uint64_t> span(words);
       std::size_t pos = 0;
-      unpack_ids(words, pos, received);
+      decode_ids(span, pos, received);
+      if (pos != span.size()) {
+        throw DecodeError("id message has trailing words");
+      }
     }
     return received;
   }
@@ -231,8 +408,10 @@ std::vector<LocalId> NormalExchange::exchange(
       counters.local_bytes += bin.size() * 4;
       bin.clear();
     }
+    if (lossy) counters.local_bytes += kFrameOverheadBytes;
     transport_.send(me_global, spec_.global_gpu(sim::GpuCoord{me.rank, lg}),
-                    local_tag, std::move(payload));
+                    local_tag,
+                    maybe_frame(transport_, std::move(payload), counters));
   }
 
   // My own column bins stay local.
@@ -249,11 +428,16 @@ std::vector<LocalId> NormalExchange::exchange(
   for (int lg = 0; lg < spec_.gpus_per_rank; ++lg) {
     if (lg == me.gpu) continue;
     const int peer = spec_.global_gpu(sim::GpuCoord{me.rank, lg});
-    const auto words = transport_.recv(me_global, peer, local_tag);
+    const auto words = recv_reliable(transport_, me_global, peer, local_tag,
+                                     options.retry, counters);
+    const std::span<const std::uint64_t> span(words);
     std::size_t pos = 0;
-    while (pos < words.size()) {
-      const std::uint64_t r = words[pos++];
-      unpack_ids(words, pos, column[r]);
+    while (pos < span.size()) {
+      const std::uint64_t r = span[pos++];
+      if (r >= static_cast<std::uint64_t>(spec_.num_ranks)) {
+        throw DecodeError("local all2all rank header out of range");
+      }
+      decode_ids(span, pos, column[static_cast<std::size_t>(r)]);
     }
   }
 
@@ -275,19 +459,27 @@ std::vector<LocalId> NormalExchange::exchange(
   for (int r = 0; r < spec_.num_ranks; ++r) {
     if (r == me.rank) continue;
     auto& bin = column[static_cast<std::size_t>(r)];
-    counters.send_bytes_remote += bin.size() * 4;
+    counters.send_bytes_remote +=
+        bin.size() * 4 + (lossy ? kFrameOverheadBytes : 0);
     ++counters.send_dest_ranks;
     transport_.send(me_global, spec_.global_gpu(sim::GpuCoord{r, me.gpu}),
-                    remote_tag, pack_ids(bin));
+                    remote_tag,
+                    maybe_frame(transport_, pack_ids(bin), counters));
     bin.clear();
   }
   for (int r = 0; r < spec_.num_ranks; ++r) {
     if (r == me.rank) continue;
     const int peer = spec_.global_gpu(sim::GpuCoord{r, me.gpu});
-    const auto words = transport_.recv(me_global, peer, remote_tag);
-    counters.recv_bytes_remote += (words.empty() ? 0 : words[0]) * 4;
+    const auto words = recv_reliable(transport_, me_global, peer, remote_tag,
+                                     options.retry, counters);
+    counters.recv_bytes_remote += (words.empty() ? 0 : words[0]) * 4 +
+                                  (lossy ? kFrameOverheadBytes : 0);
+    const std::span<const std::uint64_t> span(words);
     std::size_t pos = 0;
-    unpack_ids(words, pos, received);
+    decode_ids(span, pos, received);
+    if (pos != span.size()) {
+      throw DecodeError("id message has trailing words");
+    }
   }
   return received;
 }
@@ -299,6 +491,7 @@ std::vector<VertexUpdate> exchange_updates(
   const int p = spec.total_gpus();
   const int me_global = spec.global_gpu(me);
   const int tag = kTagExchangeRemote + iteration * kTagBlock;
+  const bool lossy = transport.lossy();
 
   // Wire width of one uncompressed update: 4-byte id + the value field.
   // value_bytes = 8 is the historic (id, 64-bit value) record; lane-word
@@ -316,16 +509,6 @@ std::vector<VertexUpdate> exchange_updates(
       words.push_back(u.value);
     }
     return words;
-  };
-  const auto unpack = [](std::span<const std::uint64_t> words,
-                         std::vector<VertexUpdate>& out) {
-    if (words.empty()) return;
-    const std::uint64_t count = words[0];
-    out.reserve(out.size() + count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      out.push_back(VertexUpdate{
-          static_cast<LocalId>(words[1 + 2 * i]), words[2 + 2 * i]});
-    }
   };
 
   for (int dest = 0; dest < p; ++dest) {
@@ -370,13 +553,15 @@ std::vector<VertexUpdate> exchange_updates(
       words = pack(bin);
       payload = bin.size() * record_bytes;
     }
+    if (lossy) payload += kFrameOverheadBytes;
     if (spec.coord_of(dest).rank != me.rank) {
       counters.send_bytes_remote += payload;
       ++counters.send_dest_ranks;
     } else {
       counters.local_bytes += payload;
     }
-    transport.send(me_global, dest, tag, std::move(words));
+    transport.send(me_global, dest, tag,
+                   maybe_frame(transport, std::move(words), counters));
     bin.clear();
   }
   std::vector<VertexUpdate> received =
@@ -385,21 +570,32 @@ std::vector<VertexUpdate> exchange_updates(
   bins[static_cast<std::size_t>(me_global)].clear();
   for (int src = 0; src < p; ++src) {
     if (src == me_global) continue;
-    const auto words = transport.recv(me_global, src, tag);
+    const auto words =
+        recv_reliable(transport, me_global, src, tag, options.retry, counters);
     std::span<const std::uint64_t> body(words);
     bool encoded = options.compress;
-    if (options.compress && options.adaptive && !words.empty()) {
-      encoded = words[0] == 1;
+    if (options.compress && options.adaptive) {
+      if (body.empty()) {
+        throw DecodeError("adaptive update payload missing its flag word");
+      }
+      if (body[0] > 1) {
+        throw DecodeError("adaptive update payload has an invalid flag word");
+      }
+      encoded = body[0] == 1;
       body = body.subspan(1);
     }
-    if (spec.coord_of(src).rank != me.rank && !body.empty()) {
-      counters.recv_bytes_remote +=
-          encoded ? body[1] : body[0] * record_bytes;
-    }
+    const std::size_t before = received.size();
     if (encoded) {
-      unpack_updates_compressed(body, options.value_bias, received);
+      decode_updates_compressed(body, options.value_bias, received);
     } else {
-      unpack(body, received);
+      decode_updates_raw(body, received);
+    }
+    if (spec.coord_of(src).rank != me.rank) {
+      // body[1] is the validated encoded byte count; raw records are
+      // record_bytes each.
+      counters.recv_bytes_remote +=
+          (encoded ? body[1] : (received.size() - before) * record_bytes) +
+          (lossy ? kFrameOverheadBytes : 0);
     }
   }
   return received;

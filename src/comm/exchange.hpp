@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "comm/transport.hpp"
+#include "sim/fault.hpp"
 #include "util/types.hpp"
 
 /// Normal-vertex exchange (paper Section V-B).
@@ -23,7 +26,70 @@ namespace dsbfs::comm {
 struct ExchangeOptions {
   bool local_all2all = false;
   bool uniquify = false;
+  /// NACK/retransmit knobs of the hardened wire protocol; consulted only
+  /// when the transport is lossy (a fault plan with message faults).
+  sim::RetryPolicy retry{};
 };
+
+/// Malformed wire payload: a decoder hit truncated, over-long or otherwise
+/// inconsistent input.  On a lossy transport the reliable receive loop
+/// converts this into a NACK/retransmit; reaching a caller means the stream
+/// itself is broken (or a test fed the decoder a hostile buffer).
+struct DecodeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// ---- wire hardening (lossy transports only) -------------------------------
+// Frame layout: [word0 = (kFrameMagic << 32) | payload_words,
+//                word1 = checksum64(payload), payload...].
+// The 16-byte overhead and both checksum passes are charged to the perf
+// model (ExchangeCounters::checksum_bytes); none of this machinery runs on a
+// clean transport, which keeps fault-free byte counters bit-identical to the
+// historic wire format.
+
+inline constexpr std::uint64_t kFrameMagic = 0xD5BF5ULL;
+inline constexpr std::uint64_t kFrameOverheadBytes = 16;
+
+/// Order-sensitive 64-bit payload checksum (splitmix chain).
+std::uint64_t frame_checksum(std::span<const std::uint64_t> payload) noexcept;
+
+/// Wrap a payload in a checksummed frame.
+std::vector<std::uint64_t> frame_payload(std::vector<std::uint64_t> payload);
+
+/// Validate a frame; returns a view of the payload.  Throws DecodeError on
+/// bad magic, length mismatch or checksum failure.
+std::span<const std::uint64_t> verify_frame(
+    std::span<const std::uint64_t> framed);
+
+/// A (destination-local id, 64-bit payload) update, the exchange currency of
+/// algorithms with per-vertex values (labels, rank contributions) -- the
+/// paper's Section VI-D generalization: "associative values for normal
+/// vertices in addition to the vertex numbers themselves".
+struct VertexUpdate {
+  LocalId vertex = 0;
+  std::uint64_t value = 0;
+};
+
+// ---- wire decoders --------------------------------------------------------
+// Public so the malformed-payload corpus tests can drive them directly.
+// Every read is bounds-checked; truncated, over-long or inconsistent input
+// throws DecodeError instead of reading out of bounds or silently
+// truncating the result.
+
+/// Decode one id segment ([count, ids two per word]) starting at `pos`;
+/// advances `pos` past the segment.
+void decode_ids(std::span<const std::uint64_t> words, std::size_t& pos,
+                std::vector<LocalId>& out);
+
+/// Decode a raw (uncompressed) update payload ([count, id/value pairs]).
+void decode_updates_raw(std::span<const std::uint64_t> words,
+                        std::vector<VertexUpdate>& out);
+
+/// Decode a delta+varint compressed update payload ([count, byte_count,
+/// bytes packed LE]); `value_bias` is added back to every value (mod 2^64).
+void decode_updates_compressed(std::span<const std::uint64_t> words,
+                               std::uint64_t value_bias,
+                               std::vector<VertexUpdate>& out);
 
 struct ExchangeCounters {
   std::uint64_t bin_vertices = 0;        // vertices placed in bins (pre-dedup)
@@ -42,6 +108,11 @@ struct ExchangeCounters {
   std::uint64_t bins_compressed = 0;
   std::uint64_t bins_raw = 0;
   int send_dest_ranks = 0;
+  // ---- hardened-wire counters (all 0 on a clean transport) ----------------
+  std::uint64_t retries = 0;       // retransmissions this GPU requested
+  std::uint64_t corrupt_bins = 0;  // frames rejected (checksum/framing)
+  std::uint64_t recovery_ns = 0;   // modeled timeout/backoff/delay waits
+  std::uint64_t checksum_bytes = 0;  // bytes run through checksum passes
 };
 
 class NormalExchange {
@@ -60,15 +131,6 @@ class NormalExchange {
  private:
   Transport& transport_;
   sim::ClusterSpec spec_;
-};
-
-/// A (destination-local id, 64-bit payload) update, the exchange currency of
-/// algorithms with per-vertex values (labels, rank contributions) -- the
-/// paper's Section VI-D generalization: "associative values for normal
-/// vertices in addition to the vertex numbers themselves".
-struct VertexUpdate {
-  LocalId vertex = 0;
-  std::uint64_t value = 0;
 };
 
 /// How the update exchange coalesces several candidates for the same
@@ -116,6 +178,8 @@ struct UpdateExchangeOptions {
   /// where varints lose -- scattered ids, large biased values -- while
   /// keeping the wins.
   bool adaptive = false;
+  /// NACK/retransmit knobs; consulted only on a lossy transport.
+  sim::RetryPolicy retry{};
 };
 
 /// Collective fixed-pattern exchange of VertexUpdate bins (12 bytes of

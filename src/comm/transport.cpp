@@ -1,5 +1,6 @@
 #include "comm/transport.hpp"
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 
@@ -12,36 +13,172 @@ Transport::Transport(sim::ClusterSpec spec) : spec_(spec) {
   }
 }
 
-void Transport::send(int from, int to, int tag, std::vector<std::uint64_t> payload) {
-  if (to < 0 || to >= endpoints() || from < 0 || from >= endpoints()) {
-    throw std::out_of_range("transport endpoint out of range");
-  }
-  const std::uint64_t bytes = payload.size() * sizeof(std::uint64_t);
+void Transport::account(int from, int to, std::size_t words) {
+  const std::uint64_t bytes = words * sizeof(std::uint64_t);
   const bool same_rank = spec_.coord_of(from).rank == spec_.coord_of(to).rank;
   (same_rank ? bytes_local_ : bytes_remote_)
       .fetch_add(bytes, std::memory_order_relaxed);
   messages_.fetch_add(1, std::memory_order_relaxed);
+}
 
+void Transport::enqueue(int to, const Key& key, Message message) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
   {
     std::lock_guard lock(box.mu);
-    box.queues[Key{from, tag}].push_back(std::move(payload));
+    box.queues[key].push_back(std::move(message));
   }
   box.cv.notify_all();
 }
 
-std::vector<std::uint64_t> Transport::recv(int to, int from, int tag) {
+void Transport::send(int from, int to, int tag,
+                     std::vector<std::uint64_t> payload) {
+  if (to < 0 || to >= endpoints() || from < 0 || from >= endpoints()) {
+    throw std::out_of_range("transport endpoint out of range");
+  }
+  if (plan_ != nullptr && plan_->config().message_faults() &&
+      faultable_tag(tag)) {
+    std::uint64_t attempt;
+    {
+      std::lock_guard lock(wire_mu_);
+      const LinkKey link{from, to, tag};
+      attempt = attempts_[link]++;
+      retained_[link] = payload;  // pristine copy for retransmission
+    }
+    inject(from, to, tag, std::move(payload), attempt);
+    return;
+  }
+  account(from, to, payload.size());
+  enqueue(to, Key{from, tag}, Message{std::move(payload)});
+}
+
+void Transport::inject(int from, int to, int tag,
+                       std::vector<std::uint64_t> payload,
+                       std::uint64_t attempt) {
+  const Key key{from, tag};
+  const sim::FaultAction action = plan_->decide(from, to, tag, attempt);
+  if (action != sim::FaultAction::kDeliver) {
+    // FaultKind's message kinds mirror FaultAction shifted past kDeliver.
+    plan_->record({static_cast<sim::FaultKind>(static_cast<int>(action) - 1),
+                   from, to, tag, attempt});
+  }
+  switch (action) {
+    case sim::FaultAction::kDeliver:
+      account(from, to, payload.size());
+      enqueue(to, key, Message{std::move(payload)});
+      return;
+    case sim::FaultAction::kDrop:
+      // The frame was transmitted (and billed) but never arrives; the
+      // tombstone lets the receiver learn of the loss at its modeled
+      // timeout instead of blocking on the condition variable forever.
+      account(from, to, payload.size());
+      enqueue(to, key, Message{{}, /*lost=*/true});
+      return;
+    case sim::FaultAction::kCorrupt: {
+      account(from, to, payload.size());
+      if (!payload.empty()) {
+        const std::uint64_t bit = plan_->corrupt_bit(
+            from, to, tag, attempt, payload.size() * 64);
+        payload[bit / 64] ^= 1ULL << (bit % 64);
+      }
+      enqueue(to, key, Message{std::move(payload)});
+      return;
+    }
+    case sim::FaultAction::kDuplicate: {
+      account(from, to, payload.size());
+      account(from, to, payload.size());
+      Message copy{payload};
+      Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+      {
+        // Both copies under one lock: the receiver observing the first copy
+        // can always drain the second without racing the sender.
+        std::lock_guard lock(box.mu);
+        auto& q = box.queues[key];
+        q.push_back(std::move(copy));
+        q.push_back(Message{std::move(payload)});
+      }
+      box.cv.notify_all();
+      return;
+    }
+    case sim::FaultAction::kDelay:
+      account(from, to, payload.size());
+      enqueue(to, key,
+              Message{std::move(payload), false, plan_->config().delay_ns});
+      return;
+  }
+}
+
+bool Transport::retransmit(int from, int to, int tag) {
+  std::vector<std::uint64_t> copy;
+  std::uint64_t attempt;
+  {
+    std::lock_guard lock(wire_mu_);
+    const LinkKey link{from, to, tag};
+    const auto it = retained_.find(link);
+    if (it == retained_.end()) return false;
+    copy = it->second;
+    attempt = attempts_[link]++;
+  }
+  inject(from, to, tag, std::move(copy), attempt);
+  return true;
+}
+
+std::string Transport::watchdog_diagnostic(const Mailbox& box, int to,
+                                           int from, int tag) const {
+  std::string diag = "transport watchdog: recv timed out at endpoint " +
+                     std::to_string(to) + " waiting for (from=" +
+                     std::to_string(from) + ", tag=" + std::to_string(tag) +
+                     ") after " + std::to_string(recv_timeout_ms_) +
+                     " ms; mailbox holds ";
+  if (box.queues.empty()) {
+    diag += "no messages";
+  } else {
+    bool first = true;
+    for (const auto& [key, queue] : box.queues) {
+      if (queue.empty()) continue;
+      if (!first) diag += ", ";
+      first = false;
+      diag += "(from=" + std::to_string(key.from) +
+              ", tag=" + std::to_string(key.tag) + ") x" +
+              std::to_string(queue.size());
+    }
+    if (first) diag += "no messages";
+  }
+  diag += " -- likely a mismatched tag block or a peer that exited early";
+  return diag;
+}
+
+Message Transport::recv_message(int to, int from, int tag) {
+  if (to < 0 || to >= endpoints() || from < 0 || from >= endpoints()) {
+    throw std::out_of_range("transport endpoint out of range");
+  }
   Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
   std::unique_lock lock(box.mu);
   const Key key{from, tag};
-  box.cv.wait(lock, [&] {
+  const auto matched = [&] {
     const auto it = box.queues.find(key);
     return it != box.queues.end() && !it->second.empty();
-  });
+  };
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(recv_timeout_ms_);
+  if (!box.cv.wait_until(lock, deadline, matched)) {
+    throw TransportError(watchdog_diagnostic(box, to, from, tag));
+  }
   auto& q = box.queues[key];
-  std::vector<std::uint64_t> payload = std::move(q.front());
+  Message message = std::move(q.front());
   q.pop_front();
-  return payload;
+  return message;
+}
+
+std::vector<std::uint64_t> Transport::recv(int to, int from, int tag) {
+  Message m = recv_message(to, from, tag);
+  if (m.lost) {
+    throw TransportError(
+        "transport: lost frame on an unguarded channel (from=" +
+        std::to_string(from) + ", to=" + std::to_string(to) +
+        ", tag=" + std::to_string(tag) +
+        ") -- faultable tags must be received through the hardened exchange");
+  }
+  return std::move(m.words);
 }
 
 bool Transport::probe(int to, int from, int tag) const {
@@ -49,6 +186,18 @@ bool Transport::probe(int to, int from, int tag) const {
   std::lock_guard lock(box.mu);
   const auto it = box.queues.find(Key{from, tag});
   return it != box.queues.end() && !it->second.empty();
+}
+
+void Transport::purge() {
+  for (auto& box : boxes_) {
+    std::lock_guard lock(box->mu);
+    box->queues.clear();
+  }
+  std::lock_guard lock(wire_mu_);
+  retained_.clear();
+  // attempts_ survives on purpose: the wire's physical history continues,
+  // so replayed sends draw fresh fault decisions instead of re-hitting the
+  // exact faults that preceded the rollback.
 }
 
 void Transport::barrier() {

@@ -6,9 +6,12 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "sim/fault.hpp"
 
 /// In-process message-passing substrate (the MPI substitute).
 ///
@@ -17,10 +20,23 @@
 ///   * point-to-point send/recv with (source, tag) matching, FIFO per
 ///     (source, destination, tag) -- like MPI with one communicator;
 ///   * sends never block (buffered, as MPI_Isend with ample buffering);
-///   * recv blocks until a matching message arrives.
+///   * recv blocks until a matching message arrives -- now guarded by a
+///     watchdog: a recv that no send will ever match used to deadlock the
+///     whole cluster silently; it now aborts with a TransportError naming
+///     the (from, to, tag) triple and the mailbox contents.
 /// Byte and message counters are kept split by locality (same rank = NVLink
 /// traffic, different rank = NIC traffic) so tests can verify the paper's
 /// communication-volume formulas against actual traffic.
+///
+/// Fault injection (sim::FaultPlan): with a plan installed, sends on the
+/// exchange data plane (tags in [kTagExchangeLocal, kTagControl) within
+/// their block) may be dropped, corrupted, duplicated or delayed.  The
+/// control plane -- mask reductions, collectives, user tags -- models a
+/// reliable connection (InfiniBand RC semantics) and is never faulted, so a
+/// recovery path always exists.  A dropped frame leaves a *lost tombstone*
+/// in the mailbox: the receiver learns of the loss at its modeled timeout
+/// without wall-clock waiting.  A pristine copy of every faultable frame is
+/// retained per (from, to, tag) so receivers can request retransmission.
 namespace dsbfs::comm {
 
 /// Well-known tag spaces; keeping subsystems on distinct tags lets the
@@ -37,6 +53,20 @@ enum Tag : int {
   kTagBlock = 32,
 };
 
+/// Thrown on wire-level failure: the recv watchdog firing, a lost frame on
+/// an unguarded channel, or the hardened exchange exhausting its retries.
+struct TransportError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One physical mailbox entry.  `lost` marks a drop tombstone (no payload);
+/// `delay_ns` is the modeled hold-back of a delayed-but-intact frame.
+struct Message {
+  std::vector<std::uint64_t> words;
+  bool lost = false;
+  std::uint64_t delay_ns = 0;
+};
+
 class Transport {
  public:
   explicit Transport(sim::ClusterSpec spec);
@@ -44,17 +74,61 @@ class Transport {
   const sim::ClusterSpec& spec() const noexcept { return spec_; }
   int endpoints() const noexcept { return spec_.total_gpus(); }
 
-  /// Buffered non-blocking send.  `payload` is moved.
+  /// Buffered non-blocking send.  `payload` is moved.  With a fault plan
+  /// installed and `tag` on the data plane, the frame may be dropped,
+  /// corrupted, duplicated or delayed per the plan's schedule.
   void send(int from, int to, int tag, std::vector<std::uint64_t> payload);
 
-  /// Blocking receive matching (from, tag) at endpoint `to`.
+  /// Blocking receive matching (from, tag) at endpoint `to`.  Throws
+  /// TransportError if the watchdog fires or a lost tombstone arrives on
+  /// this unguarded path (reliable callers use recv_message).
   std::vector<std::uint64_t> recv(int to, int from, int tag);
+
+  /// Blocking receive returning the physical Message including fault
+  /// markers; the hardened exchange's receive loop builds on this.
+  Message recv_message(int to, int from, int tag);
+
+  /// Re-send the retained pristine copy of the last frame sent on
+  /// (from -> to, tag) as a fresh physical attempt (subject to the fault
+  /// plan again).  Returns false when no copy is retained.  Called from the
+  /// *receiver's* thread -- the in-process stand-in for a NACK.
+  bool retransmit(int from, int to, int tag);
 
   /// True when a matching message is already queued (non-blocking probe).
   bool probe(int to, int from, int tag) const;
 
   /// Reusable full-cluster barrier (every endpoint must call).
   void barrier();
+
+  // --- fault injection ----------------------------------------------------
+  /// Install (or clear, with nullptr) the fault schedule.  The plan must
+  /// outlive the transport's use of it.  Not thread-safe against concurrent
+  /// sends: install before the GPU threads start.
+  void set_fault_plan(sim::FaultPlan* plan) noexcept { plan_ = plan; }
+
+  /// True when sends on the data plane can fail -- the signal for the
+  /// exchange layer to frame, checksum and retry.  Strictly false without a
+  /// plan, which is what keeps clean runs byte-identical to the historic
+  /// wire format.
+  bool lossy() const noexcept {
+    return plan_ != nullptr && plan_->config().message_faults();
+  }
+
+  /// Tags subject to injection: the exchange data plane of any iteration
+  /// block.  Mask reductions and collectives model a reliable channel.
+  static bool faultable_tag(int tag) noexcept {
+    const int base = tag % kTagBlock;
+    return base >= kTagExchangeLocal && base < kTagControl;
+  }
+
+  /// Drop every queued message and retained frame copy (rollback recovery:
+  /// replayed iterations reuse their tag blocks, so stale traffic from the
+  /// abandoned epoch must not alias theirs).  Callers must quiesce all
+  /// endpoints (barrier) around this.
+  void purge();
+
+  /// Watchdog limit for blocking receives (wall clock).
+  void set_recv_timeout_ms(std::uint64_t ms) noexcept { recv_timeout_ms_ = ms; }
 
   // --- traffic accounting (bytes of payload; 8 per word) -----------------
   std::uint64_t bytes_same_rank() const noexcept {
@@ -79,11 +153,37 @@ class Transport {
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<Key, std::deque<std::vector<std::uint64_t>>> queues;
+    std::map<Key, std::deque<Message>> queues;
   };
+  struct LinkKey {
+    int from;
+    int to;
+    int tag;
+    bool operator<(const LinkKey& o) const noexcept {
+      if (from != o.from) return from < o.from;
+      if (to != o.to) return to < o.to;
+      return tag < o.tag;
+    }
+  };
+
+  void account(int from, int to, std::size_t words);
+  void enqueue(int to, const Key& key, Message message);
+  /// Run one physical attempt of `payload` through the fault oracle.
+  void inject(int from, int to, int tag, std::vector<std::uint64_t> payload,
+              std::uint64_t attempt);
+  std::string watchdog_diagnostic(const Mailbox& box, int to, int from,
+                                  int tag) const;
 
   sim::ClusterSpec spec_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  sim::FaultPlan* plan_ = nullptr;
+  std::uint64_t recv_timeout_ms_ = 30'000;
+  /// Per-link physical attempt counters and retained pristine frames
+  /// (fault-plan runs only; untouched -- and unallocated -- on clean runs).
+  std::mutex wire_mu_;
+  std::map<LinkKey, std::uint64_t> attempts_;
+  std::map<LinkKey, std::vector<std::uint64_t>> retained_;
 
   std::atomic<std::uint64_t> bytes_local_{0};
   std::atomic<std::uint64_t> bytes_remote_{0};

@@ -105,6 +105,17 @@ class BatchBfsAlgorithm {
            3 * s.gpu.seen_normal.byte_size();
   }
 
+  /// Epoch checkpoint: bins_ready / bins_total are per-iteration scratch
+  /// that `visit` rewrites before anything reads them, so the boundary
+  /// snapshot is the lane traversal state alone.
+  using Snapshot = LaneSnapshot;
+  Snapshot snapshot(engine::GpuContext&, const State& s) const {
+    return s.gpu.save();
+  }
+  void restore(engine::GpuContext&, State& s, const Snapshot& snap) {
+    s.gpu.restore(snap);
+  }
+
   void previsit(engine::GpuContext&, State& s, int) {
     s.gpu.begin_iteration();
     delegate_previsit_lanes(s.gpu);
@@ -144,7 +155,8 @@ class BatchBfsAlgorithm {
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
          .value_bytes = lane_bits_ == 1 ? 0 : lane_bits_ / 8,
-         .adaptive = options_.adaptive_compress},
+         .adaptive = options_.adaptive_compress,
+         .retry = options_.resilience.retry},
         gs.iter);
   }
 
@@ -334,7 +346,8 @@ BatchBfsResult DistributedBatchBfs::run(std::span<const VertexId> sources) {
 
   BatchBfsAlgorithm algo(graph_, options_, sources, lane_bits);
   engine::IterativeEngine<BatchBfsAlgorithm> engine(
-      graph_, cluster_, {.overlap = options_.overlap});
+      graph_, cluster_,
+      {.overlap = options_.overlap, .resilience = options_.resilience});
   auto run = engine.run(algo);
 
   // ---- Gather per-lane distances (and parents) on the host. -------------
@@ -402,6 +415,7 @@ BatchBfsResult DistributedBatchBfs::run(std::span<const VertexId> sources) {
   equiv.net_model = options_.net_model;
   result.metrics = assemble_metrics(graph_, equiv, std::move(run.histories),
                                     run.measured_ms, lane_bits);
+  result.metrics.fault = run.fault;
   return result;
 }
 

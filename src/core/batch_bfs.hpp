@@ -76,6 +76,9 @@ struct BatchBfsOptions {
   /// Hardware models used to convert measured counters to cluster time.
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
+  /// Fault schedule, wire retry policy and checkpoint cadence (defaults to
+  /// a clean run; see sim::ResilienceOptions).
+  sim::ResilienceOptions resilience{};
 };
 
 struct BatchBfsResult {

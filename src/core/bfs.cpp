@@ -80,6 +80,17 @@ class BfsAlgorithm {
            3 * s.gpu.delegate_visited.byte_size();
   }
 
+  /// Epoch checkpoint: bins_ready / bins_total are per-iteration scratch
+  /// that `visit` rewrites before anything reads them, so the boundary
+  /// snapshot is the traversal state alone.
+  using Snapshot = GpuSnapshot;
+  Snapshot snapshot(engine::GpuContext&, const State& s) const {
+    return s.gpu.save();
+  }
+  void restore(engine::GpuContext&, State& s, const Snapshot& snap) {
+    s.gpu.restore(snap);
+  }
+
   void previsit(engine::GpuContext&, State& s, int) {
     s.gpu.begin_iteration();
     // Queue formation, dedup, workload estimation, direction decisions --
@@ -112,7 +123,8 @@ class BfsAlgorithm {
     // Runs on the normal stream behind the visits (the engine enqueues this
     // hook there); overlaps the post-control mask reduction.
     const comm::ExchangeOptions xopts{options_.local_all2all,
-                                      options_.uniquify};
+                                      options_.uniquify,
+                                      options_.resilience.retry};
     GpuState& gs = s.gpu;
     comm::ExchangeCounters ec;
     gs.received = ctx.comm.normal_exchange().exchange(ctx.me, gs.bins,
@@ -124,6 +136,10 @@ class BfsAlgorithm {
     gs.iter.send_bytes_remote = ec.send_bytes_remote;
     gs.iter.recv_bytes_remote = ec.recv_bytes_remote;
     gs.iter.send_dest_ranks = ec.send_dest_ranks;
+    gs.iter.retries = ec.retries;
+    gs.iter.corrupt_bins = ec.corrupt_bins;
+    gs.iter.recovery_ns = ec.recovery_ns;
+    gs.iter.checksum_bytes = ec.checksum_bytes;
   }
 
   std::uint64_t contribution(engine::GpuContext& ctx, State& s, int) {
@@ -293,8 +309,9 @@ BfsResult DistributedBfs::run(VertexId source) {
   const int p = spec.total_gpus();
 
   BfsAlgorithm algo(graph_, options_, source);
-  engine::IterativeEngine<BfsAlgorithm> engine(graph_, cluster_,
-                                               {.overlap = options_.overlap});
+  engine::IterativeEngine<BfsAlgorithm> engine(
+      graph_, cluster_,
+      {.overlap = options_.overlap, .resilience = options_.resilience});
   auto run = engine.run(algo);
 
   // ---- Gather distances and metrics on the host. -----------------------
@@ -345,6 +362,7 @@ BfsResult DistributedBfs::run(VertexId source) {
 
   result.metrics = assemble_metrics(graph_, options_, std::move(run.histories),
                                     run.measured_ms);
+  result.metrics.fault = run.fault;
   return result;
 }
 

@@ -63,6 +63,13 @@ class CcAlgorithm {
            8;
   }
 
+  /// Epoch checkpoint: the state is value-typed, so a copy is the snapshot.
+  using Snapshot = State;
+  Snapshot snapshot(engine::GpuContext&, const State& s) const { return s; }
+  void restore(engine::GpuContext&, State& s, const Snapshot& snap) {
+    s = snap;
+  }
+
   void previsit(engine::GpuContext&, State& s, int) {
     s.iter = sim::GpuIterationCounters{};
     std::copy(s.label_delegate.begin(), s.label_delegate.end(),
@@ -145,7 +152,8 @@ class CcAlgorithm {
         {.combine = options_.uniquify ? comm::UpdateCombine::kMin
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
-         .adaptive = options_.adaptive_compress},
+         .adaptive = options_.adaptive_compress,
+         .retry = options_.resilience.retry},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.label_normal[u.vertex]) {
@@ -205,8 +213,9 @@ CcResult ConnectedComponents::run() {
   const LocalId d = graph_.num_delegates();
 
   CcAlgorithm algo(graph_, options_);
-  engine::IterativeEngine<CcAlgorithm> engine(graph_, cluster_,
-                                              {.overlap = options_.overlap});
+  engine::IterativeEngine<CcAlgorithm> engine(
+      graph_, cluster_,
+      {.overlap = options_.overlap, .resilience = options_.resilience});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -235,14 +244,15 @@ CcResult ConnectedComponents::run() {
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
     ValueAppMetrics vm = assemble_value_app_metrics(
-        graph_, run.histories, result.iterations, options_.overlap,
-        options_.device_model, options_.net_model);
+        graph_, run.histories, options_.overlap, options_.device_model,
+        options_.net_model);
     result.update_bytes_remote = vm.update_bytes_remote;
     result.reduce_bytes = vm.reduce_bytes;
     result.modeled = vm.modeled;
     result.modeled_ms = vm.modeled_ms;
     result.counters = std::move(vm.counters);
   }
+  result.fault = run.fault;
   return result;
 }
 

@@ -39,6 +39,9 @@ struct CcOptions {
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
+  /// Fault schedule, wire retry policy and checkpoint cadence (defaults to
+  /// a clean run; see sim::ResilienceOptions).
+  sim::ResilienceOptions resilience{};
 };
 
 struct CcResult {
@@ -51,6 +54,8 @@ struct CcResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;  // normal label traffic, cross rank
   std::uint64_t reduce_bytes = 0;         // delegate label reductions
+  /// Fault log, checkpoint and rollback accounting of the run.
+  sim::FaultReport fault;
   sim::RunCounters counters;  // per-iteration trace (collect_counters on)
 };
 

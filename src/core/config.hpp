@@ -6,6 +6,7 @@
 #include "comm/mask_reduce.hpp"
 #include "core/direction.hpp"
 #include "sim/device_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/net_model.hpp"
 
 /// Run-time options of the distributed (DO)BFS (paper Section VI-B).
@@ -63,6 +64,10 @@ struct BfsOptions {
   /// Hardware models used to convert measured counters to cluster time.
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
+
+  /// Fault schedule, wire retry policy and checkpoint cadence (defaults to
+  /// a clean run; see sim::ResilienceOptions).
+  sim::ResilienceOptions resilience{};
 };
 
 }  // namespace dsbfs::core

@@ -133,6 +133,14 @@ class DeltaSsspAlgorithm {
            s.part_dd.bytes();
   }
 
+  /// Epoch checkpoint: the state is value-typed (buckets, partitions and
+  /// all), so a copy is the snapshot.
+  using Snapshot = State;
+  Snapshot snapshot(engine::GpuContext&, const State& s) const { return s; }
+  void restore(engine::GpuContext&, State& s, const Snapshot& snap) {
+    s = snap;
+  }
+
   void previsit(engine::GpuContext& ctx, State& s, int iteration) {
     s.iter = sim::GpuIterationCounters{};
     std::copy(s.dist_delegate.begin(), s.dist_delegate.end(),
@@ -331,7 +339,8 @@ class DeltaSsspAlgorithm {
         {.combine = options_.uniquify ? comm::UpdateCombine::kMin
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
-         .value_bias = s.value_bias},
+         .value_bias = s.value_bias,
+         .retry = options_.resilience.retry},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.dist_normal[u.vertex]) {
@@ -441,7 +450,8 @@ DeltaSsspResult DistributedDeltaSssp::run(VertexId source) {
 
   DeltaSsspAlgorithm algo(graph_, options_, source);
   engine::IterativeEngine<DeltaSsspAlgorithm> engine(
-      graph_, cluster_, {.overlap = options_.overlap});
+      graph_, cluster_,
+      {.overlap = options_.overlap, .resilience = options_.resilience});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -465,8 +475,8 @@ DeltaSsspResult DistributedDeltaSssp::run(VertexId source) {
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
     ValueAppMetrics vm = assemble_value_app_metrics(
-        graph_, run.histories, result.iterations, options_.overlap,
-        options_.device_model, options_.net_model);
+        graph_, run.histories, options_.overlap, options_.device_model,
+        options_.net_model);
     result.update_bytes_remote = vm.update_bytes_remote;
     result.reduce_bytes = vm.reduce_bytes;
     result.buckets_processed = vm.buckets_processed;
@@ -478,6 +488,7 @@ DeltaSsspResult DistributedDeltaSssp::run(VertexId source) {
     result.modeled_ms = vm.modeled_ms;
     result.counters = std::move(vm.counters);
   }
+  result.fault = run.fault;
   return result;
 }
 

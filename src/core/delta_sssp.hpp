@@ -74,6 +74,9 @@ struct DeltaSsspOptions {
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
+  /// Fault schedule, wire retry policy and checkpoint cadence (defaults to
+  /// a clean run; see sim::ResilienceOptions).
+  sim::ResilienceOptions resilience{};
 };
 
 struct DeltaSsspResult {
@@ -98,6 +101,8 @@ struct DeltaSsspResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;  // tentative-distance traffic
   std::uint64_t reduce_bytes = 0;         // delegate distance reductions
+  /// Fault log, checkpoint and rollback accounting of the run.
+  sim::FaultReport fault;
   sim::RunCounters counters;  // per-round trace (collect_counters on)
 };
 

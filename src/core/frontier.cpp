@@ -43,6 +43,72 @@ void GpuState::end_iteration() {
   delegate_out.clear_all();
 }
 
+GpuSnapshot GpuState::save() const {
+  GpuSnapshot s;
+  const std::uint64_t n_local = graph_->num_local_normals();
+  s.level_normal.resize(n_local);
+  for (std::uint64_t v = 0; v < n_local; ++v) {
+    s.level_normal[v] = level_normal_[v].load(std::memory_order_relaxed);
+  }
+  s.frontier = frontier;
+  s.next_local = next_local;
+  s.received = received;
+  s.delegate_visited = delegate_visited;
+  s.delegate_out = delegate_out;
+  s.delegate_new = delegate_new;
+  s.level_delegate = level_delegate;
+  s.delegate_queue = delegate_queue;
+  s.dir_dd = dir_dd;
+  s.dir_dn = dir_dn;
+  s.dir_nd = dir_nd;
+  s.controller = controller;
+  s.unvisited_nd_sources = unvisited_nd_sources;
+  s.unvisited_dd_sources = unvisited_dd_sources;
+  s.unvisited_dn_sources = unvisited_dn_sources;
+  s.fv_dd = fv_dd; s.fv_dn = fv_dn; s.fv_nd = fv_nd;
+  s.bv_dd = bv_dd; s.bv_dn = bv_dn; s.bv_nd = bv_nd;
+  s.bins = bins;
+  s.parent_normal = parent_normal;
+  const LocalId d = graph_->num_delegates();
+  s.parent_delegate.resize(d);
+  for (LocalId t = 0; t < d; ++t) {
+    s.parent_delegate[t] = parent_delegate[t].load(std::memory_order_relaxed);
+  }
+  s.depth = depth;
+  return s;
+}
+
+void GpuState::restore(const GpuSnapshot& s) {
+  const std::uint64_t n_local = graph_->num_local_normals();
+  for (std::uint64_t v = 0; v < n_local; ++v) {
+    level_normal_[v].store(s.level_normal[v], std::memory_order_relaxed);
+  }
+  frontier = s.frontier;
+  next_local = s.next_local;
+  received = s.received;
+  delegate_visited = s.delegate_visited;
+  delegate_out = s.delegate_out;
+  delegate_new = s.delegate_new;
+  level_delegate = s.level_delegate;
+  delegate_queue = s.delegate_queue;
+  dir_dd = s.dir_dd;
+  dir_dn = s.dir_dn;
+  dir_nd = s.dir_nd;
+  controller = s.controller;
+  unvisited_nd_sources = s.unvisited_nd_sources;
+  unvisited_dd_sources = s.unvisited_dd_sources;
+  unvisited_dn_sources = s.unvisited_dn_sources;
+  fv_dd = s.fv_dd; fv_dn = s.fv_dn; fv_nd = s.fv_nd;
+  bv_dd = s.bv_dd; bv_dn = s.bv_dn; bv_nd = s.bv_nd;
+  bins = s.bins;
+  parent_normal = s.parent_normal;
+  const LocalId d = graph_->num_delegates();
+  for (LocalId t = 0; t < d; ++t) {
+    parent_delegate[t].store(s.parent_delegate[t], std::memory_order_relaxed);
+  }
+  depth = s.depth;
+}
+
 LaneState::LaneState(const graph::LocalGraph& graph, int total_gpus,
                      int lane_bits)
     : graph_(&graph), lane_bits_(lane_bits) {
@@ -85,6 +151,79 @@ void LaneState::end_iteration() {
   // next_local and received carry the next iteration's frontier inputs; the
   // next normal previsit consumes and clears them.
   delegate_out.clear_all();
+}
+
+LaneSnapshot LaneState::save() const {
+  LaneSnapshot s;
+  s.seen_normal = seen_normal;
+  s.frontier_normal = frontier_normal;
+  s.next_normal = next_normal;
+  s.frontier = frontier;
+  s.next_local = next_local;
+  s.received = received;
+  s.depth_normal = depth_normal;
+  s.delegate_visited = delegate_visited;
+  s.delegate_out = delegate_out;
+  s.delegate_new = delegate_new;
+  s.depth_delegate = depth_delegate;
+  s.delegate_queue = delegate_queue;
+  s.dir_dd = dir_dd;
+  s.dir_dn = dir_dn;
+  s.dir_nd = dir_nd;
+  s.controller = controller;
+  s.dd_seed = dd_seed;
+  s.dn_seed = dn_seed;
+  s.nd_seed = nd_seed;
+  s.unvisited_nd_sources = unvisited_nd_sources;
+  s.unvisited_dd_sources = unvisited_dd_sources;
+  s.unvisited_dn_sources = unvisited_dn_sources;
+  s.fv_dd = fv_dd; s.fv_dn = fv_dn; s.fv_nd = fv_nd;
+  s.bv_dd = bv_dd; s.bv_dn = bv_dn; s.bv_nd = bv_nd;
+  s.bins = bins;
+  s.parent_normal = parent_normal;
+  const std::size_t slots = static_cast<std::size_t>(graph_->num_delegates()) *
+                            static_cast<std::size_t>(lane_bits_);
+  s.parent_delegate.resize(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    s.parent_delegate[i] = parent_delegate[i].load(std::memory_order_relaxed);
+  }
+  s.depth = depth;
+  return s;
+}
+
+void LaneState::restore(const LaneSnapshot& s) {
+  seen_normal = s.seen_normal;
+  frontier_normal = s.frontier_normal;
+  next_normal = s.next_normal;
+  frontier = s.frontier;
+  next_local = s.next_local;
+  received = s.received;
+  depth_normal = s.depth_normal;
+  delegate_visited = s.delegate_visited;
+  delegate_out = s.delegate_out;
+  delegate_new = s.delegate_new;
+  depth_delegate = s.depth_delegate;
+  delegate_queue = s.delegate_queue;
+  dir_dd = s.dir_dd;
+  dir_dn = s.dir_dn;
+  dir_nd = s.dir_nd;
+  controller = s.controller;
+  dd_seed = s.dd_seed;
+  dn_seed = s.dn_seed;
+  nd_seed = s.nd_seed;
+  unvisited_nd_sources = s.unvisited_nd_sources;
+  unvisited_dd_sources = s.unvisited_dd_sources;
+  unvisited_dn_sources = s.unvisited_dn_sources;
+  fv_dd = s.fv_dd; fv_dn = s.fv_dn; fv_nd = s.fv_nd;
+  bv_dd = s.bv_dd; bv_dn = s.bv_dn; bv_nd = s.bv_nd;
+  bins = s.bins;
+  parent_normal = s.parent_normal;
+  const std::size_t slots = static_cast<std::size_t>(graph_->num_delegates()) *
+                            static_cast<std::size_t>(lane_bits_);
+  for (std::size_t i = 0; i < slots; ++i) {
+    parent_delegate[i].store(s.parent_delegate[i], std::memory_order_relaxed);
+  }
+  depth = s.depth;
 }
 
 }  // namespace dsbfs::core

@@ -37,6 +37,29 @@ inline constexpr VertexId kParentViaNn = kInvalidVertex - 1;
 /// Tag bit: the low bits are a delegate id, not a global vertex id.
 inline constexpr VertexId kParentDelegateTag = 1ULL << 62;
 
+/// Value copy of everything a traversal iteration mutates in a GpuState
+/// (epoch checkpoint for rollback recovery).  The atomic level/parent
+/// arrays are captured as plain vectors; run constants (graph pointer,
+/// record_parents, bins' outer shape) are not part of the snapshot.
+struct GpuSnapshot {
+  std::vector<Depth> level_normal;
+  std::vector<LocalId> frontier, next_local, received;
+  util::AtomicBitset delegate_visited, delegate_out, delegate_new;
+  std::vector<Depth> level_delegate;
+  std::vector<LocalId> delegate_queue;
+  DirectionState dir_dd, dir_dn, dir_nd;
+  DirectionController controller;
+  std::uint64_t unvisited_nd_sources = 0;
+  std::uint64_t unvisited_dd_sources = 0;
+  std::uint64_t unvisited_dn_sources = 0;
+  double fv_dd = 0, fv_dn = 0, fv_nd = 0;
+  double bv_dd = 0, bv_dn = 0, bv_nd = 0;
+  std::vector<std::vector<LocalId>> bins;
+  std::vector<VertexId> parent_normal;
+  std::vector<VertexId> parent_delegate;
+  Depth depth = 0;
+};
+
 class GpuState {
  public:
   GpuState(const graph::LocalGraph& graph, int total_gpus);
@@ -111,6 +134,11 @@ class GpuState {
   /// until the next begin_iteration so the engine can snapshot it).
   void end_iteration();
 
+  /// Epoch checkpoint / rollback restore (taken at iteration boundaries,
+  /// when no visit kernels are in flight).
+  GpuSnapshot save() const;
+  void restore(const GpuSnapshot& snap);
+
  private:
   const graph::LocalGraph* graph_;
   std::unique_ptr<std::atomic<Depth>[]> level_normal_;
@@ -130,6 +158,30 @@ class GpuState {
 /// applies: `seen_normal` and `delegate_visited` only change between
 /// iterations (previsit / post-reduce), never during visits, which write
 /// `next_normal` / `delegate_out` instead.
+/// Value copy of everything a batched-traversal iteration mutates in a
+/// LaneState (lane-generalized GpuSnapshot).
+struct LaneSnapshot {
+  util::LaneBitset seen_normal, frontier_normal, next_normal;
+  std::vector<LocalId> frontier, next_local;
+  std::vector<comm::VertexUpdate> received;
+  std::vector<Depth> depth_normal;
+  util::LaneBitset delegate_visited, delegate_out, delegate_new;
+  std::vector<Depth> depth_delegate;
+  std::vector<LocalId> delegate_queue;
+  DirectionState dir_dd, dir_dn, dir_nd;
+  DirectionController controller;
+  DirectionFactors dd_seed, dn_seed, nd_seed;
+  std::uint64_t unvisited_nd_sources = 0;
+  std::uint64_t unvisited_dd_sources = 0;
+  std::uint64_t unvisited_dn_sources = 0;
+  double fv_dd = 0, fv_dn = 0, fv_nd = 0;
+  double bv_dd = 0, bv_dn = 0, bv_nd = 0;
+  std::vector<std::vector<comm::VertexUpdate>> bins;
+  std::vector<VertexId> parent_normal;
+  std::vector<VertexId> parent_delegate;
+  Depth depth = 0;
+};
+
 class LaneState {
  public:
   LaneState(const graph::LocalGraph& graph, int total_gpus, int lane_bits);
@@ -210,6 +262,11 @@ class LaneState {
   /// Close the iteration (clears the delegate out-mask; `iter` stays valid
   /// until the next begin_iteration so the engine can snapshot it).
   void end_iteration();
+
+  /// Epoch checkpoint / rollback restore (taken at iteration boundaries,
+  /// when no visit kernels are in flight).
+  LaneSnapshot save() const;
+  void restore(const LaneSnapshot& snap);
 
  private:
   const graph::LocalGraph* graph_;

@@ -41,6 +41,9 @@ RunMetrics assemble_metrics(
       m.edges_traversed += edges;
       m.exchange_remote_bytes += c.send_bytes_remote;
       m.exchange_local_bytes += c.local_all2all_bytes;
+      m.retries += c.retries;
+      m.corrupt_bins += c.corrupt_bins;
+      m.recovery_ns += c.recovery_ns;
 
       stats.frontier_normals += c.nn.launched ? c.nn.vertices : 0;
       stats.frontier_lane_bits += c.frontier_lane_bits;
@@ -85,17 +88,18 @@ RunMetrics assemble_metrics(
 ValueAppMetrics assemble_value_app_metrics(
     const graph::DistributedGraph& graph,
     const std::vector<std::vector<sim::GpuIterationCounters>>& histories,
-    int iterations, bool overlap, const sim::DeviceModelConfig& device_model,
+    bool overlap, const sim::DeviceModelConfig& device_model,
     const sim::NetModelConfig& net_model) {
   ValueAppMetrics m;
   const int p = graph.spec().total_gpus();
   const std::uint64_t d = graph.num_delegates();
+  const std::size_t rows = histories.empty() ? 0 : histories[0].size();
 
   m.counters.spec = graph.spec();
   m.counters.delegate_mask_bytes = d * 8;
   m.counters.blocking_reduce = true;
   m.counters.overlap_comm = overlap;
-  m.counters.iterations.resize(static_cast<std::size_t>(iterations));
+  m.counters.iterations.resize(rows);
   std::uint64_t prev_bucket_plus_one = 0;
   for (std::size_t it = 0; it < m.counters.iterations.size(); ++it) {
     auto& ic = m.counters.iterations[it];
@@ -108,6 +112,9 @@ ValueAppMetrics assemble_value_app_metrics(
       m.update_bytes_remote += c.send_bytes_remote;
       m.light_relaxations += c.light_edges;
       m.heavy_relaxations += c.heavy_edges;
+      m.retries += c.retries;
+      m.corrupt_bins += c.corrupt_bins;
+      m.recovery_ns += c.recovery_ns;
       pulled |= (c.dd.backward && c.dd.launched) ||
                 (c.dn.backward && c.dn.launched) ||
                 (c.nd.backward && c.nd.launched);
@@ -129,7 +136,7 @@ ValueAppMetrics assemble_value_app_metrics(
   }
   m.reduce_bytes = 2ULL * d * 8 *
                    static_cast<std::uint64_t>(graph.spec().num_ranks) *
-                   static_cast<std::uint64_t>(iterations);
+                   static_cast<std::uint64_t>(rows);
 
   const sim::PerfModel model{sim::DeviceModel{device_model},
                              sim::NetModel{net_model}};

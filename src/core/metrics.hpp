@@ -44,6 +44,15 @@ struct RunMetrics {
   std::uint64_t mask_reduce_bytes = 0;  // modeled volume: 2 * d/8 * prank * S'
   std::uint64_t duplicates_removed = 0;
 
+  /// Hardened-wire recovery work, summed over GPUs and iterations (all zero
+  /// on a clean transport).
+  std::uint64_t retries = 0;
+  std::uint64_t corrupt_bins = 0;
+  std::uint64_t recovery_ns = 0;
+  /// Fault log, checkpoint and rollback accounting of the run (facades copy
+  /// it off the EngineRun; empty on a clean, checkpoint-free run).
+  sim::FaultReport fault;
+
   double measured_ms = 0;   // wall clock of this process (all GPUs threaded)
   double measured_gteps = 0;
 
@@ -85,15 +94,24 @@ struct ValueAppMetrics {
   int heavy_iterations = 0;             // heavy-edge rounds
   std::uint64_t light_relaxations = 0;  // light-edge relax attempts, all GPUs
   std::uint64_t heavy_relaxations = 0;
+  /// Hardened-wire recovery work, summed over GPUs and iterations.
+  std::uint64_t retries = 0;
+  std::uint64_t corrupt_bins = 0;
+  std::uint64_t recovery_ns = 0;
+  /// Fault log, checkpoint and rollback accounting of the run.
+  sim::FaultReport fault;
   sim::ModeledBreakdown modeled;
   double modeled_ms = 0;
   sim::RunCounters counters;  // full trace for re-modeling
 };
 
+/// Row count (and the reduce-bytes volume) derive from the history length,
+/// which with checkpoint/rollback recovery includes replayed iterations --
+/// the honest accounting of what the cluster actually executed.
 ValueAppMetrics assemble_value_app_metrics(
     const graph::DistributedGraph& graph,
     const std::vector<std::vector<sim::GpuIterationCounters>>& histories,
-    int iterations, bool overlap, const sim::DeviceModelConfig& device_model,
+    bool overlap, const sim::DeviceModelConfig& device_model,
     const sim::NetModelConfig& net_model);
 
 }  // namespace dsbfs::core

@@ -81,6 +81,13 @@ class PagerankAlgorithm {
            8;
   }
 
+  /// Epoch checkpoint: the state is value-typed, so a copy is the snapshot.
+  using Snapshot = State;
+  Snapshot snapshot(engine::GpuContext&, const State& s) const { return s; }
+  void restore(engine::GpuContext&, State& s, const Snapshot& snap) {
+    s = snap;
+  }
+
   void previsit(engine::GpuContext&, State& s, int) {
     s.iter = sim::GpuIterationCounters{};
     std::fill(s.acc_normal.begin(), s.acc_normal.end(), 0.0);
@@ -160,7 +167,8 @@ class PagerankAlgorithm {
         {.combine = options_.uniquify ? comm::UpdateCombine::kSumDouble
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
-         .adaptive = options_.adaptive_compress},
+         .adaptive = options_.adaptive_compress,
+         .retry = options_.resilience.retry},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {
       s.acc_normal[u.vertex] += std::bit_cast<double>(u.value);
@@ -268,7 +276,8 @@ PagerankResult DistributedPagerank::run() {
 
   PagerankAlgorithm algo(graph_, options_, delegate_inv_degree);
   engine::IterativeEngine<PagerankAlgorithm> engine(
-      graph_, cluster_, {.overlap = options_.overlap});
+      graph_, cluster_,
+      {.overlap = options_.overlap, .resilience = options_.resilience});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -292,14 +301,15 @@ PagerankResult DistributedPagerank::run() {
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
     ValueAppMetrics vm = assemble_value_app_metrics(
-        graph_, run.histories, result.iterations, options_.overlap,
-        options_.device_model, options_.net_model);
+        graph_, run.histories, options_.overlap, options_.device_model,
+        options_.net_model);
     result.update_bytes_remote = vm.update_bytes_remote;
     result.reduce_bytes = vm.reduce_bytes;
     result.modeled = vm.modeled;
     result.modeled_ms = vm.modeled_ms;
     result.counters = std::move(vm.counters);
   }
+  result.fault = run.fault;
   return result;
 }
 

@@ -49,6 +49,9 @@ struct PagerankOptions {
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
+  /// Fault schedule, wire retry policy and checkpoint cadence (defaults to
+  /// a clean run; see sim::ResilienceOptions).
+  sim::ResilienceOptions resilience{};
 };
 
 struct PagerankResult {
@@ -60,6 +63,8 @@ struct PagerankResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;
   std::uint64_t reduce_bytes = 0;
+  /// Fault log, checkpoint and rollback accounting of the run.
+  sim::FaultReport fault;
   sim::RunCounters counters;  // per-iteration trace (collect_counters on)
 };
 

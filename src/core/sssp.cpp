@@ -92,6 +92,13 @@ class SsspAlgorithm {
            8;
   }
 
+  /// Epoch checkpoint: the state is value-typed, so a copy is the snapshot.
+  using Snapshot = State;
+  Snapshot snapshot(engine::GpuContext&, const State& s) const { return s; }
+  void restore(engine::GpuContext&, State& s, const Snapshot& snap) {
+    s = snap;
+  }
+
   void previsit(engine::GpuContext& ctx, State& s, int iteration) {
     s.iter = sim::GpuIterationCounters{};
     std::copy(s.dist_delegate.begin(), s.dist_delegate.end(),
@@ -349,7 +356,8 @@ class SsspAlgorithm {
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
          .value_bias = s.value_bias,
-         .adaptive = options_.adaptive_compress},
+         .adaptive = options_.adaptive_compress,
+         .retry = options_.resilience.retry},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {
       if (u.value < s.dist_normal[u.vertex]) {
@@ -428,8 +436,9 @@ SsspResult DistributedSssp::run(VertexId source) {
   const LocalId d = graph_.num_delegates();
 
   SsspAlgorithm algo(graph_, options_, source);
-  engine::IterativeEngine<SsspAlgorithm> engine(graph_, cluster_,
-                                                {.overlap = options_.overlap});
+  engine::IterativeEngine<SsspAlgorithm> engine(
+      graph_, cluster_,
+      {.overlap = options_.overlap, .resilience = options_.resilience});
   auto run = engine.run(algo);
 
   // ---- Gather. ----------------------------------------------------------
@@ -453,8 +462,8 @@ SsspResult DistributedSssp::run(VertexId source) {
   // ---- Model. ------------------------------------------------------------
   if (options_.collect_counters) {
     ValueAppMetrics vm = assemble_value_app_metrics(
-        graph_, run.histories, result.iterations, options_.overlap,
-        options_.device_model, options_.net_model);
+        graph_, run.histories, options_.overlap, options_.device_model,
+        options_.net_model);
     result.update_bytes_remote = vm.update_bytes_remote;
     result.reduce_bytes = vm.reduce_bytes;
     result.pull_iterations = vm.pull_iterations;
@@ -462,6 +471,7 @@ SsspResult DistributedSssp::run(VertexId source) {
     result.modeled_ms = vm.modeled_ms;
     result.counters = std::move(vm.counters);
   }
+  result.fault = run.fault;
   return result;
 }
 

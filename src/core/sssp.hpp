@@ -104,6 +104,9 @@ struct SsspOptions {
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};
+  /// Fault schedule, wire retry policy and checkpoint cadence (defaults to
+  /// a clean run; see sim::ResilienceOptions).
+  sim::ResilienceOptions resilience{};
 };
 
 struct SsspResult {
@@ -119,6 +122,8 @@ struct SsspResult {
   sim::ModeledBreakdown modeled;
   std::uint64_t update_bytes_remote = 0;  // tentative-distance traffic
   std::uint64_t reduce_bytes = 0;         // delegate distance reductions
+  /// Fault log, checkpoint and rollback accounting of the run.
+  sim::FaultReport fault;
   sim::RunCounters counters;  // per-iteration trace (collect_counters on)
 };
 

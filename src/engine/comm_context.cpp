@@ -47,6 +47,10 @@ std::vector<comm::VertexUpdate> CommContext::exchange_value_updates(
   iter.recv_bytes_remote = ec.recv_bytes_remote;
   iter.send_dest_ranks = ec.send_dest_ranks;
   iter.local_all2all_bytes = ec.local_bytes;
+  iter.retries = ec.retries;
+  iter.corrupt_bins = ec.corrupt_bins;
+  iter.recovery_ns = ec.recovery_ns;
+  iter.checksum_bytes = ec.checksum_bytes;
   return updates;
 }
 

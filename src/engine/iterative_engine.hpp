@@ -3,11 +3,13 @@
 #include <concepts>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "engine/comm_context.hpp"
 #include "graph/builder.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault.hpp"
 #include "sim/perf_model.hpp"
 #include "sim/stream.hpp"
 #include "util/timer.hpp"
@@ -65,13 +67,17 @@ struct EngineOptions {
   /// Run `reduce` (delegate stream) concurrently with `exchange` (normal
   /// stream).  Off = the historic sequential per-GPU phase order.
   bool overlap = true;
+  /// Fault schedule, wire retry policy and checkpoint cadence.  Defaults to
+  /// a clean run with checkpointing off; see sim::ResilienceOptions.
+  sim::ResilienceOptions resilience{};
 };
 
 /// The phase-hook interface an algorithm implements to run on the engine.
 template <typename A>
 concept IterativeAlgorithm = requires(
     A a, const A ca, typename A::State& s, const typename A::State& cs,
-    GpuContext& ctx, int iteration, std::uint64_t control) {
+    const typename A::Snapshot& snap, GpuContext& ctx, int iteration,
+    std::uint64_t control) {
   { A::kStateLabel } -> std::convertible_to<const char*>;
   /// Build this GPU's state and seed it (source vertex, initial labels...).
   { a.init(ctx) } -> std::same_as<std::unique_ptr<typename A::State>>;
@@ -99,6 +105,13 @@ concept IterativeAlgorithm = requires(
   /// Post-loop work (e.g. the BFS parent exchange); `iteration` here is the
   /// total iteration count, identical on every GPU.
   a.finalize(ctx, s, iteration);
+  /// Epoch checkpoint: a value copy of everything the iteration loop
+  /// mutates, taken at an iteration boundary.  Value-typed States use
+  /// `Snapshot = State`; states holding atomics define an explicit struct.
+  { ca.snapshot(ctx, cs) } -> std::same_as<typename A::Snapshot>;
+  /// Rewind the state to a snapshot taken at the same boundary (rollback
+  /// recovery after a device failure); the run then replays bit-exactly.
+  a.restore(ctx, s, snap);
 };
 
 /// What one engine run leaves behind for host-side result assembly.
@@ -108,6 +121,11 @@ struct EngineRun {
   std::vector<std::vector<sim::GpuIterationCounters>> histories;
   int iterations = 0;
   double measured_ms = 0;
+  /// Fault log + recovery work of the run (empty/zero on a clean run).
+  /// With rollback recovery the histories hold one row per *executed*
+  /// iteration -- replayed rows append -- while `iterations` stays the
+  /// logical count; the modeled time then honestly includes the replays.
+  sim::FaultReport fault;
 
   const State& state(int gpu) const {
     return *states[static_cast<std::size_t>(gpu)];
@@ -134,15 +152,34 @@ class IterativeEngine {
   /// One collective run: executes the phase loop on every simulated GPU
   /// concurrently until the termination allreduce reports convergence, then
   /// the finalize hooks.  Callable repeatedly; each run rebuilds all state.
+  ///
+  /// Under a resilience plan the loop grows three deterministic steps at
+  /// each iteration top: injected device events (stall, permanent failure
+  /// with cluster-wide rollback to the last checkpoint), then the epoch
+  /// checkpoint itself.  All are no-ops on a clean run, whose executed
+  /// phase sequence -- and counters -- are untouched.
   EngineRun<State> run(Algo& algo) {
     const sim::ClusterSpec spec = graph_.spec();
     const int p = spec.total_gpus();
+    const sim::FaultPlanConfig& fc = options_.resilience.faults;
 
     CommContext comm(spec);
+    sim::FaultPlan plan(fc);
+    if (fc.message_faults()) comm.transport().set_fault_plan(&plan);
+    // Rollback needs a recovery point: a scheduled permanent failure forces
+    // per-iteration checkpointing when no cadence was chosen.
+    int checkpoint_interval = options_.resilience.checkpoint_interval;
+    if (fc.failure_planned() && checkpoint_interval <= 0) {
+      checkpoint_interval = 1;
+    }
+
     EngineRun<State> out;
     out.states.resize(static_cast<std::size_t>(p));
     out.histories.resize(static_cast<std::size_t>(p));
     std::vector<int> iterations(static_cast<std::size_t>(p), 0);
+    std::vector<int> checkpoints(static_cast<std::size_t>(p), 0);
+    std::vector<int> rollbacks(static_cast<std::size_t>(p), 0);
+    std::vector<int> replayed(static_cast<std::size_t>(p), 0);
 
     util::Timer wall;
     cluster_.run([&](sim::GpuCoord me, sim::Device& device) {
@@ -170,9 +207,63 @@ class IterativeEngine {
       device.allocate(Algo::kStateLabel, algo.state_bytes(ctx, s));
 
       auto& history = out.histories[static_cast<std::size_t>(g)];
+      const auto gi = static_cast<std::size_t>(g);
+      std::optional<typename Algo::Snapshot> snap;
+      int snap_iteration = -1;
+      bool stall_done = false;    // transient events fire once, not on replay
+      bool failure_done = false;
+      std::uint64_t pending_stall_ns = 0;
+      std::uint64_t pending_recovery_ns = 0;
+      std::uint64_t pending_checkpoint_bytes = 0;
+
       bool done = false;
       int iteration = 0;
-      for (; !done; ++iteration) {
+      while (!done) {
+        // ---- injected device events (deterministic iteration top) --------
+        if (!stall_done && plan.stall_due(g, iteration)) {
+          stall_done = true;
+          pending_stall_ns += fc.stall_ns;
+          plan.record({sim::FaultKind::kStall, g, -1, -1,
+                       static_cast<std::uint64_t>(iteration)});
+        }
+        if (!failure_done && fc.failure_planned() &&
+            iteration == fc.fail_iteration) {
+          // Permanent GPU failure: the cluster detects it at the iteration
+          // boundary (every thread reaches this top in lockstep -- the
+          // control allreduce guarantees it), quiesces, discards all
+          // in-flight wire state, rewinds every GPU to the last checkpoint
+          // and replays.  The respawned device inherits the snapshot, so
+          // the replay -- drawing fresh fault decisions -- finishes the
+          // traversal bit-exactly.
+          comm.transport().barrier();
+          if (g == 0) {
+            plan.record({sim::FaultKind::kGpuFailure, fc.fail_gpu, -1, -1,
+                         static_cast<std::uint64_t>(iteration)});
+            comm.transport().purge();
+          }
+          comm.transport().barrier();
+          failure_done = true;
+          ++rollbacks[gi];
+          pending_recovery_ns += fc.fail_recovery_ns;
+          if (snap) {
+            algo.restore(ctx, s, *snap);
+            replayed[gi] += iteration - snap_iteration;
+            iteration = snap_iteration;
+          }
+          // No snapshot yet means the failure hit before any state mutated
+          // (iteration 0); the freshly initialized state replays from the
+          // start as-is.
+        }
+        // ---- epoch checkpoint (skipped right after a rollback restored
+        // this very boundary; re-saving it would be pure churn) ------------
+        if (checkpoint_interval > 0 && iteration % checkpoint_interval == 0 &&
+            (!snap || snap_iteration != iteration)) {
+          snap = algo.snapshot(ctx, s);
+          snap_iteration = iteration;
+          ++checkpoints[gi];
+          pending_checkpoint_bytes += algo.state_bytes(ctx, s);
+        }
+
         algo.previsit(ctx, s, iteration);
         algo.visit(ctx, s, iteration);
         if (options_.overlap) {
@@ -199,16 +290,40 @@ class IterativeEngine {
         delegate_stream.synchronize();
         normal_stream.synchronize();
         if (algo.collect_counters()) {
-          history.push_back(algo.iteration_counters(s));
+          sim::GpuIterationCounters row = algo.iteration_counters(s);
+          row.stall_ns += pending_stall_ns;
+          row.recovery_ns += pending_recovery_ns;
+          row.checkpoint_bytes += pending_checkpoint_bytes;
+          pending_stall_ns = 0;
+          pending_recovery_ns = 0;
+          pending_checkpoint_bytes = 0;
+          history.push_back(row);
         }
+        ++iteration;
       }
-      iterations[static_cast<std::size_t>(g)] = iteration;
+      iterations[gi] = iteration;
 
       algo.finalize(ctx, s, iteration);
       device.release(Algo::kStateLabel);
     });
     out.measured_ms = wall.elapsed_ms();
     out.iterations = iterations[0];
+    if (fc.enabled() || checkpoint_interval > 0) {
+      out.fault.events = plan.log();
+      for (int g = 0; g < p; ++g) {
+        const auto gi = static_cast<std::size_t>(g);
+        out.fault.checkpoints += checkpoints[gi];
+        for (const sim::GpuIterationCounters& row : out.histories[gi]) {
+          out.fault.retries += row.retries;
+          out.fault.corrupt_bins += row.corrupt_bins;
+          out.fault.recovery_ns += row.recovery_ns;
+          out.fault.checkpoint_bytes += row.checkpoint_bytes;
+        }
+      }
+      // Rollbacks are cluster-wide events every thread observes identically.
+      out.fault.rollbacks = rollbacks[0];
+      out.fault.replayed_iterations = replayed[0];
+    }
     return out;
   }
 

@@ -1,0 +1,74 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace dsbfs::sim {
+
+namespace {
+
+/// The fault oracle's hash key: every physical attempt on every link gets
+/// its own independent draw.  Keyed on (seed, from, to, tag, attempt) so the
+/// decision is a pure function of the wire coordinates -- thread timing,
+/// retransmission interleaving and rollback replays cannot perturb it.
+std::uint64_t attempt_hash(std::uint64_t seed, int from, int to, int tag,
+                           std::uint64_t attempt) noexcept {
+  std::uint64_t h = util::hash_combine(seed, static_cast<std::uint64_t>(from));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(to));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(tag));
+  return util::hash_combine(h, attempt);
+}
+
+/// Map a hash to a uniform draw in [0, 1).
+double unit_draw(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultAction FaultPlan::decide(int from, int to, int tag,
+                              std::uint64_t attempt) const noexcept {
+  if (!config_.message_faults()) return FaultAction::kDeliver;
+  const double u =
+      unit_draw(attempt_hash(config_.seed, from, to, tag, attempt));
+  // The rates carve the unit interval: at most one fault per attempt.
+  double edge = config_.drop_rate;
+  if (u < edge) return FaultAction::kDrop;
+  edge += config_.corrupt_rate;
+  if (u < edge) return FaultAction::kCorrupt;
+  edge += config_.duplicate_rate;
+  if (u < edge) return FaultAction::kDuplicate;
+  edge += config_.delay_rate;
+  if (u < edge) return FaultAction::kDelay;
+  return FaultAction::kDeliver;
+}
+
+std::uint64_t FaultPlan::corrupt_bit(int from, int to, int tag,
+                                     std::uint64_t attempt,
+                                     std::uint64_t frame_bits) const noexcept {
+  if (frame_bits == 0) return 0;
+  // A distinct stream from decide(): re-mix with a domain-separation salt.
+  const std::uint64_t h = util::splitmix64(
+      attempt_hash(config_.seed ^ 0xC0FFEEULL, from, to, tag, attempt));
+  return h % frame_bits;
+}
+
+void FaultPlan::record(const FaultEvent& event) {
+  std::lock_guard lock(mu_);
+  log_.push_back(event);
+}
+
+std::vector<FaultEvent> FaultPlan::log() const {
+  std::vector<FaultEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    out = log_;
+  }
+  // Concurrent senders append in wall-clock order; sort into the canonical
+  // order so equal seeds compare equal across runs.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dsbfs::sim

@@ -112,9 +112,28 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
               ? 2.0 * dev_.kernel_us(KernelClass::kPrevisit, 0, 0, 0)
               : 0.0;
 
+      // Resilience work gates the whole iteration on this GPU: an injected
+      // transient stall holds the device, and an epoch checkpoint is a
+      // device-memory copy (mask-op rate) that must finish before the
+      // iteration's kernels overwrite the state being saved.  Absent on
+      // clean runs, so their task graphs are untouched.
+      TaskId resilience{};
+      if (c.stall_ns > 0 || c.checkpoint_bytes > 0) {
+        std::vector<TaskId> rdeps;
+        if (prev_mask_bcast[gi].valid()) rdeps.push_back(prev_mask_bcast[gi]);
+        if (prev_recv_done[gi].valid()) rdeps.push_back(prev_recv_done[gi]);
+        if (bucket_sync.valid()) rdeps.push_back(bucket_sync);
+        const double res_us =
+            static_cast<double>(c.stall_ns) / 1000.0 +
+            dev_.kernel_us(KernelClass::kMaskOp, 0, 0, c.checkpoint_bytes);
+        resilience = tl.add_task("resilience", kCatComputation, res_us, gr,
+                                 rdeps);
+      }
+
       std::vector<TaskId> dprev_deps;
       if (prev_mask_bcast[gi].valid()) dprev_deps.push_back(prev_mask_bcast[gi]);
       if (bucket_sync.valid()) dprev_deps.push_back(bucket_sync);
+      if (resilience.valid()) dprev_deps.push_back(resilience);
       const TaskId dprev = tl.add_task(
           "dprev", kCatComputation,
           dev_.kernel_us(KernelClass::kPrevisit, 0, c.dprev_vertices, 0) +
@@ -125,6 +144,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       if (prev_recv_done[gi].valid()) nprev_deps.push_back(prev_recv_done[gi]);
       if (prev_dn_visit[gi].valid()) nprev_deps.push_back(prev_dn_visit[gi]);
       if (bucket_sync.valid()) nprev_deps.push_back(bucket_sync);
+      if (resilience.valid()) nprev_deps.push_back(resilience);
       nprev[gi] = tl.add_task(
           "nprev", kCatComputation,
           dev_.kernel_us(KernelClass::kPrevisit, 0, c.nprev_vertices, 0) +
@@ -252,6 +272,14 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
             dev_.kernel_us(KernelClass::kBinConvert, 0, 0, c.encode_bytes),
             gpu_res[gi], {stage});
       }
+      if (c.checksum_bytes > 0) {
+        // Hardened-wire checksums: linear byte passes over outbound frames
+        // before the send and every inbound frame on verification.
+        stage = tl.add_task(
+            "checksum", kCatComputation,
+            dev_.kernel_us(KernelClass::kBinConvert, 0, 0, c.checksum_bytes),
+            gpu_res[gi], {stage});
+      }
       if (c.send_bytes_remote > 0) {
         const int dests = std::max(1, c.send_dest_ranks);
         const std::uint64_t per_dest = c.send_bytes_remote /
@@ -279,6 +307,15 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       recv_done[gi] = tl.add_task("recv_stage", kCatNormalExchange,
                                   net_.nvlink_us(ic.gpu[gi].recv_bytes_remote),
                                   nvlink_res[gi], deps);
+      if (ic.gpu[gi].recovery_ns > 0) {
+        // Lossy-wire recovery: modeled receive timeouts, NACK backoff
+        // windows and delay hold-backs serialize after the inbound staging
+        // (the GPU cannot consume the exchange until its frames verified).
+        recv_done[gi] = tl.add_task(
+            "recovery", kCatNormalExchange,
+            static_cast<double>(ic.gpu[gi].recovery_ns) / 1000.0, ResourceId{},
+            {recv_done[gi]});
+      }
     }
 
     // ---- Control allreduce (termination detection). ---------------------

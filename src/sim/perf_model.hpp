@@ -66,6 +66,16 @@ struct GpuIterationCounters {
   int send_dest_ranks = 0;               // distinct destination ranks
   bool delegate_update = false;          // participated in mask reduction
 
+  // ---- Resilience (fault-plan runs; all zero on a clean run, which keeps
+  // the replayed task graph -- and thus every modeled time -- bit-identical
+  // to a build without the robustness subsystem). -------------------------
+  std::uint64_t retries = 0;          // frame retransmissions requested
+  std::uint64_t corrupt_bins = 0;     // frames rejected by checksum/framing
+  std::uint64_t recovery_ns = 0;      // modeled timeout/backoff/delay waits
+  std::uint64_t checksum_bytes = 0;   // bytes checksummed (send + verify)
+  std::uint64_t stall_ns = 0;         // injected transient device stall
+  std::uint64_t checkpoint_bytes = 0; // epoch snapshot written this iteration
+
   // ---- Lane occupancy (batched MS-BFS traversals; 0 for the single-source
   // algorithms).  The visit/exchange workload counters above
   // are already lane-amortized -- one row traversal and one (id, lane-word)

@@ -849,5 +849,138 @@ TEST(UpdateExchange, SsspAutoBiasBitExactAndFewerCompressedBytes) {
   EXPECT_LT(bytes_biased, bytes_plain);
 }
 
+// ---- malformed-payload corpus ---------------------------------------------
+// The wire decoders are public exactly so hostile buffers can be thrown at
+// them directly: every entry here must surface as a typed DecodeError, never
+// an out-of-bounds read, a hang, or a silently truncated result.
+
+TEST(WireCorpus, FrameRoundTripsAndRejectsTampering) {
+  const std::vector<std::uint64_t> payload = {10, 20, 30};
+  std::vector<std::uint64_t> framed = frame_payload(payload);
+  ASSERT_EQ(framed.size(), payload.size() + 2);
+  const auto view = verify_frame(framed);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), payload.begin()));
+
+  for (std::size_t w = 0; w < framed.size(); ++w) {
+    for (const std::uint64_t bit : {0, 17, 63}) {
+      auto bad = framed;
+      bad[w] ^= 1ULL << bit;
+      EXPECT_THROW(verify_frame(bad), DecodeError) << "word " << w;
+    }
+  }
+}
+
+TEST(WireCorpus, FrameHeaderEdgeCases) {
+  // Too short for the 2-word header.
+  EXPECT_THROW(verify_frame({}), DecodeError);
+  EXPECT_THROW(verify_frame(std::vector<std::uint64_t>{kFrameMagic << 32}),
+               DecodeError);
+  // Declared payload length disagrees with the buffer.
+  std::vector<std::uint64_t> framed = frame_payload({1, 2});
+  framed.push_back(99);
+  EXPECT_THROW(verify_frame(framed), DecodeError);
+  framed.resize(framed.size() - 2);
+  EXPECT_THROW(verify_frame(framed), DecodeError);
+  // An empty payload is a legal frame.
+  const std::vector<std::uint64_t> empty = frame_payload({});
+  EXPECT_TRUE(verify_frame(empty).empty());
+}
+
+TEST(WireCorpus, IdSegmentHostileBuffers) {
+  std::vector<LocalId> out;
+  std::size_t pos = 0;
+  // Missing count header.
+  EXPECT_THROW(decode_ids({}, pos, out), DecodeError);
+  // Count larger than the remaining words.
+  pos = 0;
+  EXPECT_THROW(decode_ids(std::vector<std::uint64_t>{5, 1}, pos, out),
+               DecodeError);
+  // Count near 2^64: the words-needed arithmetic must not wrap.
+  pos = 0;
+  EXPECT_THROW(
+      decode_ids(std::vector<std::uint64_t>{~0ULL, 1, 2, 3}, pos, out),
+      DecodeError);
+  // A valid segment still decodes and advances pos.
+  pos = 0;
+  out.clear();
+  decode_ids(std::vector<std::uint64_t>{3, (2ULL << 32) | 1, 3}, pos, out);
+  EXPECT_EQ(out, (std::vector<LocalId>{1, 2, 3}));
+  EXPECT_EQ(pos, 3u);
+}
+
+TEST(WireCorpus, RawUpdateHostileBuffers) {
+  std::vector<VertexUpdate> out;
+  // Missing count header.
+  EXPECT_THROW(decode_updates_raw({}, out), DecodeError);
+  // Truncated body, including the count-overflow probe.
+  EXPECT_THROW(decode_updates_raw(std::vector<std::uint64_t>{2, 1, 7}, out),
+               DecodeError);
+  EXPECT_THROW(decode_updates_raw(std::vector<std::uint64_t>{~0ULL, 1}, out),
+               DecodeError);
+  // Over-long body (trailing garbage a length-prefixed format must reject).
+  EXPECT_THROW(
+      decode_updates_raw(std::vector<std::uint64_t>{1, 1, 7, 8}, out),
+      DecodeError);
+  // A vertex id that overflows the 32-bit local-id space.
+  EXPECT_THROW(
+      decode_updates_raw(std::vector<std::uint64_t>{1, 1ULL << 33, 7}, out),
+      DecodeError);
+  out.clear();
+  decode_updates_raw(std::vector<std::uint64_t>{1, 4, 7}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].vertex, 4u);
+  EXPECT_EQ(out[0].value, 7u);
+}
+
+TEST(WireCorpus, CompressedUpdateHostileBuffers) {
+  std::vector<VertexUpdate> out;
+  // Missing / short header.
+  EXPECT_THROW(decode_updates_compressed({}, 0, out), DecodeError);
+  EXPECT_THROW(
+      decode_updates_compressed(std::vector<std::uint64_t>{1}, 0, out),
+      DecodeError);
+  // Declared byte count disagreeing with the body both ways.
+  EXPECT_THROW(
+      decode_updates_compressed(std::vector<std::uint64_t>{1, 9, 0}, 0, out),
+      DecodeError);
+  EXPECT_THROW(
+      decode_updates_compressed(std::vector<std::uint64_t>{1, 2, 0, 0}, 0, out),
+      DecodeError);
+  // Count impossible for the payload size (2 bytes minimum per update).
+  EXPECT_THROW(
+      decode_updates_compressed(std::vector<std::uint64_t>{4, 4, 0}, 0, out),
+      DecodeError);
+  // A varint whose continuation bits run off the end of the body.
+  EXPECT_THROW(decode_updates_compressed(
+                   std::vector<std::uint64_t>{1, 2, 0x8080}, 0, out),
+               DecodeError);
+  // A varint wider than 64 bits (ten 0x80 continuation bytes, then 0x01).
+  EXPECT_THROW(decode_updates_compressed(
+                   std::vector<std::uint64_t>{1, 11, 0x8080808080808080ULL,
+                                              0x018080},
+                   0, out),
+               DecodeError);
+  // Declared bytes left over after `count` updates.
+  EXPECT_THROW(decode_updates_compressed(
+                   std::vector<std::uint64_t>{1, 4, 0x00000506}, 0, out),
+               DecodeError);
+  // Hand-packed valid payload: updates (3, 5) and (7, 2) -- zigzag deltas
+  // 6 and 8, values 5 and 2, four bytes packed LE into one word.
+  out.clear();
+  decode_updates_compressed(std::vector<std::uint64_t>{2, 4, 0x02080506}, 0,
+                            out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].vertex, 3u);
+  EXPECT_EQ(out[0].value, 5u);
+  EXPECT_EQ(out[1].vertex, 7u);
+  EXPECT_EQ(out[1].value, 2u);
+  // The same payload with a value bias added back on decode.
+  out.clear();
+  decode_updates_compressed(std::vector<std::uint64_t>{2, 4, 0x02080506}, 100,
+                            out);
+  EXPECT_EQ(out[0].value, 105u);
+  EXPECT_EQ(out[1].value, 102u);
+}
+
 }  // namespace
 }  // namespace dsbfs::comm

@@ -1,0 +1,186 @@
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/bfs.hpp"
+#include "core/sssp.hpp"
+#include "graph/builder.hpp"
+#include "graph/rmat.hpp"
+#include "sim/cluster.hpp"
+
+namespace dsbfs {
+namespace {
+
+// ---- oracle determinism ---------------------------------------------------
+// Every decision is a pure hash of (seed, from, to, tag, attempt); nothing
+// below may depend on call order or thread interleaving.
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfTheSchedule) {
+  const sim::FaultPlanConfig cfg{.seed = 42,
+                                 .drop_rate = 0.2,
+                                 .corrupt_rate = 0.2,
+                                 .duplicate_rate = 0.1,
+                                 .delay_rate = 0.1};
+  const sim::FaultPlan a(cfg), b(cfg);
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      for (const int tag : {10, 42, 74}) {
+        for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+          EXPECT_EQ(a.decide(from, to, tag, attempt),
+                    b.decide(from, to, tag, attempt));
+          EXPECT_EQ(a.corrupt_bit(from, to, tag, attempt, 512),
+                    b.corrupt_bit(from, to, tag, attempt, 512));
+          EXPECT_LT(a.corrupt_bit(from, to, tag, attempt, 512), 512u);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, RatesShapeTheActionDistribution) {
+  const sim::FaultPlan plan({.seed = 7,
+                             .drop_rate = 0.25,
+                             .corrupt_rate = 0.25,
+                             .duplicate_rate = 0.25,
+                             .delay_rate = 0.25});
+  std::map<sim::FaultAction, int> histogram;
+  constexpr int kAttempts = 4000;
+  for (std::uint64_t attempt = 0; attempt < kAttempts; ++attempt) {
+    ++histogram[plan.decide(0, 1, 10, attempt)];
+  }
+  // Every kind (and no delivery starvation) at equal 25% rates; a loose
+  // 15%..35% window keeps the test robust to the hash's finite sample.
+  for (const auto action :
+       {sim::FaultAction::kDrop, sim::FaultAction::kCorrupt,
+        sim::FaultAction::kDuplicate, sim::FaultAction::kDelay}) {
+    EXPECT_GT(histogram[action], kAttempts * 15 / 100);
+    EXPECT_LT(histogram[action], kAttempts * 35 / 100);
+  }
+  EXPECT_EQ(histogram[sim::FaultAction::kDeliver], 0);
+}
+
+TEST(FaultPlan, AllZeroRatesAlwaysDeliver) {
+  const sim::FaultPlan plan({.seed = 9});
+  EXPECT_FALSE(plan.config().enabled());
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    EXPECT_EQ(plan.decide(0, 1, 10, attempt), sim::FaultAction::kDeliver);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentSchedules) {
+  const sim::FaultPlan a({.seed = 1, .drop_rate = 0.5});
+  const sim::FaultPlan b({.seed = 2, .drop_rate = 0.5});
+  int diverged = 0;
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    diverged += a.decide(0, 1, 10, attempt) != b.decide(0, 1, 10, attempt);
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultPlan, LogIsSortedRegardlessOfRecordOrder) {
+  sim::FaultPlan plan({.drop_rate = 1.0});
+  // Record from several threads in scrambled order; log() must come back in
+  // one canonical order so same-seed runs compare equal.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&plan, t] {
+      for (int i = 7; i >= 0; --i) {
+        plan.record({sim::FaultKind::kDrop, t, (t + 1) % 4, 10,
+                     static_cast<std::uint64_t>(i)});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto log = plan.log();
+  ASSERT_EQ(log.size(), 32u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_TRUE(log[i - 1] < log[i] || log[i - 1] == log[i]);
+  }
+}
+
+// ---- end-to-end replayability ---------------------------------------------
+// The ISSUE's contract: the same fault seed must produce the identical
+// injected-fault log, the identical recovery counters and the identical
+// answer, run after run, threads and all.
+
+class FaultReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.num_ranks = 2;
+    spec_.gpus_per_rank = 2;
+    edges_ = graph::rmat_graph500({.scale = 8, .seed = 5});
+    dg_ = graph::build_distributed(edges_, spec_, 16);
+  }
+
+  sim::ClusterSpec spec_;
+  graph::EdgeList edges_;
+  graph::DistributedGraph dg_;
+};
+
+TEST_F(FaultReplayTest, SameSeedSameLogSameCountersBfs) {
+  core::BfsOptions options;
+  options.resilience.faults.seed = 11;
+  options.resilience.faults.drop_rate = 0.05;
+  options.resilience.faults.corrupt_rate = 0.05;
+  options.resilience.faults.duplicate_rate = 0.02;
+  options.resilience.faults.delay_rate = 0.02;
+
+  sim::Cluster cluster(spec_);
+  auto run = [&] { return core::DistributedBfs(dg_, cluster, options).run(3); };
+  const core::BfsResult a = run();
+  const core::BfsResult b = run();
+
+  ASSERT_FALSE(a.metrics.fault.events.empty());
+  EXPECT_EQ(a.metrics.fault.events, b.metrics.fault.events);
+  EXPECT_EQ(a.metrics.fault.retries, b.metrics.fault.retries);
+  EXPECT_EQ(a.metrics.fault.corrupt_bins, b.metrics.fault.corrupt_bins);
+  EXPECT_EQ(a.metrics.fault.recovery_ns, b.metrics.fault.recovery_ns);
+  EXPECT_EQ(a.metrics.retries, b.metrics.retries);
+  EXPECT_EQ(a.metrics.exchange_remote_bytes, b.metrics.exchange_remote_bytes);
+  EXPECT_EQ(a.metrics.modeled_ms, b.metrics.modeled_ms);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST_F(FaultReplayTest, SameSeedSameLogSameCountersSssp) {
+  core::SsspOptions options;
+  options.resilience.faults.seed = 23;
+  options.resilience.faults.drop_rate = 0.05;
+  options.resilience.faults.corrupt_rate = 0.05;
+
+  sim::Cluster cluster(spec_);
+  auto run = [&] {
+    return core::DistributedSssp(dg_, cluster, options).run(3);
+  };
+  const core::SsspResult a = run();
+  const core::SsspResult b = run();
+
+  ASSERT_FALSE(a.fault.events.empty());
+  EXPECT_EQ(a.fault.events, b.fault.events);
+  EXPECT_EQ(a.fault.retries, b.fault.retries);
+  EXPECT_EQ(a.fault.recovery_ns, b.fault.recovery_ns);
+  EXPECT_EQ(a.update_bytes_remote, b.update_bytes_remote);
+  EXPECT_EQ(a.modeled_ms, b.modeled_ms);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST_F(FaultReplayTest, DifferentSeedsChangeTheLogNotTheAnswer) {
+  core::BfsOptions options;
+  options.resilience.faults.drop_rate = 0.08;
+  options.resilience.faults.corrupt_rate = 0.05;
+
+  sim::Cluster cluster(spec_);
+  options.resilience.faults.seed = 100;
+  const core::BfsResult a = core::DistributedBfs(dg_, cluster, options).run(3);
+  options.resilience.faults.seed = 200;
+  const core::BfsResult b = core::DistributedBfs(dg_, cluster, options).run(3);
+
+  EXPECT_NE(a.metrics.fault.events, b.metrics.fault.events);
+  EXPECT_EQ(a.distances, b.distances);  // self-healing: answers never move
+}
+
+}  // namespace
+}  // namespace dsbfs

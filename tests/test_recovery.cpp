@@ -1,0 +1,215 @@
+// Checkpoint / rollback recovery: a run that loses a GPU mid-flight must
+// finish with the bit-identical answer of a clean run, visibly charging the
+// checkpoints it took, the rollback it performed and the iterations it
+// replayed.  Covers the engine across its state shapes: BFS (GpuSnapshot),
+// batched BFS at W = 64 (LaneSnapshot), delta-stepping SSSP and PageRank
+// (value-typed snapshots).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/batch_bfs.hpp"
+#include "core/bfs.hpp"
+#include "core/delta_sssp.hpp"
+#include "core/pagerank.hpp"
+#include "graph/builder.hpp"
+#include "graph/rmat.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fault.hpp"
+
+namespace dsbfs {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.num_ranks = 2;
+    spec_.gpus_per_rank = 2;
+    edges_ = graph::rmat_graph500({.scale = 8, .seed = 5});
+    dg_ = graph::build_distributed(edges_, spec_, 16);
+  }
+
+  /// A schedule killing GPU 1 as it enters iteration 2.  No cadence is set,
+  /// so the engine must force per-iteration checkpointing on its own.
+  static sim::ResilienceOptions kill_gpu1_at2() {
+    sim::ResilienceOptions r;
+    r.faults.fail_gpu = 1;
+    r.faults.fail_iteration = 2;
+    return r;
+  }
+
+  static void expect_recovered(const sim::FaultReport& f) {
+    EXPECT_EQ(f.rollbacks, 1);
+    EXPECT_GE(f.replayed_iterations, 1);
+    EXPECT_GE(f.checkpoints, 1);
+    EXPECT_GT(f.checkpoint_bytes, 0u);
+    EXPECT_GT(f.recovery_ns, 0u);
+    ASSERT_EQ(f.events.size(), 1u);
+    EXPECT_EQ(f.events[0].kind, sim::FaultKind::kGpuFailure);
+    EXPECT_EQ(f.events[0].from, 1);
+    EXPECT_EQ(f.events[0].attempt, 2u);
+  }
+
+  sim::ClusterSpec spec_;
+  graph::EdgeList edges_;
+  graph::DistributedGraph dg_;
+};
+
+TEST_F(RecoveryTest, BfsSurvivesGpuFailureBitExact) {
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+
+  core::BfsOptions options;
+  options.resilience = kill_gpu1_at2();
+  const core::BfsResult hurt =
+      core::DistributedBfs(dg_, cluster, options).run(3);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  // BFS metrics count executed rounds, so the replayed window shows up on
+  // top of the clean iteration count.
+  EXPECT_EQ(hurt.metrics.iterations,
+            clean.metrics.iterations + hurt.metrics.fault.replayed_iterations);
+  expect_recovered(hurt.metrics.fault);
+  // The recovery charge and the replayed rounds must push the modeled time
+  // above the clean run's.
+  EXPECT_GT(hurt.metrics.modeled_ms, clean.metrics.modeled_ms);
+}
+
+TEST_F(RecoveryTest, BatchBfs64SurvivesGpuFailureBitExact) {
+  sim::Cluster cluster(spec_);
+  std::vector<VertexId> sources;
+  {
+    core::DistributedBatchBfs sampler(dg_, cluster);
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      sources.push_back(sampler.sample_source(k));
+    }
+  }
+  const core::BatchBfsResult clean =
+      core::DistributedBatchBfs(dg_, cluster).run(sources);
+  ASSERT_EQ(clean.lane_bits, 64);
+
+  core::BatchBfsOptions options;
+  options.resilience = kill_gpu1_at2();
+  const core::BatchBfsResult hurt =
+      core::DistributedBatchBfs(dg_, cluster, options).run(sources);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  EXPECT_EQ(hurt.metrics.iterations,
+            clean.metrics.iterations + hurt.metrics.fault.replayed_iterations);
+  expect_recovered(hurt.metrics.fault);
+}
+
+TEST_F(RecoveryTest, DeltaSsspSurvivesGpuFailureBitExact) {
+  sim::Cluster cluster(spec_);
+  const core::DeltaSsspResult clean =
+      core::DistributedDeltaSssp(dg_, cluster).run(3);
+
+  core::DeltaSsspOptions options;
+  options.resilience = kill_gpu1_at2();
+  const core::DeltaSsspResult hurt =
+      core::DistributedDeltaSssp(dg_, cluster, options).run(3);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  EXPECT_EQ(hurt.iterations, clean.iterations);
+  EXPECT_EQ(hurt.buckets_processed, clean.buckets_processed);
+  expect_recovered(hurt.fault);
+}
+
+TEST_F(RecoveryTest, PagerankSurvivesGpuFailureBitExact) {
+  sim::Cluster cluster(spec_);
+  const core::PagerankResult clean =
+      core::DistributedPagerank(dg_, cluster).run();
+
+  core::PagerankOptions options;
+  options.resilience = kill_gpu1_at2();
+  const core::PagerankResult hurt =
+      core::DistributedPagerank(dg_, cluster, options).run();
+
+  // Bit-identical doubles: rollback replays the exact FP operation sequence.
+  EXPECT_EQ(hurt.ranks, clean.ranks);
+  EXPECT_EQ(hurt.iterations, clean.iterations);
+  expect_recovered(hurt.fault);
+}
+
+TEST_F(RecoveryTest, CadenceBoundsTheReplayWindow) {
+  // With checkpoints every 2 iterations and the failure at iteration 3, the
+  // rollback lands on the iteration-2 snapshot: exactly one iteration is
+  // replayed per GPU.
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+  ASSERT_GT(clean.metrics.iterations, 3);
+
+  core::BfsOptions options;
+  options.resilience.faults.fail_gpu = 2;
+  options.resilience.faults.fail_iteration = 3;
+  options.resilience.checkpoint_interval = 2;
+  const core::BfsResult hurt =
+      core::DistributedBfs(dg_, cluster, options).run(3);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  EXPECT_EQ(hurt.metrics.fault.rollbacks, 1);
+  EXPECT_EQ(hurt.metrics.fault.replayed_iterations, 1);
+}
+
+TEST_F(RecoveryTest, CheckpointingAloneChangesNothingButTheCharge) {
+  // Cadence without any fault: the answer and the iteration structure must
+  // be untouched; only the checkpoint accounting may appear.
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+
+  core::BfsOptions options;
+  options.resilience.checkpoint_interval = 2;
+  const core::BfsResult ckpt =
+      core::DistributedBfs(dg_, cluster, options).run(3);
+
+  EXPECT_EQ(ckpt.distances, clean.distances);
+  EXPECT_EQ(ckpt.metrics.iterations, clean.metrics.iterations);
+  EXPECT_EQ(ckpt.metrics.exchange_remote_bytes,
+            clean.metrics.exchange_remote_bytes);
+  EXPECT_EQ(ckpt.metrics.fault.rollbacks, 0);
+  EXPECT_EQ(ckpt.metrics.fault.replayed_iterations, 0);
+  EXPECT_GE(ckpt.metrics.fault.checkpoints, spec_.total_gpus());
+  EXPECT_GT(ckpt.metrics.fault.checkpoint_bytes, 0u);
+}
+
+TEST_F(RecoveryTest, TransientStallIsChargedNotRecovered) {
+  // A straggler GPU costs time but neither rolls back nor changes anything.
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+
+  core::BfsOptions options;
+  options.resilience.faults.stall_gpu = 1;
+  options.resilience.faults.stall_iteration = 1;
+  options.resilience.faults.stall_ns = 2'000'000;
+  const core::BfsResult hurt =
+      core::DistributedBfs(dg_, cluster, options).run(3);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  EXPECT_EQ(hurt.metrics.iterations, clean.metrics.iterations);
+  EXPECT_EQ(hurt.metrics.fault.rollbacks, 0);
+  ASSERT_EQ(hurt.metrics.fault.events.size(), 1u);
+  EXPECT_EQ(hurt.metrics.fault.events[0].kind, sim::FaultKind::kStall);
+  EXPECT_GT(hurt.metrics.modeled_ms, clean.metrics.modeled_ms);
+}
+
+TEST_F(RecoveryTest, FaultsPlusFailureTogetherStayBitExact) {
+  // The full gauntlet on one engine run: lossy wire *and* a device loss.
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+
+  core::BfsOptions options;
+  options.resilience = kill_gpu1_at2();
+  options.resilience.faults.drop_rate = 0.05;
+  options.resilience.faults.corrupt_rate = 0.05;
+  options.resilience.checkpoint_interval = 1;
+  const core::BfsResult hurt =
+      core::DistributedBfs(dg_, cluster, options).run(3);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  EXPECT_EQ(hurt.metrics.fault.rollbacks, 1);
+  EXPECT_GT(hurt.metrics.fault.events.size(), 1u);
+  EXPECT_GT(hurt.metrics.retries + hurt.metrics.corrupt_bins, 0u);
+}
+
+}  // namespace
+}  // namespace dsbfs
