@@ -30,6 +30,11 @@ void CommContext::allreduce_min_words(int gpu, std::span<std::uint64_t> words,
   comm::allreduce_min_words(transport_, everyone_, gpu, words, tag);
 }
 
+void CommContext::allreduce_or_words(int gpu, std::span<std::uint64_t> words,
+                                     int tag) {
+  comm::allreduce_or_words(transport_, everyone_, gpu, words, tag);
+}
+
 std::vector<comm::VertexUpdate> CommContext::exchange_value_updates(
     sim::GpuCoord me, std::vector<std::vector<comm::VertexUpdate>>& bins,
     int iteration, const comm::UpdateExchangeOptions& options,

@@ -76,6 +76,10 @@ class CommContext {
   /// Whole-cluster element-wise min allreduce on an explicit tag.
   void allreduce_min_words(int gpu, std::span<std::uint64_t> words, int tag);
 
+  /// Whole-cluster element-wise bitwise-OR allreduce on an explicit tag
+  /// (e.g. the serving scheduler's one-word lane-drain agreement).
+  void allreduce_or_words(int gpu, std::span<std::uint64_t> words, int tag);
+
   /// Shared exchange-hook body for the value algorithms: run the update
   /// exchange with the algorithm's coalesce/compress/bias choice and record
   /// the exchange counters into the iteration row.  Returns the received

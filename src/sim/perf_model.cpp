@@ -53,6 +53,10 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
   std::vector<TaskId> prev_recv_done(static_cast<std::size_t>(p));   // gates NPrev
   std::vector<TaskId> prev_dn_visit(static_cast<std::size_t>(p));    // local discoveries
 
+  // Per-iteration boundary gates (every GPU's iter/mask gate), queried after
+  // scheduling for the iteration-end timestamps.
+  std::vector<std::vector<TaskId>> boundary_gates(run.iterations.size());
+
   const double mask_bytes = static_cast<double>(run.delegate_mask_bytes);
 
   for (std::size_t it = 0; it < run.iterations.size(); ++it) {
@@ -115,8 +119,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       // Resilience work gates the whole iteration on this GPU: an injected
       // transient stall holds the device, and an epoch checkpoint is a
       // device-memory copy (mask-op rate) that must finish before the
-      // iteration's kernels overwrite the state being saved.  Absent on
-      // clean runs, so their task graphs are untouched.
+      // iteration's kernels overwrite the state being saved.
       TaskId resilience{};
       if (c.stall_ns > 0 || c.checkpoint_bytes > 0) {
         std::vector<TaskId> rdeps;
@@ -130,6 +133,17 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
                                  rdeps);
       }
 
+      // Lane reseeds (the serving scheduler recycling a retired lane into a
+      // new query) are mask sweeps fused into the two previsit launches the
+      // iteration pays anyway: each stream clears its own lane words under
+      // its existing dependencies.  The bytes therefore ride on dprev/nprev
+      // at the mask rate -- no extra kernel launch per admission, and no
+      // cross-stream gate that would serialize the delegate stream behind
+      // the previous iteration's normal-side exchange (which is exactly the
+      // overlap the schedule exists to preserve).  Zero on non-serving runs.
+      const double reseed_us = static_cast<double>(c.reseed_bytes) *
+                               dev_.config().ns_per_byte / 1000.0;
+
       std::vector<TaskId> dprev_deps;
       if (prev_mask_bcast[gi].valid()) dprev_deps.push_back(prev_mask_bcast[gi]);
       if (bucket_sync.valid()) dprev_deps.push_back(bucket_sync);
@@ -137,7 +151,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       const TaskId dprev = tl.add_task(
           "dprev", kCatComputation,
           dev_.kernel_us(KernelClass::kPrevisit, 0, c.dprev_vertices, 0) +
-              decision_us,
+              decision_us + reseed_us,
           gr, dprev_deps);
 
       std::vector<TaskId> nprev_deps;
@@ -148,7 +162,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       nprev[gi] = tl.add_task(
           "nprev", kCatComputation,
           dev_.kernel_us(KernelClass::kPrevisit, 0, c.nprev_vertices, 0) +
-              decision_us,
+              decision_us + reseed_us,
           gr, nprev_deps);
 
       // Delegate stream: dprev -> dd visit -> dn visit.
@@ -327,9 +341,16 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
           deps.push_back(mask_ready[static_cast<std::size_t>(g)]);
         }
       }
-      const double control_us =
+      // The serving scheduler's lane-drain agreement is a second one-word
+      // collective at the boundary (retire/admit decisions); it rides the
+      // same tree, doubling the agreement latency of those iterations.
+      const bool lane_agreement = std::any_of(
+          ic.gpu.begin(), ic.gpu.end(),
+          [](const GpuIterationCounters& g) { return g.lane_agreement; });
+      const double tree_us =
           static_cast<double>(NetModel::tree_rounds(spec.num_ranks)) *
           net_.config().nic_latency_us;
+      const double control_us = lane_agreement ? 2.0 * tree_us : tree_us;
       const TaskId control =
           tl.add_task("control", kCatControl, control_us, ResourceId{}, deps);
       // The next iteration cannot start anywhere before global agreement.
@@ -343,6 +364,8 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
                               {mask_ready[gi], control})
                 : prev_recv_done[gi];
         prev_dn_visit[gi] = dn_visit[gi];
+        boundary_gates[it].push_back(prev_recv_done[gi]);
+        boundary_gates[it].push_back(prev_mask_bcast[gi]);
       }
     }
   }
@@ -360,6 +383,14 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
   out.normal_exchange_ms = tl.category_critical_us(kCatNormalExchange) / 1000.0;
   out.delegate_reduce_ms = tl.category_critical_us(kCatDelegateReduce) / 1000.0;
   out.control_ms = tl.category_critical_us(kCatControl) / 1000.0;
+  out.iteration_end_ms.reserve(boundary_gates.size());
+  for (const std::vector<TaskId>& gates : boundary_gates) {
+    double end_us = 0;
+    for (const TaskId t : gates) {
+      end_us = std::max(end_us, tl.task_finish_us(t));
+    }
+    out.iteration_end_ms.push_back(end_us / 1000.0);
+  }
   return out;
 }
 

@@ -76,6 +76,18 @@ struct GpuIterationCounters {
   std::uint64_t stall_ns = 0;         // injected transient device stall
   std::uint64_t checkpoint_bytes = 0; // epoch snapshot written this iteration
 
+  // ---- Serving scheduler (core::QueryScheduler; all zero outside it, which
+  // keeps non-serving replays bit-identical). -----------------------------
+  /// The iteration closed with the scheduler's one-word lane-drain OR
+  /// allreduce (the retire/admit agreement): one extra small collective at
+  /// the latency of the control tree, charged on the control step.
+  bool lane_agreement = false;
+  /// Lane visited-state bytes cleared by mid-flight lane recycling at this
+  /// iteration's top (the admission was decided at the previous boundary).
+  /// Charged like a checkpoint: a device mask-op sweep gating the
+  /// iteration's kernels on this GPU.
+  std::uint64_t reseed_bytes = 0;
+
   // ---- Lane occupancy (batched MS-BFS traversals; 0 for the single-source
   // algorithms).  The visit/exchange workload counters above
   // are already lane-amortized -- one row traversal and one (id, lane-word)
@@ -131,6 +143,12 @@ struct ModeledBreakdown {
   double normal_exchange_ms = 0;
   double delegate_reduce_ms = 0;
   double control_ms = 0;
+  /// Finish time (ms from run start) of each iteration's global agreement:
+  /// the moment every GPU may enter the next iteration.  One entry per
+  /// counter row -- with rollback recovery that is per *executed* iteration,
+  /// replays included, like the histories themselves.  The serving tier
+  /// timestamps query admissions and retirements with these.
+  std::vector<double> iteration_end_ms;
 };
 
 class PerfModel {

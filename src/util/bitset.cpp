@@ -23,6 +23,28 @@ void LaneBitset::or_with(const LaneBitset& other) noexcept {
   }
 }
 
+std::size_t LaneBitset::clear_lanes(std::uint64_t bits) noexcept {
+  bits &= lane_mask_;
+  if (bits == 0) return 0;
+  // Replicate the lane word across the storage word: one AND-NOT per word
+  // clears the lane for 64/W items at a time.
+  std::uint64_t pattern = 0;
+  const int per_word = 64 / lane_bits_;
+  for (int j = 0; j < per_word; ++j) {
+    pattern |= bits << (j * lane_bits_);
+  }
+  std::size_t cleared = 0;
+  const std::size_t nw = word_count();
+  for (std::size_t w = 0; w < nw; ++w) {
+    const std::uint64_t old = words_[w].v.load(std::memory_order_relaxed);
+    const std::uint64_t hit = old & pattern;
+    if (hit == 0) continue;
+    cleared += static_cast<std::size_t>(std::popcount(hit));
+    words_[w].v.store(old & ~pattern, std::memory_order_relaxed);
+  }
+  return cleared;
+}
+
 std::size_t LaneBitset::count() const noexcept {
   std::size_t total = 0;
   const std::size_t nw = word_count();

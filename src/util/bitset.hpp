@@ -105,6 +105,13 @@ class LaneBitset {
     for (auto& w : words_) w.v.store(0, std::memory_order_relaxed);
   }
 
+  /// Clear lane `bits` (right-aligned lane word) of *every* item in one
+  /// word-level sweep -- what lane recycling uses to hand a retired lane's
+  /// visited state to a new occupant without touching the other lanes.
+  /// Single-threaded use only (iteration boundaries).  Returns the number
+  /// of bits cleared.
+  std::size_t clear_lanes(std::uint64_t bits) noexcept;
+
   std::uint64_t word(std::size_t w) const noexcept {
     return words_[w].v.load(std::memory_order_relaxed);
   }

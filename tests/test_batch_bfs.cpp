@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "baseline/serial_bfs.hpp"
 #include "core/bfs.hpp"
+#include "core/query_scheduler.hpp"
 #include "core/validate.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
@@ -256,6 +258,105 @@ TEST(BatchBfs, RejectsBadBatches) {
   EXPECT_THROW(bfs.run(std::vector<VertexId>{}), std::invalid_argument);
   EXPECT_THROW(bfs.run(std::vector<VertexId>(65, 0)), std::invalid_argument);
   EXPECT_THROW(bfs.run(std::vector<VertexId>{999}), std::out_of_range);
+}
+
+// ---- mid-flight lane-reseed edge cases (the serving scheduler re-admits
+// queries into lanes the batched substrate just drained) -------------------
+
+void expect_all_queries_serial_exact(const graph::EdgeList& g,
+                                     const SchedulerOutcome& out) {
+  const graph::HostCsr csr = graph::build_host_csr(g);
+  for (std::size_t i = 0; i < out.queries.size(); ++i) {
+    const ServedQuery& q = out.queries[i];
+    const ValidationReport ref = validate_against_reference(
+        q.distances, baseline::serial_bfs(csr, q.source));
+    ASSERT_TRUE(ref.ok) << "query " << i << " (source " << q.source
+                        << "): " << ref.error;
+  }
+}
+
+TEST(BatchBfs, ReseedingAFullyCoveredLaneStaysExact) {
+  // The grid is connected: each query visits *every* vertex, so every
+  // successive occupant of the single lane re-seeds a lane whose visited
+  // columns were fully set.  A missed clear anywhere shows up as a wrong
+  // (stale, smaller) depth.
+  const graph::EdgeList g = graph::grid_graph(16, 16);
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 4);
+  QueryScheduler scheduler(dg, cluster, {.width = 1});
+  std::vector<QueryArrival> trace;
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    trace.push_back({scheduler.sample_source(k * 7 + 1), 0});
+  }
+  const SchedulerOutcome out = scheduler.run(trace);
+  ASSERT_EQ(out.queries.size(), 3u);
+  for (const ServedQuery& q : out.queries) {
+    EXPECT_EQ(q.lane, 0);  // one lane serves the whole trace
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(q.distances.begin(), q.distances.end(),
+                             kUnvisited)),
+              0u);
+  }
+  expect_all_queries_serial_exact(g, out);
+}
+
+TEST(BatchBfs, DuplicateSourcesAcrossSuccessiveLaneOccupantsAgree) {
+  // The same source served three times through the same recycled lane must
+  // answer identically each time (and match the serial reference): the
+  // reseed may not leak the previous occupant's identical-looking state.
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 86});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 16);
+  QueryScheduler scheduler(dg, cluster, {.width = 1});
+  const VertexId s = scheduler.sample_source(5);
+  const std::vector<QueryArrival> trace{{s, 0}, {s, 0}, {s, 0}};
+  const SchedulerOutcome out = scheduler.run(trace);
+  ASSERT_EQ(out.queries.size(), 3u);
+  EXPECT_EQ(out.queries[0].distances, out.queries[1].distances);
+  EXPECT_EQ(out.queries[0].distances, out.queries[2].distances);
+  // Identical traversal shape each time (the modeled ms may differ: the
+  // recycled occupants' first iteration carries the reseed charge).
+  EXPECT_EQ(out.queries[0].retire_iteration - out.queries[0].admit_iteration,
+            out.queries[1].retire_iteration - out.queries[1].admit_iteration);
+  EXPECT_EQ(out.queries[0].retire_iteration - out.queries[0].admit_iteration,
+            out.queries[2].retire_iteration - out.queries[2].admit_iteration);
+  expect_all_queries_serial_exact(g, out);
+}
+
+TEST(BatchBfs, WidthQuantizationBoundariesServeExactly) {
+  // util::lane_width_for quantizes the lane budget to storage widths at
+  // 1 -> 8 and 32 -> 64; the scheduler must stay exact right across both
+  // boundaries (unused storage lanes never leak into served ones).
+  EXPECT_EQ(util::lane_width_for(1), 1);
+  EXPECT_EQ(util::lane_width_for(2), 8);
+  EXPECT_EQ(util::lane_width_for(32), 32);
+  EXPECT_EQ(util::lane_width_for(33), 64);
+
+  const graph::EdgeList g = graph::rmat_graph500({.scale = 9, .seed = 87});
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 2;
+  sim::Cluster cluster(spec);
+  const graph::DistributedGraph dg = build_distributed(g, spec, 16);
+  for (const std::size_t width : {std::size_t{2}, std::size_t{33}}) {
+    QueryScheduler scheduler(dg, cluster, {.width = width});
+    const std::vector<QueryArrival> trace = make_arrival_trace(
+        dg, {.queries = width + 3, .rate = 8.0,
+             .pattern = ArrivalPattern::kUniform, .seed = 43});
+    const SchedulerOutcome out = scheduler.run(trace);
+    EXPECT_EQ(out.lane_bits, util::lane_width_for(width));
+    // The budget is the requested width, not the quantized storage width.
+    for (const ServedQuery& q : out.queries) {
+      EXPECT_LT(static_cast<std::size_t>(q.lane), width);
+    }
+    expect_all_queries_serial_exact(g, out);
+  }
 }
 
 }  // namespace

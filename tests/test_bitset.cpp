@@ -273,6 +273,39 @@ TEST(LaneBitset, ConcurrentOrLanesLossless) {
   EXPECT_EQ(first_touches.load(), 256);
 }
 
+TEST(LaneBitset, ClearLanesSweepsOnlyTheNamedLanes) {
+  // 8-bit lanes, 100 items: set a distinct pattern per item, clear lanes
+  // {0, 5}, and verify the other lanes survive untouched item by item.
+  LaneBitset b(100, 8);
+  for (std::size_t v = 0; v < 100; ++v) {
+    b.or_lanes(v, (v % 2 == 0) ? 0x21u : 0xc1u);  // all include lane 0
+  }
+  const std::size_t cleared = b.clear_lanes((1u << 0) | (1u << 5));
+  // Every item loses lane 0; the even items lose lane 5 too.
+  EXPECT_EQ(cleared, 100u + 50u);
+  for (std::size_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(b.lanes(v), (v % 2 == 0) ? 0x00u : 0xc0u) << "item " << v;
+  }
+  // Clearing lanes that hold no bits is a no-op.
+  EXPECT_EQ(b.clear_lanes(0x3f), 0u);
+  // Bits outside the lane mask are ignored entirely.
+  LaneBitset w1(64, 1);
+  for (std::size_t v = 0; v < 64; ++v) w1.or_lanes(v, 1);
+  EXPECT_EQ(w1.clear_lanes(~1ULL), 0u);
+  EXPECT_EQ(w1.count(), 64u);
+  EXPECT_EQ(w1.clear_lanes(1), 64u);
+  EXPECT_TRUE(w1.none());
+}
+
+TEST(LaneBitset, ClearLanesFullWidth) {
+  LaneBitset b(5, 64);
+  b.or_lanes(2, ~0ULL);
+  b.or_lanes(4, 1ULL << 63);
+  EXPECT_EQ(b.clear_lanes(1ULL << 63), 2u);
+  EXPECT_EQ(b.lanes(2), ~0ULL >> 1);
+  EXPECT_EQ(b.lanes(4), 0u);
+}
+
 TEST(LaneBitset, LaneWidthForQuantizesToSupportedWidths) {
   EXPECT_EQ(lane_width_for(1), 1);
   EXPECT_EQ(lane_width_for(2), 8);

@@ -12,6 +12,7 @@
 #include "core/bfs.hpp"
 #include "core/delta_sssp.hpp"
 #include "core/pagerank.hpp"
+#include "core/query_scheduler.hpp"
 #include "graph/builder.hpp"
 #include "graph/rmat.hpp"
 #include "sim/cluster.hpp"
@@ -129,6 +130,51 @@ TEST_F(RecoveryTest, PagerankSurvivesGpuFailureBitExact) {
   EXPECT_EQ(hurt.ranks, clean.ranks);
   EXPECT_EQ(hurt.iterations, clean.iterations);
   expect_recovered(hurt.fault);
+}
+
+TEST_F(RecoveryTest, QuerySchedulerSurvivesGpuFailureBitExact) {
+  // The serving tier under a mid-run device loss: the rollback must replay
+  // the in-flight lanes (and their retire/admit boundaries) without
+  // re-answering already-retired queries differently -- the replicated
+  // scheduler core is part of the checkpoint, so the logical schedule of a
+  // hurt run is the clean run's, bit for bit; only the modeled clock pays.
+  sim::Cluster cluster(spec_);
+  core::QueryScheduler sampler(dg_, cluster, {.width = 8});
+  const std::vector<core::QueryArrival> trace = core::make_arrival_trace(
+      dg_, {.queries = 12, .rate = 2.0,
+            .pattern = core::ArrivalPattern::kUniform, .seed = 7});
+  const core::SchedulerOutcome clean = sampler.run(trace);
+
+  core::SchedulerOptions options;
+  options.width = 8;
+  options.resilience = kill_gpu1_at2();
+  core::QueryScheduler hurt_scheduler(dg_, cluster, options);
+  const core::SchedulerOutcome hurt = hurt_scheduler.run(trace);
+
+  ASSERT_EQ(hurt.queries.size(), clean.queries.size());
+  for (std::size_t i = 0; i < clean.queries.size(); ++i) {
+    EXPECT_EQ(hurt.queries[i].distances, clean.queries[i].distances)
+        << "query " << i;
+    EXPECT_EQ(hurt.queries[i].lane, clean.queries[i].lane) << "query " << i;
+    EXPECT_EQ(hurt.queries[i].admit_iteration, clean.queries[i].admit_iteration)
+        << "query " << i;
+    EXPECT_EQ(hurt.queries[i].retire_iteration,
+              clean.queries[i].retire_iteration)
+        << "query " << i;
+  }
+  ASSERT_EQ(hurt.events.size(), clean.events.size());
+  for (std::size_t i = 0; i < clean.events.size(); ++i) {
+    EXPECT_EQ(hurt.events[i].kind, clean.events[i].kind);
+    EXPECT_EQ(hurt.events[i].iteration, clean.events[i].iteration);
+    EXPECT_EQ(hurt.events[i].lane, clean.events[i].lane);
+    EXPECT_EQ(hurt.events[i].query, clean.events[i].query);
+  }
+  EXPECT_EQ(hurt.metrics.run.iterations,
+            clean.metrics.run.iterations +
+                hurt.metrics.run.fault.replayed_iterations);
+  expect_recovered(hurt.metrics.run.fault);
+  EXPECT_GT(hurt.metrics.modeled_ms, clean.metrics.modeled_ms);
+  EXPECT_LT(hurt.metrics.queries_per_sec, clean.metrics.queries_per_sec);
 }
 
 TEST_F(RecoveryTest, CadenceBoundsTheReplayWindow) {
