@@ -112,6 +112,110 @@ std::vector<std::uint64_t> pack_updates_compressed(
   return words;
 }
 
+std::vector<std::uint64_t> pack_updates_raw(
+    const std::vector<VertexUpdate>& updates) {
+  std::vector<std::uint64_t> words;
+  words.reserve(1 + updates.size() * 2);
+  words.push_back(updates.size());
+  for (const VertexUpdate& u : updates) {
+    words.push_back(u.vertex);
+    words.push_back(u.value);
+  }
+  return words;
+}
+
+/// Per-bin coalesce with the historic counter charges; no-op for kNone.
+std::uint64_t coalesce_with_counters(std::vector<VertexUpdate>& bin,
+                                     const UpdateExchangeOptions& options,
+                                     std::uint64_t record_bytes,
+                                     ExchangeCounters& counters) {
+  if (options.combine == UpdateCombine::kNone) return 0;
+  counters.uniquify_vertices += bin.size();
+  counters.uniquify_bytes += bin.size() * record_bytes;
+  const std::uint64_t removed = coalesce_bin(bin, options.combine);
+  counters.duplicates_removed += removed;
+  return removed;
+}
+
+struct EncodedBin {
+  std::vector<std::uint64_t> words;
+  /// Logical payload bytes by the historic counting rules (encoded byte
+  /// count when compressed, records * record_bytes raw; the adaptive flag
+  /// word is not counted, matching the flat exchange).
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Encode one (already coalesced) update bin exactly like the flat
+/// exchange: raw pairs, delta+varint, or the adaptive raw-vs-encoded choice
+/// behind a flag word.  Charges the encode/adaptive counters.  Shared by
+/// the flat path and the per-hop re-encoders of the multi-hop topologies so
+/// the wire format cannot drift between them.
+EncodedBin encode_update_payload(const std::vector<VertexUpdate>& bin,
+                                 const UpdateExchangeOptions& options,
+                                 std::uint64_t record_bytes,
+                                 ExchangeCounters& counters) {
+  EncodedBin out;
+  if (options.compress && options.adaptive) {
+    // Trial-encode, ship whichever representation is smaller; a one-word
+    // header flags the choice for the receiver.  The encode kernel ran
+    // either way, so it is charged either way.
+    counters.encode_bytes += bin.size() * record_bytes;
+    const std::uint64_t raw_bytes = bin.size() * record_bytes;
+    std::vector<std::uint64_t> body =
+        pack_updates_compressed(bin, options.value_bias);
+    const bool encoded_wins = body[1] < raw_bytes;
+    if (encoded_wins) {
+      out.payload_bytes = body[1];
+    } else {
+      out.payload_bytes = raw_bytes;
+      body = pack_updates_raw(bin);
+    }
+    if (!bin.empty()) {
+      ++(encoded_wins ? counters.bins_compressed : counters.bins_raw);
+    }
+    out.words.reserve(body.size() + 1);
+    out.words.push_back(encoded_wins ? 1 : 0);
+    out.words.insert(out.words.end(), body.begin(), body.end());
+  } else if (options.compress) {
+    counters.encode_bytes += bin.size() * record_bytes;
+    out.words = pack_updates_compressed(bin, options.value_bias);
+    out.payload_bytes = out.words[1];  // encoded byte count
+  } else {
+    out.words = pack_updates_raw(bin);
+    out.payload_bytes = bin.size() * record_bytes;
+  }
+  return out;
+}
+
+/// Decode one update payload (with the adaptive flag word when the options
+/// call for it); appends to `out` and returns the logical payload bytes by
+/// the historic counting rules.
+std::uint64_t decode_update_payload(std::span<const std::uint64_t> body,
+                                    const UpdateExchangeOptions& options,
+                                    std::uint64_t record_bytes,
+                                    std::vector<VertexUpdate>& out) {
+  bool encoded = options.compress;
+  if (options.compress && options.adaptive) {
+    if (body.empty()) {
+      throw DecodeError("adaptive update payload missing its flag word");
+    }
+    if (body[0] > 1) {
+      throw DecodeError("adaptive update payload has an invalid flag word");
+    }
+    encoded = body[0] == 1;
+    body = body.subspan(1);
+  }
+  const std::size_t before = out.size();
+  if (encoded) {
+    decode_updates_compressed(body, options.value_bias, out);
+  } else {
+    decode_updates_raw(body, out);
+  }
+  // body[1] is the validated encoded byte count; raw records are
+  // record_bytes each.
+  return encoded ? body[1] : (out.size() - before) * record_bytes;
+}
+
 // ---- hardened wire helpers ------------------------------------------------
 
 /// Checksum + frame an outbound payload on a lossy transport; pass-through
@@ -188,6 +292,548 @@ std::vector<std::uint64_t> recv_reliable(Transport& transport, int to,
           ", tag=" + std::to_string(tag) + ")");
     }
   }
+}
+
+// ---- multi-hop (hierarchical / butterfly) routing -------------------------
+// Messages between GPUs carry *segments*: per-destination payloads in the
+// flat exchange's own bin encodings, prefixed with a routing header.  Wire
+// layout: [segment_count] then per segment [dest_gpu | (src_gpu << 32)]
+// [payload_word_count] [payload words].  src = kMergedSrc marks a segment
+// re-coalesced across several origins at a forwarding hop (only done for
+// order-insensitive combines); per-source segments keep their origin so the
+// final receiver can reproduce the flat exchange's source-ordered fold.
+
+constexpr std::uint32_t kMergedSrc = 0xffffffffu;
+
+struct Segment {
+  std::uint32_t dest = 0;
+  std::uint32_t src = kMergedSrc;
+  std::vector<std::uint64_t> words;
+};
+
+std::vector<std::uint64_t> pack_segments(const std::vector<Segment>& segs) {
+  std::size_t total = 1;
+  for (const Segment& s : segs) total += 2 + s.words.size();
+  std::vector<std::uint64_t> out;
+  out.reserve(total);
+  out.push_back(segs.size());
+  for (const Segment& s : segs) {
+    out.push_back(static_cast<std::uint64_t>(s.dest) |
+                  (static_cast<std::uint64_t>(s.src) << 32));
+    out.push_back(s.words.size());
+    out.insert(out.end(), s.words.begin(), s.words.end());
+  }
+  return out;
+}
+
+std::vector<Segment> unpack_segments(std::span<const std::uint64_t> words,
+                                     int total_gpus) {
+  if (words.empty()) {
+    throw DecodeError("hop message missing its segment count");
+  }
+  const std::uint64_t count = words[0];
+  std::size_t pos = 1;
+  if (count > (words.size() - 1) / 2) {
+    throw DecodeError("hop message segment count " + std::to_string(count) +
+                      " exceeds its " + std::to_string(words.size() - 1) +
+                      " body words");
+  }
+  std::vector<Segment> segs;
+  segs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (words.size() - pos < 2) {
+      throw DecodeError("hop segment header truncated");
+    }
+    Segment s;
+    s.dest = static_cast<std::uint32_t>(words[pos] & 0xffffffffULL);
+    s.src = static_cast<std::uint32_t>(words[pos] >> 32);
+    if (s.dest >= static_cast<std::uint32_t>(total_gpus)) {
+      throw DecodeError("hop segment destination out of range");
+    }
+    if (s.src != kMergedSrc &&
+        s.src >= static_cast<std::uint32_t>(total_gpus)) {
+      throw DecodeError("hop segment source out of range");
+    }
+    const std::uint64_t len = words[pos + 1];
+    pos += 2;
+    if (len > words.size() - pos) {
+      throw DecodeError("hop segment payload truncated");
+    }
+    s.words.assign(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                   words.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    segs.push_back(std::move(s));
+  }
+  if (pos != words.size()) {
+    throw DecodeError("hop message has trailing words");
+  }
+  return segs;
+}
+
+/// Record-type plumbing of the multi-hop router for the bare-id exchange.
+/// Segment payloads are pack_ids format; cross-source merging is the U
+/// option's uniquify, so it only runs when the caller asked for uniquify.
+struct IdHopTraits {
+  using Record = LocalId;
+  const ExchangeOptions& opt;
+
+  bool mergeable() const { return opt.uniquify; }
+
+  std::vector<std::uint64_t> encode_origin(std::vector<LocalId>& bin,
+                                           ExchangeCounters& c) const {
+    if (opt.uniquify) {
+      c.uniquify_vertices += bin.size();
+      c.uniquify_bytes += bin.size() * 4;
+      c.duplicates_removed += uniquify_bin(bin);
+    }
+    return pack_ids(bin);
+  }
+
+  std::uint64_t merge_records(std::vector<LocalId>& recs,
+                              ExchangeCounters& c) const {
+    c.uniquify_vertices += recs.size();
+    c.uniquify_bytes += recs.size() * 4;
+    const std::uint64_t removed = uniquify_bin(recs);
+    c.duplicates_removed += removed;
+    return removed;
+  }
+
+  std::vector<std::uint64_t> encode_records(const std::vector<LocalId>& recs,
+                                            ExchangeCounters&) const {
+    return pack_ids(recs);
+  }
+
+  void decode(std::span<const std::uint64_t> words,
+              std::vector<LocalId>& out) const {
+    std::size_t pos = 0;
+    decode_ids(words, pos, out);
+    if (pos != words.size()) {
+      throw DecodeError("id segment has trailing words");
+    }
+  }
+
+  std::uint64_t record_count(const std::vector<std::uint64_t>& words) const {
+    return words.empty() ? 0 : words[0];
+  }
+
+  std::uint64_t logical_bytes(const std::vector<std::uint64_t>& words) const {
+    return record_count(words) * 4;
+  }
+};
+
+/// Record-type plumbing for the value-update exchange.  Segment payloads
+/// are the flat exchange's raw/compressed/adaptive bin encodings;
+/// cross-source merging runs only for the order-insensitive combines
+/// (kMin, kOr) -- kSumDouble's IEEE addition is not associative and kNone
+/// promises every candidate, so those forward per-source segments intact.
+struct UpdateHopTraits {
+  using Record = VertexUpdate;
+  const UpdateExchangeOptions& opt;
+  std::uint64_t record_bytes;
+
+  bool mergeable() const {
+    return opt.combine == UpdateCombine::kMin ||
+           opt.combine == UpdateCombine::kOr;
+  }
+
+  std::vector<std::uint64_t> encode_origin(std::vector<VertexUpdate>& bin,
+                                           ExchangeCounters& c) const {
+    coalesce_with_counters(bin, opt, record_bytes, c);
+    return encode_update_payload(bin, opt, record_bytes, c).words;
+  }
+
+  std::uint64_t merge_records(std::vector<VertexUpdate>& recs,
+                              ExchangeCounters& c) const {
+    return coalesce_with_counters(recs, opt, record_bytes, c);
+  }
+
+  std::vector<std::uint64_t> encode_records(
+      const std::vector<VertexUpdate>& recs, ExchangeCounters& c) const {
+    return encode_update_payload(recs, opt, record_bytes, c).words;
+  }
+
+  void decode(std::span<const std::uint64_t> words,
+              std::vector<VertexUpdate>& out) const {
+    decode_update_payload(words, opt, record_bytes, out);
+  }
+
+  std::uint64_t record_count(const std::vector<std::uint64_t>& words) const {
+    if (opt.compress && opt.adaptive) {
+      if (words.size() < 2) {
+        throw DecodeError("adaptive update segment shorter than its headers");
+      }
+      return words[1];
+    }
+    if (words.empty()) {
+      throw DecodeError("update segment missing its count header");
+    }
+    return words[0];
+  }
+
+  std::uint64_t logical_bytes(const std::vector<std::uint64_t>& words) const {
+    if (opt.compress && opt.adaptive) {
+      if (words.size() < 2) {
+        throw DecodeError("adaptive update segment shorter than its headers");
+      }
+      if (words[0] == 1) {
+        if (words.size() < 3) {
+          throw DecodeError("compressed update segment missing its headers");
+        }
+        return words[2];  // encoded byte count
+      }
+      return words[1] * record_bytes;
+    }
+    if (opt.compress) {
+      if (words.size() < 2) {
+        throw DecodeError("compressed update segment missing its headers");
+      }
+      return words[1];
+    }
+    if (words.empty()) {
+      throw DecodeError("update segment missing its count header");
+    }
+    return words[0] * record_bytes;
+  }
+};
+
+/// Wire bytes of one hop message by the historic counting rules: an 8-byte
+/// segment-count word plus, per segment, 16 bytes of routing header and the
+/// flat exchange's logical payload bytes.  The headers are counted because
+/// they are the real price of aggregation; the lossy-transport frame
+/// overhead is charged to the legacy counters separately, like flat does.
+template <class Traits>
+std::uint64_t message_logical_bytes(const std::vector<Segment>& segs,
+                                    const Traits& traits) {
+  std::uint64_t bytes = 8;
+  for (const Segment& s : segs) bytes += 16 + traits.logical_bytes(s.words);
+  return bytes;
+}
+
+template <class Traits>
+std::uint64_t message_records(const std::vector<Segment>& segs,
+                              const Traits& traits) {
+  std::uint64_t records = 0;
+  for (const Segment& s : segs) records += traits.record_count(s.words);
+  return records;
+}
+
+/// Re-bin a hop's outgoing segments: deterministic (dest, src) order, and
+/// -- when the combine is order-insensitive -- decode + re-coalesce +
+/// re-encode each multi-segment destination group into one merged segment.
+/// This is the per-hop reapplication of the uniquify/compress machinery;
+/// the coalesce/encode kernels are charged to the same counters the origin
+/// pass uses, because the work really reruns on the forwarding GPU.
+template <class Traits>
+void rebin_segments(std::vector<Segment>& segs, const Traits& traits,
+                    sim::HopCounters& hop, ExchangeCounters& counters) {
+  std::stable_sort(segs.begin(), segs.end(),
+                   [](const Segment& a, const Segment& b) {
+                     return a.dest != b.dest ? a.dest < b.dest : a.src < b.src;
+                   });
+  if (!traits.mergeable()) return;
+  std::vector<Segment> out;
+  out.reserve(segs.size());
+  for (std::size_t i = 0; i < segs.size();) {
+    std::size_t j = i + 1;
+    while (j < segs.size() && segs[j].dest == segs[i].dest) ++j;
+    if (j == i + 1) {
+      out.push_back(std::move(segs[i]));  // already coalesced upstream
+    } else {
+      std::vector<typename Traits::Record> recs;
+      for (std::size_t k = i; k < j; ++k) {
+        traits.decode(segs[k].words, recs);
+      }
+      const std::uint64_t before = recs.size();
+      traits.merge_records(recs, counters);
+      hop.merged += before - recs.size();
+      Segment merged;
+      merged.dest = segs[i].dest;
+      merged.src = kMergedSrc;
+      merged.words = traits.encode_records(recs, counters);
+      out.push_back(std::move(merged));
+    }
+    i = j;
+  }
+  segs = std::move(out);
+}
+
+/// The multi-hop exchange engine shared by the id and update exchanges.
+///
+/// Hop 0 (NVLink): every GPU sends one message to each same-node peer
+/// carrying the segments destined to that peer plus -- when the peer is the
+/// node leader -- all segments bound for other nodes (the gather).  Tag
+/// base kTagExchangeLocal.
+/// Inter-node hops (IB, leaders only, tag bases kTagExchangeRemote + h):
+/// hierarchical sends one aggregated message per other node (1 hop,
+/// nodes - 1 partners); butterfly sends exactly one message per hop to the
+/// partner leader node XOR (1 << h) (log2(nodes) hops, 1 partner each),
+/// re-binning the pool every hop.
+/// Final hop (NVLink): leaders scatter inbound segments to their same-node
+/// destinations.  Tag base kTagExchangeLocal + 1.
+/// All tags sit in the faultable window, so the hardened wire's
+/// NACK/retransmit protects each link of each hop independently (hop-local
+/// recovery, never end-to-end).
+template <class Traits>
+std::vector<typename Traits::Record> multi_hop_exchange(
+    Transport& transport, const sim::ClusterSpec& spec, sim::GpuCoord me,
+    std::vector<std::vector<typename Traits::Record>>& bins, int iteration,
+    sim::ExchangeTopology topology, const sim::RetryPolicy& retry,
+    const Traits& traits, ExchangeCounters& counters) {
+  const int p = spec.total_gpus();
+  const int me_global = spec.global_gpu(me);
+  const int nodes = spec.num_nodes();
+  const int my_node = spec.node_of(me_global);
+  const int leader = spec.node_leader(my_node);
+  const bool is_leader = me_global == leader;
+  const int gpn = spec.gpus_per_node(my_node);
+  const bool lossy = transport.lossy();
+  const bool butterfly = topology == sim::ExchangeTopology::kButterfly;
+
+  int inter_hops = 0;
+  if (nodes > 1) {
+    if (butterfly) {
+      if ((nodes & (nodes - 1)) != 0 || nodes > 64) {
+        throw std::invalid_argument(
+            "butterfly exchange needs a power-of-two node count <= 64, got " +
+            std::to_string(nodes) + " nodes");
+      }
+      while ((1 << inter_hops) < nodes) ++inter_hops;
+    } else {
+      inter_hops = 1;
+    }
+  }
+  const int tag_gather = kTagExchangeLocal + iteration * kTagBlock;
+  const int tag_scatter = kTagExchangeLocal + 1 + iteration * kTagBlock;
+  const auto tag_inter = [iteration](int h) {
+    return kTagExchangeRemote + h + iteration * kTagBlock;
+  };
+
+  // One entry per hop for every GPU of the round, leaders or not, so the
+  // hop trace has identical shape across the cluster (the perf model's
+  // bulk-synchronous replay and the golden tests rely on this).
+  std::vector<sim::HopCounters> hops(
+      static_cast<std::size_t>(1 + inter_hops + (inter_hops > 0 ? 1 : 0)));
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    hops[h].hop = static_cast<int>(h);
+    hops[h].internode = h >= 1 && h <= static_cast<std::size_t>(inter_hops);
+  }
+
+  const auto charge_send = [&](sim::HopCounters& hop,
+                               const std::vector<Segment>& segs) {
+    const std::uint64_t bytes = message_logical_bytes(segs, traits);
+    hop.send_bytes += bytes;
+    ++hop.partners;
+    hop.bins += static_cast<int>(segs.size());
+    hop.records += message_records(segs, traits);
+    if (hop.internode) {
+      counters.send_bytes_remote += bytes + (lossy ? kFrameOverheadBytes : 0);
+      ++counters.send_dest_ranks;
+    } else {
+      counters.local_bytes += bytes + (lossy ? kFrameOverheadBytes : 0);
+    }
+    return bytes;
+  };
+  const auto charge_recv = [&](sim::HopCounters& hop,
+                               const std::vector<Segment>& segs) {
+    const std::uint64_t bytes = message_logical_bytes(segs, traits);
+    hop.recv_bytes += bytes;
+    if (hop.internode) {
+      counters.recv_bytes_remote += bytes + (lossy ? kFrameOverheadBytes : 0);
+    }
+  };
+
+  // ---- origin: encode every bin once, exactly like the flat sender ------
+  for (const auto& bin : bins) counters.bin_vertices += bin.size();
+  std::vector<typename Traits::Record> received =
+      std::move(bins[static_cast<std::size_t>(me_global)]);
+  bins[static_cast<std::size_t>(me_global)].clear();
+
+  std::vector<Segment> inbox;  // segments for me, tagged with their origin
+  std::vector<Segment> pool;   // leader only: segments bound for other nodes
+  std::vector<std::vector<Segment>> to_peer(static_cast<std::size_t>(gpn));
+  for (int dest = 0; dest < p; ++dest) {
+    if (dest == me_global) continue;
+    auto& bin = bins[static_cast<std::size_t>(dest)];
+    if (bin.empty()) continue;  // aggregation: empty bins ship no segment
+    Segment s;
+    s.dest = static_cast<std::uint32_t>(dest);
+    s.src = static_cast<std::uint32_t>(me_global);
+    s.words = traits.encode_origin(bin, counters);
+    bin.clear();
+    if (spec.node_of(dest) == my_node) {
+      to_peer[static_cast<std::size_t>(dest - leader)].push_back(std::move(s));
+    } else if (is_leader) {
+      pool.push_back(std::move(s));
+    } else {
+      to_peer[0].push_back(std::move(s));  // gather onto the leader
+    }
+  }
+
+  // ---- hop 0: intra-node distribute + gather -----------------------------
+  for (int j = 0; j < gpn; ++j) {
+    const int peer = leader + j;
+    if (peer == me_global) continue;
+    auto& segs = to_peer[static_cast<std::size_t>(j)];
+    charge_send(hops[0], segs);
+    transport.send(me_global, peer, tag_gather,
+                   maybe_frame(transport, pack_segments(segs), counters));
+    segs.clear();
+  }
+  for (int j = 0; j < gpn; ++j) {
+    const int peer = leader + j;
+    if (peer == me_global) continue;
+    const auto words = recv_reliable(transport, me_global, peer, tag_gather,
+                                     retry, counters);
+    auto segs = unpack_segments(words, p);
+    charge_recv(hops[0], segs);
+    for (Segment& s : segs) {
+      if (s.dest == static_cast<std::uint32_t>(me_global)) {
+        inbox.push_back(std::move(s));
+      } else if (is_leader &&
+                 spec.node_of(static_cast<int>(s.dest)) != my_node) {
+        pool.push_back(std::move(s));
+      } else {
+        throw DecodeError("hop 0 segment routed to a non-forwarding GPU");
+      }
+    }
+  }
+
+  // ---- inter-node hops (leaders only; everyone keeps the hop entries) ----
+  std::vector<Segment> scatter_pool;  // segments for my node's other GPUs
+  const auto stage_home = [&](Segment&& s) {
+    if (s.dest == static_cast<std::uint32_t>(me_global)) {
+      inbox.push_back(std::move(s));
+    } else {
+      scatter_pool.push_back(std::move(s));
+    }
+  };
+  if (nodes > 1 && is_leader) {
+    if (!butterfly) {
+      // Hierarchical: one aggregated message per other node.
+      std::vector<std::vector<Segment>> per_node(
+          static_cast<std::size_t>(nodes));
+      for (Segment& s : pool) {
+        per_node[static_cast<std::size_t>(
+                     spec.node_of(static_cast<int>(s.dest)))]
+            .push_back(std::move(s));
+      }
+      pool.clear();
+      for (int m = 0; m < nodes; ++m) {
+        if (m == my_node) continue;
+        auto& segs = per_node[static_cast<std::size_t>(m)];
+        rebin_segments(segs, traits, hops[1], counters);
+        charge_send(hops[1], segs);
+        transport.send(me_global, spec.node_leader(m), tag_inter(0),
+                       maybe_frame(transport, pack_segments(segs), counters));
+        segs.clear();
+      }
+      for (int m = 0; m < nodes; ++m) {
+        if (m == my_node) continue;
+        const auto words =
+            recv_reliable(transport, me_global, spec.node_leader(m),
+                          tag_inter(0), retry, counters);
+        auto segs = unpack_segments(words, p);
+        charge_recv(hops[1], segs);
+        for (Segment& s : segs) {
+          if (spec.node_of(static_cast<int>(s.dest)) != my_node) {
+            throw DecodeError("hierarchical segment landed on the wrong node");
+          }
+          stage_home(std::move(s));
+        }
+      }
+    } else {
+      // Butterfly: hop h fixes bit h of the destination node; the pool
+      // halves toward home every hop and is re-binned before each send.
+      for (int h = 0; h < inter_hops; ++h) {
+        const int partner_node = my_node ^ (1 << h);
+        const int partner = spec.node_leader(partner_node);
+        std::vector<Segment> outgoing;
+        std::vector<Segment> keep;
+        for (Segment& s : pool) {
+          const int dest_node = spec.node_of(static_cast<int>(s.dest));
+          (((dest_node ^ my_node) >> h) & 1 ? outgoing : keep)
+              .push_back(std::move(s));
+        }
+        pool = std::move(keep);
+        rebin_segments(outgoing, traits, hops[static_cast<std::size_t>(1 + h)],
+                       counters);
+        charge_send(hops[static_cast<std::size_t>(1 + h)], outgoing);
+        transport.send(
+            me_global, partner, tag_inter(h),
+            maybe_frame(transport, pack_segments(outgoing), counters));
+        const auto words = recv_reliable(transport, me_global, partner,
+                                         tag_inter(h), retry, counters);
+        auto segs = unpack_segments(words, p);
+        charge_recv(hops[static_cast<std::size_t>(1 + h)], segs);
+        for (Segment& s : segs) {
+          const int dest_node = spec.node_of(static_cast<int>(s.dest));
+          if (((dest_node ^ my_node) & ((1 << (h + 1)) - 1)) != 0) {
+            throw DecodeError("butterfly segment violates its hop invariant");
+          }
+          if (dest_node == my_node) {
+            stage_home(std::move(s));
+          } else {
+            pool.push_back(std::move(s));
+          }
+        }
+      }
+      // Everything left in the pool is home after the last hop.
+      for (Segment& s : pool) {
+        if (spec.node_of(static_cast<int>(s.dest)) != my_node) {
+          throw DecodeError("butterfly pool not fully routed after last hop");
+        }
+        stage_home(std::move(s));
+      }
+      pool.clear();
+    }
+  }
+
+  // ---- final hop: intra-node scatter -------------------------------------
+  if (inter_hops > 0) {
+    sim::HopCounters& hop = hops.back();
+    if (is_leader) {
+      std::vector<std::vector<Segment>> per_gpu(static_cast<std::size_t>(gpn));
+      for (Segment& s : scatter_pool) {
+        per_gpu[static_cast<std::size_t>(static_cast<int>(s.dest) - leader)]
+            .push_back(std::move(s));
+      }
+      scatter_pool.clear();
+      for (int j = 0; j < gpn; ++j) {
+        const int peer = leader + j;
+        if (peer == me_global) continue;
+        auto& segs = per_gpu[static_cast<std::size_t>(j)];
+        rebin_segments(segs, traits, hop, counters);
+        charge_send(hop, segs);
+        transport.send(me_global, peer, tag_scatter,
+                       maybe_frame(transport, pack_segments(segs), counters));
+        segs.clear();
+      }
+    } else {
+      const auto words = recv_reliable(transport, me_global, leader,
+                                       tag_scatter, retry, counters);
+      auto segs = unpack_segments(words, p);
+      charge_recv(hop, segs);
+      for (Segment& s : segs) {
+        if (s.dest != static_cast<std::uint32_t>(me_global)) {
+          throw DecodeError("scatter segment missed its destination");
+        }
+        inbox.push_back(std::move(s));
+      }
+    }
+  }
+
+  // ---- deliver: loopback first, then origin order, merged segments last --
+  // (kMergedSrc sorts after every real GPU id).  This reproduces the flat
+  // exchange's receive order exactly for the per-source-preserving modes,
+  // which is what keeps non-associative folds (PageRank's double sums)
+  // bit-identical across topologies.
+  std::stable_sort(inbox.begin(), inbox.end(),
+                   [](const Segment& a, const Segment& b) {
+                     return a.src < b.src;
+                   });
+  for (const Segment& s : inbox) traits.decode(s.words, received);
+  counters.hops.insert(counters.hops.end(), hops.begin(), hops.end());
+  return received;
 }
 
 }  // namespace
@@ -336,6 +982,12 @@ NormalExchange::NormalExchange(Transport& transport, sim::ClusterSpec spec)
 std::vector<LocalId> NormalExchange::exchange(
     sim::GpuCoord me, std::vector<std::vector<LocalId>>& bins, int iteration,
     const ExchangeOptions& options, ExchangeCounters& counters) {
+  if (options.topology != sim::ExchangeTopology::kFlat) {
+    const IdHopTraits traits{options};
+    return multi_hop_exchange(transport_, spec_, me, bins, iteration,
+                              options.topology, options.retry, traits,
+                              counters);
+  }
   const int p = spec_.total_gpus();
   const int me_global = spec_.global_gpu(me);
   const int local_tag = kTagExchangeLocal + iteration * kTagBlock;
@@ -500,16 +1152,12 @@ std::vector<VertexUpdate> exchange_updates(
   const std::uint64_t record_bytes =
       4 + static_cast<std::uint64_t>(options.value_bytes);
 
-  const auto pack = [](const std::vector<VertexUpdate>& updates) {
-    std::vector<std::uint64_t> words;
-    words.reserve(1 + updates.size() * 2);
-    words.push_back(updates.size());
-    for (const VertexUpdate& u : updates) {
-      words.push_back(u.vertex);
-      words.push_back(u.value);
-    }
-    return words;
-  };
+  if (options.topology != sim::ExchangeTopology::kFlat) {
+    const UpdateHopTraits traits{options, record_bytes};
+    return multi_hop_exchange(transport, spec, me, bins, iteration,
+                              options.topology, options.retry, traits,
+                              counters);
+  }
 
   for (int dest = 0; dest < p; ++dest) {
     if (dest == me_global) continue;
@@ -517,42 +1165,11 @@ std::vector<VertexUpdate> exchange_updates(
     counters.bin_vertices += bin.size();
     // Coalesce duplicates before the send (the loopback bin never hits a
     // wire, so it is left to the receiver's fold, like the id exchange's U).
-    if (options.combine != UpdateCombine::kNone) {
-      counters.uniquify_vertices += bin.size();
-      counters.uniquify_bytes += bin.size() * record_bytes;
-      counters.duplicates_removed += coalesce_bin(bin, options.combine);
-    }
-    std::vector<std::uint64_t> words;
-    std::uint64_t payload;
-    if (options.compress && options.adaptive) {
-      // Trial-encode, ship whichever representation is smaller; a one-word
-      // header flags the choice for the receiver.  The encode kernel ran
-      // either way, so it is charged either way.
-      counters.encode_bytes += bin.size() * record_bytes;
-      const std::uint64_t raw_bytes = bin.size() * record_bytes;
-      std::vector<std::uint64_t> body =
-          pack_updates_compressed(bin, options.value_bias);
-      const bool encoded_wins = body[1] < raw_bytes;
-      if (encoded_wins) {
-        payload = body[1];
-      } else {
-        payload = raw_bytes;
-        body = pack(bin);
-      }
-      if (!bin.empty()) {
-        ++(encoded_wins ? counters.bins_compressed : counters.bins_raw);
-      }
-      words.reserve(body.size() + 1);
-      words.push_back(encoded_wins ? 1 : 0);
-      words.insert(words.end(), body.begin(), body.end());
-    } else if (options.compress) {
-      counters.encode_bytes += bin.size() * record_bytes;
-      words = pack_updates_compressed(bin, options.value_bias);
-      payload = words[1];  // encoded byte count
-    } else {
-      words = pack(bin);
-      payload = bin.size() * record_bytes;
-    }
+    coalesce_with_counters(bin, options, record_bytes, counters);
+    EncodedBin encoded =
+        encode_update_payload(bin, options, record_bytes, counters);
+    std::vector<std::uint64_t> words = std::move(encoded.words);
+    std::uint64_t payload = encoded.payload_bytes;
     if (lossy) payload += kFrameOverheadBytes;
     if (spec.coord_of(dest).rank != me.rank) {
       counters.send_bytes_remote += payload;
@@ -572,30 +1189,11 @@ std::vector<VertexUpdate> exchange_updates(
     if (src == me_global) continue;
     const auto words =
         recv_reliable(transport, me_global, src, tag, options.retry, counters);
-    std::span<const std::uint64_t> body(words);
-    bool encoded = options.compress;
-    if (options.compress && options.adaptive) {
-      if (body.empty()) {
-        throw DecodeError("adaptive update payload missing its flag word");
-      }
-      if (body[0] > 1) {
-        throw DecodeError("adaptive update payload has an invalid flag word");
-      }
-      encoded = body[0] == 1;
-      body = body.subspan(1);
-    }
-    const std::size_t before = received.size();
-    if (encoded) {
-      decode_updates_compressed(body, options.value_bias, received);
-    } else {
-      decode_updates_raw(body, received);
-    }
+    const std::uint64_t payload_bytes =
+        decode_update_payload(words, options, record_bytes, received);
     if (spec.coord_of(src).rank != me.rank) {
-      // body[1] is the validated encoded byte count; raw records are
-      // record_bytes each.
       counters.recv_bytes_remote +=
-          (encoded ? body[1] : (received.size() - before) * record_bytes) +
-          (lossy ? kFrameOverheadBytes : 0);
+          payload_bytes + (lossy ? kFrameOverheadBytes : 0);
     }
   }
   return received;

@@ -7,6 +7,7 @@
 
 #include "comm/transport.hpp"
 #include "sim/fault.hpp"
+#include "sim/topology.hpp"
 #include "util/types.hpp"
 
 /// Normal-vertex exchange (paper Section V-B).
@@ -26,6 +27,14 @@ namespace dsbfs::comm {
 struct ExchangeOptions {
   bool local_all2all = false;
   bool uniquify = false;
+  /// Routing mode (see sim/topology.hpp).  kFlat is the historic per-bin
+  /// all-to-all, bit- and counter-identical to every prior release;
+  /// kHierarchical and kButterfly route through node leaders in multiple
+  /// hops, re-applying the uniquify machinery per hop, and record their
+  /// wire activity in ExchangeCounters::hops.  local_all2all is a
+  /// flat-topology concept and is ignored by the multi-hop modes (the
+  /// gather hop subsumes it).
+  sim::ExchangeTopology topology = sim::ExchangeTopology::kFlat;
   /// NACK/retransmit knobs of the hardened wire protocol; consulted only
   /// when the transport is lossy (a fault plan with message faults).
   sim::RetryPolicy retry{};
@@ -113,6 +122,13 @@ struct ExchangeCounters {
   std::uint64_t corrupt_bins = 0;  // frames rejected (checksum/framing)
   std::uint64_t recovery_ns = 0;   // modeled timeout/backoff/delay waits
   std::uint64_t checksum_bytes = 0;  // bytes run through checksum passes
+  /// Per-hop wire accounting of the multi-hop topologies; empty on the flat
+  /// path, which keeps every historic counter above bit-identical.  With a
+  /// multi-hop topology the legacy counters map onto the hop structure:
+  /// send/recv_bytes_remote hold the inter-node (NIC) bytes, local_bytes
+  /// the intra-node (NVLink) bytes, send_dest_ranks the inter-node
+  /// messages sent.
+  std::vector<sim::HopCounters> hops;
 };
 
 class NormalExchange {
@@ -178,6 +194,13 @@ struct UpdateExchangeOptions {
   /// where varints lose -- scattered ids, large biased values -- while
   /// keeping the wins.
   bool adaptive = false;
+  /// Routing mode (see sim/topology.hpp and ExchangeOptions::topology).
+  /// The multi-hop modes re-coalesce across gathered sources only for the
+  /// order-insensitive combines (kMin, kOr); kSumDouble and kNone forward
+  /// per-source segments and deliver them in source order, which keeps the
+  /// receiver's fold -- including non-associative double addition --
+  /// bit-identical to the flat exchange.
+  sim::ExchangeTopology topology = sim::ExchangeTopology::kFlat;
   /// NACK/retransmit knobs; consulted only on a lossy transport.
   sim::RetryPolicy retry{};
 };

@@ -156,6 +156,7 @@ class BatchBfsAlgorithm {
          .compress = options_.compress,
          .value_bytes = lane_bits_ == 1 ? 0 : lane_bits_ / 8,
          .adaptive = options_.adaptive_compress,
+         .topology = options_.exchange_topology,
          .retry = options_.resilience.retry},
         gs.iter);
   }

@@ -55,6 +55,12 @@ struct BatchBfsOptions {
   /// Per-bin raw-vs-encoded choice (needs `compress`); see
   /// comm::UpdateExchangeOptions::adaptive.
   bool adaptive_compress = false;
+
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Bit-exact across all three; wire pattern, byte
+  /// counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
   /// Blocking vs non-blocking delegate-mask reduction (Section VI-B).
   comm::ReduceMode reduce_mode = comm::ReduceMode::kBlocking;
   /// Traversal direction policy.  kForcedPush keeps the MS-BFS default;

@@ -122,9 +122,10 @@ class BfsAlgorithm {
   void exchange(engine::GpuContext& ctx, State& s, int iteration) {
     // Runs on the normal stream behind the visits (the engine enqueues this
     // hook there); overlaps the post-control mask reduction.
-    const comm::ExchangeOptions xopts{options_.local_all2all,
-                                      options_.uniquify,
-                                      options_.resilience.retry};
+    const comm::ExchangeOptions xopts{.local_all2all = options_.local_all2all,
+                                      .uniquify = options_.uniquify,
+                                      .topology = options_.exchange_topology,
+                                      .retry = options_.resilience.retry};
     GpuState& gs = s.gpu;
     comm::ExchangeCounters ec;
     gs.received = ctx.comm.normal_exchange().exchange(ctx.me, gs.bins,
@@ -140,6 +141,7 @@ class BfsAlgorithm {
     gs.iter.corrupt_bins = ec.corrupt_bins;
     gs.iter.recovery_ns = ec.recovery_ns;
     gs.iter.checksum_bytes = ec.checksum_bytes;
+    gs.iter.hops.insert(gs.iter.hops.end(), ec.hops.begin(), ec.hops.end());
   }
 
   std::uint64_t contribution(engine::GpuContext& ctx, State& s, int) {

@@ -36,6 +36,12 @@ struct CcOptions {
   /// With `compress`: per-bin raw-vs-encoded choice (the encode ships only
   /// when it is smaller; comm::UpdateExchangeOptions::adaptive).
   bool adaptive_compress = false;
+
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Bit-exact across all three; wire pattern, byte
+  /// counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};

@@ -30,6 +30,12 @@ struct BfsOptions {
   /// Uniquify (U): deduplicate outbound exchange bins.
   bool uniquify = false;
 
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Results are bit-identical across all three; the
+  /// wire pattern, byte counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
+
   /// Blocking (BR, MPI_Allreduce) vs non-blocking (IR, MPI_Iallreduce)
   /// global delegate-mask reduction.  Functionally identical; the modeled
   /// cost differs (Section VI-B, Fig. 8).

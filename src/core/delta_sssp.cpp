@@ -340,6 +340,7 @@ class DeltaSsspAlgorithm {
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
          .value_bias = s.value_bias,
+         .topology = options_.exchange_topology,
          .retry = options_.resilience.retry},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {

@@ -71,6 +71,12 @@ struct DeltaSsspOptions {
   /// bucket-tagged exchange, comm::UpdateExchangeOptions::value_bias).
   /// Bit-exact; only affects wire bytes, and only with `compress`.
   bool bucket_bias = true;
+
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Bit-exact across all three; wire pattern, byte
+  /// counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};

@@ -46,6 +46,12 @@ struct PagerankOptions {
   /// raw, so nearly every bin should ship raw and the adaptive run should
   /// track the uncompressed byte volume.
   bool adaptive_compress = false;
+
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Bit-exact across all three; wire pattern, byte
+  /// counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
   bool collect_counters = true;
   sim::DeviceModelConfig device_model{};
   sim::NetModelConfig net_model{};

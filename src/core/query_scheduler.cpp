@@ -237,6 +237,7 @@ class ServingAlgorithm {
          .compress = options_.compress,
          .value_bytes = lane_bits_ == 1 ? 0 : lane_bits_ / 8,
          .adaptive = options_.adaptive_compress,
+         .topology = options_.exchange_topology,
          .retry = options_.resilience.retry},
         gs.iter);
   }

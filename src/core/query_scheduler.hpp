@@ -86,6 +86,12 @@ struct SchedulerOptions {
   bool uniquify = false;
   bool compress = false;
   bool adaptive_compress = false;
+
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Bit-exact across all three; wire pattern, byte
+  /// counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
   /// Blocking vs non-blocking delegate-mask reduction.
   comm::ReduceMode reduce_mode = comm::ReduceMode::kBlocking;
   /// Record per-iteration statistics.

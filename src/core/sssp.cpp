@@ -357,6 +357,7 @@ class SsspAlgorithm {
          .compress = options_.compress,
          .value_bias = s.value_bias,
          .adaptive = options_.adaptive_compress,
+         .topology = options_.exchange_topology,
          .retry = options_.resilience.retry},
         s.iter);
     for (const comm::VertexUpdate& u : updates) {

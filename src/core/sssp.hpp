@@ -92,6 +92,12 @@ struct SsspOptions {
   /// With `compress`: per-bin raw-vs-encoded choice (the encode ships only
   /// when it is smaller; comm::UpdateExchangeOptions::adaptive).
   bool adaptive_compress = false;
+
+  /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
+  /// (historic default), hierarchical node-leader aggregation, or butterfly
+  /// recursive halving.  Bit-exact across all three; wire pattern, byte
+  /// counters and modeled NIC/NVLink occupancy differ.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
   /// With `compress`: derive the wire bias automatically each round.  Every
   /// candidate this round is dist[active] + w >= the minimum active
   /// distance, so a one-word min-allreduce of the active distances at the

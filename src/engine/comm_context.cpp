@@ -56,6 +56,7 @@ std::vector<comm::VertexUpdate> CommContext::exchange_value_updates(
   iter.corrupt_bins = ec.corrupt_bins;
   iter.recovery_ns = ec.recovery_ns;
   iter.checksum_bytes = ec.checksum_bytes;
+  iter.hops = std::move(ec.hops);
   return updates;
 }
 

@@ -36,6 +36,24 @@ struct ClusterSpec {
     return (num_ranks + ranks_per_node - 1) / ranks_per_node;
   }
 
+  /// Node containing a rank / a global GPU (the exchange-topology layer
+  /// routes by node: same node = NVLink, different node = IB).
+  int node_of_rank(int rank) const noexcept { return rank / ranks_per_node; }
+  int node_of(int global_gpu) const noexcept {
+    return node_of_rank(global_gpu / gpus_per_rank);
+  }
+  /// First (lowest-index) global GPU on a node: the leader that aggregates
+  /// outbound inter-node traffic in the hierarchical/butterfly exchanges.
+  int node_leader(int node) const noexcept {
+    return node * ranks_per_node * gpus_per_rank;
+  }
+  /// GPUs sharing one node's NVLink domain (last node may be partial).
+  int gpus_per_node(int node) const noexcept {
+    const int first = node_leader(node);
+    const int full = ranks_per_node * gpus_per_rank;
+    return first + full <= total_gpus() ? full : total_gpus() - first;
+  }
+
   /// Flatten (rank, gpu) to a global GPU index in [0, p).
   int global_gpu(GpuCoord c) const noexcept { return c.rank * gpus_per_rank + c.gpu; }
   GpuCoord coord_of(int global) const noexcept {

@@ -38,6 +38,19 @@ double NetModel::p2p_us(std::uint64_t bytes, double chunk_bytes) const noexcept 
   return call_us + stage_us + wire_us;
 }
 
+double NetModel::hop_us(std::uint64_t bytes, bool internode,
+                        int concurrent_flows) const noexcept {
+  if (bytes == 0) return 0.0;
+  const int links = std::max(
+      1, internode ? cfg_.nics_per_node : cfg_.nvlink_ports_per_gpu);
+  const int flows = std::max(1, concurrent_flows);
+  // Flows beyond the link count serialize into waves over the same links:
+  // ceil(flows / links) back-to-back transfers per link.
+  const int waves = (flows + links - 1) / links;
+  const double one = internode ? p2p_us(bytes) : nvlink_us(bytes);
+  return one * static_cast<double>(waves);
+}
+
 int NetModel::tree_rounds(int ranks) noexcept {
   int rounds = 0;
   int span = 1;

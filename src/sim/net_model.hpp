@@ -38,6 +38,15 @@ struct NetModelConfig {
   // why it still wins at small rank counts.
   double iallreduce_bw_derate = 0.35;
   double iallreduce_round_extra_us = 60.0;
+  // Physical link counts, used by the per-hop exchange replay to share
+  // bandwidth between concurrent flows.  Ray's GPUs expose two NVLink
+  // bricks each (calibrated staging ports: intra-node gathers from more
+  // than two peers at once serialize into waves), and each node has one
+  // EDR NIC per rank -- modeled per node because the hierarchical and
+  // butterfly exchanges funnel all inter-node traffic through the node
+  // leader's rank.
+  int nvlink_ports_per_gpu = 2;
+  int nics_per_node = 1;
 };
 
 class NetModel {
@@ -69,6 +78,20 @@ class NetModel {
 
   /// Number of tree rounds for a collective over `ranks` ranks.
   static int tree_rounds(int ranks) noexcept;
+
+  /// One hop of a multi-hop (hierarchical / butterfly) exchange:
+  /// `internode` picks the IB p2p charge vs the NVLink charge, and
+  /// `concurrent_flows` flows contending for the hop's links serialize into
+  /// ceil(flows / links) waves (links = nics_per_node for inter-node hops,
+  /// nvlink_ports_per_gpu for intra-node hops).  Degenerates exactly to
+  /// p2p_us / nvlink_us at flows <= links.  Microseconds.
+  double hop_us(std::uint64_t bytes, bool internode,
+                int concurrent_flows = 1) const noexcept;
+
+  /// Per-message latency of one link class (IB vs NVLink), microseconds.
+  double link_latency_us(bool internode) const noexcept {
+    return internode ? cfg_.nic_latency_us : cfg_.nvlink_latency_us;
+  }
 
  private:
   NetModelConfig cfg_;

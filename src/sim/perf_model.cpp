@@ -59,6 +59,10 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
 
   const double mask_bytes = static_cast<double>(run.delegate_mask_bytes);
 
+  // Per-hop link occupancy accumulated across iterations (multi-hop
+  // topologies only; stays empty for flat runs).
+  std::vector<ModeledBreakdown::HopLoad> hop_load;
+
   for (std::size_t it = 0; it < run.iterations.size(); ++it) {
     const IterationCounters& ic = run.iterations[it];
     std::vector<TaskId> bin_done(static_cast<std::size_t>(p));
@@ -251,6 +255,15 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
     }
 
     // ---- Normal vertex exchange (Fig. 4, normal stream). ---------------
+    // Flat runs replay the historic single-level pattern below; multi-hop
+    // (hierarchical/butterfly) runs carry per-hop traces instead, replayed
+    // bulk-synchronously after the per-GPU preludes.
+    const bool hop_mode =
+        std::any_of(ic.gpu.begin(), ic.gpu.end(),
+                    [](const GpuIterationCounters& g) {
+                      return !g.hops.empty();
+                    });
+    std::vector<TaskId> exchange_stage(static_cast<std::size_t>(p));
     for (int g = 0; g < p; ++g) {
       const auto gi = static_cast<std::size_t>(g);
       const GpuIterationCounters& c = ic.gpu[gi];
@@ -263,7 +276,9 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
                             ResourceId{}, {bin_done[gi], mask_ready[gi]});
       }
 
-      if (c.local_all2all_bytes > 0) {
+      // With a hop trace, intra-node bytes are charged per hop below; the
+      // flat local-all2all staging charge would double-count them.
+      if (c.local_all2all_bytes > 0 && !hop_mode) {
         stage = tl.add_task("local_all2all", kCatLocalComm,
                             net_.nvlink_us(c.local_all2all_bytes),
                             nvstage_res[gi], {stage});
@@ -294,7 +309,13 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
             dev_.kernel_us(KernelClass::kBinConvert, 0, 0, c.checksum_bytes),
             gpu_res[gi], {stage});
       }
-      if (c.send_bytes_remote > 0) {
+      if (hop_mode) {
+        // Multi-hop topologies replay the send/receive wire below, hop by
+        // hop; the prelude (serialize/uniquify/encode/checksum) still gates
+        // the first hop's sends.
+        exchange_stage[gi] = stage;
+        send_done[gi] = stage;
+      } else if (c.send_bytes_remote > 0) {
         const int dests = std::max(1, c.send_dest_ranks);
         const std::uint64_t per_dest = c.send_bytes_remote /
                                        static_cast<std::uint64_t>(dests);
@@ -308,19 +329,101 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
       }
     }
 
-    // Receive completion: a GPU's inputs are ready once every other GPU has
-    // finished sending (bulk-synchronous approximation), plus CPU->GPU
-    // staging of its received bytes.
+    if (hop_mode) {
+      // ---- Hop-by-hop replay (hierarchical / butterfly). ----------------
+      // Each hop is bulk-synchronous: every GPU puts its hop-h messages on
+      // the wire (NVLink staging port intra-node, the rank's NIC inter-node,
+      // link-count contention via NetModel::hop_us), a barrier joins the
+      // wave, then inbound bytes stage across each GPU's NVLink into device
+      // memory before the next hop's sends may depart (a forwarder cannot
+      // re-bin what it has not received).
+      std::size_t num_hops = 0;
+      for (const GpuIterationCounters& c : ic.gpu) {
+        num_hops = std::max(num_hops, c.hops.size());
+      }
+      if (hop_load.size() < num_hops) hop_load.resize(num_hops);
+      std::vector<TaskId> chain = exchange_stage;
+      TaskId hop_barrier{};
+      for (std::size_t h = 0; h < num_hops; ++h) {
+        std::vector<TaskId> sends;
+        sends.reserve(static_cast<std::size_t>(p));
+        for (int g = 0; g < p; ++g) {
+          const auto gi = static_cast<std::size_t>(g);
+          const GpuIterationCounters& c = ic.gpu[gi];
+          if (h >= c.hops.size()) continue;
+          const HopCounters& hc = c.hops[h];
+          std::vector<TaskId> deps{chain[gi]};
+          if (hop_barrier.valid()) deps.push_back(hop_barrier);
+          const double send_us = net_.hop_us(hc.send_bytes, hc.internode,
+                                             std::max(1, hc.partners));
+          const TaskId send = tl.add_task(
+              hc.internode ? "hop_send_ib" : "hop_send_nvlink",
+              hc.internode ? kCatNormalExchange : kCatLocalComm, send_us,
+              hc.internode
+                  ? nic_res[static_cast<std::size_t>(spec.coord_of(g).rank)]
+                  : nvstage_res[gi],
+              deps);
+          if (hc.internode) {
+            hop_load[h].nic_ms += send_us / 1000.0;
+          } else {
+            hop_load[h].nvlink_ms += send_us / 1000.0;
+          }
+          sends.push_back(send);
+          chain[gi] = send;
+        }
+        const TaskId send_barrier = tl.add_task(
+            "hop_send_barrier", kCatNormalExchange, 0.0, ResourceId{}, sends);
+        std::vector<TaskId> recvs;
+        recvs.reserve(static_cast<std::size_t>(p));
+        for (int g = 0; g < p; ++g) {
+          const auto gi = static_cast<std::size_t>(g);
+          const GpuIterationCounters& c = ic.gpu[gi];
+          if (h >= c.hops.size()) continue;
+          const HopCounters& hc = c.hops[h];
+          const double recv_us = net_.nvlink_us(hc.recv_bytes);
+          const TaskId recv = tl.add_task(
+              "hop_recv_stage",
+              hc.internode ? kCatNormalExchange : kCatLocalComm, recv_us,
+              nvlink_res[gi], {chain[gi], send_barrier});
+          hop_load[h].nvlink_ms += recv_us / 1000.0;
+          recvs.push_back(recv);
+          chain[gi] = recv;
+        }
+        hop_barrier = tl.add_task("hop_recv_barrier", kCatNormalExchange, 0.0,
+                                  ResourceId{}, recvs);
+      }
+      for (int g = 0; g < p; ++g) {
+        const auto gi = static_cast<std::size_t>(g);
+        send_done[gi] = chain[gi];
+        recv_done[gi] =
+            hop_barrier.valid()
+                ? tl.add_task("hop_gate", kCatNormalExchange, 0.0,
+                              ResourceId{}, {chain[gi], hop_barrier})
+                : chain[gi];
+      }
+    } else {
+      // Receive completion: a GPU's inputs are ready once every other GPU
+      // has finished sending (bulk-synchronous approximation), plus
+      // CPU->GPU staging of its received bytes.
+      for (int g = 0; g < p; ++g) {
+        const auto gi = static_cast<std::size_t>(g);
+        std::vector<TaskId> deps;
+        deps.reserve(static_cast<std::size_t>(p));
+        for (int s = 0; s < p; ++s) {
+          deps.push_back(send_done[static_cast<std::size_t>(s)]);
+        }
+        // Staging of received bytes rides the same link as the delegate-mask
+        // broadcast (both are inbound to this GPU), so they serialize.
+        recv_done[gi] =
+            tl.add_task("recv_stage", kCatNormalExchange,
+                        net_.nvlink_us(ic.gpu[gi].recv_bytes_remote),
+                        nvlink_res[gi], deps);
+      }
+    }
+
+    // Lossy-wire recovery holds (either topology mode).
     for (int g = 0; g < p; ++g) {
       const auto gi = static_cast<std::size_t>(g);
-      std::vector<TaskId> deps;
-      deps.reserve(static_cast<std::size_t>(p));
-      for (int s = 0; s < p; ++s) deps.push_back(send_done[static_cast<std::size_t>(s)]);
-      // Staging of received bytes rides the same link as the delegate-mask
-      // broadcast (both are inbound to this GPU), so they serialize.
-      recv_done[gi] = tl.add_task("recv_stage", kCatNormalExchange,
-                                  net_.nvlink_us(ic.gpu[gi].recv_bytes_remote),
-                                  nvlink_res[gi], deps);
       if (ic.gpu[gi].recovery_ns > 0) {
         // Lossy-wire recovery: modeled receive timeouts, NACK backoff
         // windows and delay hold-backs serialize after the inbound staging
@@ -391,6 +494,7 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
     }
     out.iteration_end_ms.push_back(end_us / 1000.0);
   }
+  out.exchange_hops = std::move(hop_load);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "sim/cluster.hpp"
 #include "sim/device_model.hpp"
 #include "sim/net_model.hpp"
+#include "sim/topology.hpp"
 
 /// Performance model: exact measured counters -> modeled cluster time.
 ///
@@ -64,6 +65,13 @@ struct GpuIterationCounters {
   std::uint64_t send_bytes_remote = 0;   // to GPUs in other ranks (wire bytes)
   std::uint64_t recv_bytes_remote = 0;
   int send_dest_ranks = 0;               // distinct destination ranks
+  /// Per-hop exchange trace (hierarchical/butterfly topologies).  Empty on
+  /// the flat exchange, whose replay uses the single-level byte counters
+  /// above; when present, the replay charges each hop on its own link class
+  /// (NVLink ports intra-node, the node's NICs inter-node) with a
+  /// bulk-synchronous barrier between hops, and the byte counters above
+  /// hold the topology mapping described at ExchangeCounters::hops.
+  std::vector<HopCounters> hops;
   bool delegate_update = false;          // participated in mask reduction
 
   // ---- Resilience (fault-plan runs; all zero on a clean run, which keeps
@@ -149,6 +157,15 @@ struct ModeledBreakdown {
   /// replays included, like the histories themselves.  The serving tier
   /// timestamps query admissions and retirements with these.
   std::vector<double> iteration_end_ms;
+  /// Per-hop link occupancy of the multi-hop exchange topologies: busy time
+  /// summed over GPUs and iterations at each hop index, split by link
+  /// class.  Index matches HopCounters::hop (0 = intra-node distribute /
+  /// gather, middle = inter-node, last = scatter); empty for flat runs.
+  struct HopLoad {
+    double nvlink_ms = 0;
+    double nic_ms = 0;
+  };
+  std::vector<HopLoad> exchange_hops;
 };
 
 class PerfModel {

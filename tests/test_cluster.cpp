@@ -76,6 +76,46 @@ TEST(ClusterSpec, OwnershipBalanced) {
   for (const int c : counts) EXPECT_EQ(c, 1000);
 }
 
+TEST(ClusterSpec, NodeHelpersPartitionRanksAndGpus) {
+  // 2 ranks per node, 2 GPUs per rank: node k owns ranks {2k, 2k+1} and the
+  // four consecutive global GPUs starting at its leader.
+  ClusterSpec s;
+  s.num_ranks = 4;
+  s.gpus_per_rank = 2;
+  s.ranks_per_node = 2;
+  EXPECT_EQ(s.num_nodes(), 2);
+  for (int r = 0; r < s.num_ranks; ++r) EXPECT_EQ(s.node_of_rank(r), r / 2);
+  for (int g = 0; g < s.total_gpus(); ++g) EXPECT_EQ(s.node_of(g), g / 4);
+  EXPECT_EQ(s.node_leader(0), 0);
+  EXPECT_EQ(s.node_leader(1), 4);
+  EXPECT_EQ(s.gpus_per_node(0), 4);
+  EXPECT_EQ(s.gpus_per_node(1), 4);
+}
+
+TEST(ClusterSpec, NodeHelpersHandlePartialLastNode) {
+  // 3 ranks at 2 ranks per node: the second node holds only rank 2.
+  ClusterSpec s;
+  s.num_ranks = 3;
+  s.gpus_per_rank = 2;
+  s.ranks_per_node = 2;
+  EXPECT_EQ(s.num_nodes(), 2);
+  EXPECT_EQ(s.node_of_rank(2), 1);
+  EXPECT_EQ(s.node_leader(1), 4);
+  EXPECT_EQ(s.gpus_per_node(0), 4);
+  EXPECT_EQ(s.gpus_per_node(1), 2);
+}
+
+TEST(ClusterSpec, SingleNodeClusterIsOneNvlinkDomain) {
+  ClusterSpec s;
+  s.num_ranks = 4;
+  s.gpus_per_rank = 2;
+  s.ranks_per_node = 4;
+  EXPECT_EQ(s.num_nodes(), 1);
+  for (int g = 0; g < s.total_gpus(); ++g) EXPECT_EQ(s.node_of(g), 0);
+  EXPECT_EQ(s.node_leader(0), 0);
+  EXPECT_EQ(s.gpus_per_node(0), s.total_gpus());
+}
+
 TEST(Cluster, RunsBodyOncePerGpuConcurrently) {
   ClusterSpec spec;
   spec.num_ranks = 2;

@@ -11,6 +11,7 @@
 #include "graph/builder.hpp"
 #include "graph/rmat.hpp"
 #include "sim/cluster.hpp"
+#include "sim/topology.hpp"
 
 namespace dsbfs {
 namespace {
@@ -165,6 +166,42 @@ TEST_F(FaultReplayTest, SameSeedSameLogSameCountersSssp) {
   EXPECT_EQ(a.update_bytes_remote, b.update_bytes_remote);
   EXPECT_EQ(a.modeled_ms, b.modeled_ms);
   EXPECT_EQ(a.distances, b.distances);
+}
+
+TEST_F(FaultReplayTest, LossyWireStaysBitExactUnderEveryExchangeTopology) {
+  // Chaos x topology: drop/corrupt/duplicate on every hop class (the intra
+  // gather, the inter leg, the scatter) must heal hop-locally -- the answer
+  // stays the clean flat answer, and the same seed replays the identical
+  // fault log and counters run after run.
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+
+  for (const auto topology : {sim::ExchangeTopology::kHierarchical,
+                              sim::ExchangeTopology::kButterfly}) {
+    core::BfsOptions options;
+    options.exchange_topology = topology;
+    options.resilience.faults.seed = 31;
+    options.resilience.faults.drop_rate = 0.05;
+    options.resilience.faults.corrupt_rate = 0.05;
+    options.resilience.faults.duplicate_rate = 0.02;
+
+    auto run = [&] {
+      return core::DistributedBfs(dg_, cluster, options).run(3);
+    };
+    const core::BfsResult a = run();
+    const core::BfsResult b = run();
+
+    EXPECT_EQ(a.distances, clean.distances) << sim::to_string(topology);
+    ASSERT_FALSE(a.metrics.fault.events.empty()) << sim::to_string(topology);
+    EXPECT_GT(a.metrics.retries + a.metrics.corrupt_bins, 0u)
+        << sim::to_string(topology);
+    EXPECT_EQ(a.metrics.fault.events, b.metrics.fault.events)
+        << sim::to_string(topology);
+    EXPECT_EQ(a.metrics.retries, b.metrics.retries) << sim::to_string(topology);
+    EXPECT_EQ(a.metrics.modeled_ms, b.metrics.modeled_ms)
+        << sim::to_string(topology);
+    EXPECT_EQ(a.distances, b.distances) << sim::to_string(topology);
+  }
 }
 
 TEST_F(FaultReplayTest, DifferentSeedsChangeTheLogNotTheAnswer) {

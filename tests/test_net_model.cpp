@@ -95,5 +95,52 @@ TEST(NetModel, ConfigurableBandwidth) {
   EXPECT_LT(fast.p2p_us(bytes), slow.p2p_us(bytes));
 }
 
+// ---- per-hop charges of the multi-hop exchange topologies ------------------
+
+TEST(NetModel, HopDegeneratesToPointLinksAtFewFlows) {
+  // flows <= links: exactly the single-link charge (no wave serialization).
+  NetModel m;  // defaults: 1 NIC per node, 2 NVLink ports per GPU
+  const std::uint64_t bytes = 8ULL << 20;
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, true, 1), m.p2p_us(bytes));
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, false, 1), m.nvlink_us(bytes));
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, false, 2), m.nvlink_us(bytes));
+}
+
+TEST(NetModel, HopSharesLinkBandwidthInWaves) {
+  // Flows beyond the link count serialize: ceil(flows / links) back-to-back
+  // transfers.  Inter-node hops contend for the node's single NIC; the
+  // intra-node gather/scatter rides two NVLink ports per GPU.
+  NetModel m;
+  const std::uint64_t bytes = 8ULL << 20;
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, true, 3), 3.0 * m.p2p_us(bytes));
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, false, 3), 2.0 * m.nvlink_us(bytes));
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, false, 4), 2.0 * m.nvlink_us(bytes));
+  EXPECT_DOUBLE_EQ(m.hop_us(bytes, false, 5), 3.0 * m.nvlink_us(bytes));
+}
+
+TEST(NetModel, HopLinkCountsConfigurable) {
+  // Four NICs swallow four concurrent inter-node flows in one wave where the
+  // default single NIC needs four.
+  NetModelConfig cfg;
+  cfg.nics_per_node = 4;
+  NetModel wide(cfg);
+  NetModel narrow;
+  const std::uint64_t bytes = 8ULL << 20;
+  EXPECT_DOUBLE_EQ(wide.hop_us(bytes, true, 4), wide.p2p_us(bytes));
+  EXPECT_DOUBLE_EQ(narrow.hop_us(bytes, true, 4), 4.0 * narrow.p2p_us(bytes));
+}
+
+TEST(NetModel, HopZeroBytesFree) {
+  NetModel m;
+  EXPECT_DOUBLE_EQ(m.hop_us(0, true, 64), 0.0);
+  EXPECT_DOUBLE_EQ(m.hop_us(0, false, 64), 0.0);
+}
+
+TEST(NetModel, LinkLatencySelectsLinkClass) {
+  NetModel m;
+  EXPECT_DOUBLE_EQ(m.link_latency_us(true), m.config().nic_latency_us);
+  EXPECT_DOUBLE_EQ(m.link_latency_us(false), m.config().nvlink_latency_us);
+}
+
 }  // namespace
 }  // namespace dsbfs::sim

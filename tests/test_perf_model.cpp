@@ -166,6 +166,75 @@ TEST(PerfModel, DirectionDecisionsCostFixedOverheadPerIteration) {
             model.replay(large).elapsed_ms * 1.05);
 }
 
+TEST(PerfModel, HopTraceDrivesPerHopReplay) {
+  // A run carrying multi-hop exchange traces charges each hop on its own
+  // link class and reports the per-hop load; the byte-equivalent flat run
+  // carries no hop breakdown.  Both exchange sections stay non-free.
+  PerfModel model;
+  const ClusterSpec spec{4, 2, 2};  // 2 nodes x 2 ranks x 2 GPUs
+  auto flat = uniform_run(spec, 4, 10000, 1 << 20, false);
+
+  auto hopped = flat;
+  for (auto& ic : hopped.iterations) {
+    for (auto& g : ic.gpu) {
+      // Hierarchical shape: intra gather, one inter hop, intra scatter.
+      g.hops = {
+          {.hop = 0, .internode = false, .send_bytes = 1 << 19,
+           .recv_bytes = 1 << 19, .partners = 3, .bins = 6, .records = 4096},
+          {.hop = 1, .internode = true, .send_bytes = 1 << 20,
+           .recv_bytes = 1 << 20, .partners = 1, .bins = 8, .records = 8192},
+          {.hop = 2, .internode = false, .send_bytes = 1 << 19,
+           .recv_bytes = 1 << 19, .partners = 3, .bins = 6, .records = 4096},
+      };
+      // The legacy counters hold the hop classes' totals (inter = remote,
+      // intra = local), as the comm layer records them.
+      g.send_bytes_remote = 1 << 20;
+      g.recv_bytes_remote = 1 << 20;
+      g.local_all2all_bytes = 2 * (1 << 19);
+    }
+  }
+
+  const auto fb = model.replay(flat);
+  const auto hb = model.replay(hopped);
+
+  EXPECT_TRUE(fb.exchange_hops.empty());
+  ASSERT_EQ(hb.exchange_hops.size(), 3u);
+  // Intra hops accrue NVLink-only load, the inter hop NIC-only.
+  EXPECT_GT(hb.exchange_hops[0].nvlink_ms, 0.0);
+  EXPECT_DOUBLE_EQ(hb.exchange_hops[0].nic_ms, 0.0);
+  EXPECT_GT(hb.exchange_hops[1].nic_ms, 0.0);
+  EXPECT_GT(hb.exchange_hops[2].nvlink_ms, 0.0);
+  EXPECT_DOUBLE_EQ(hb.exchange_hops[2].nic_ms, 0.0);
+  EXPECT_GT(hb.elapsed_ms, 0.0);
+  EXPECT_GT(hb.normal_exchange_ms, 0.0);
+  EXPECT_GT(hb.local_comm_ms, 0.0);
+}
+
+TEST(PerfModel, BulkSynchronousHopsSlowerThanFlatAtFewNodes) {
+  // At two nodes the hierarchical route pays aggregation latency (the intra
+  // legs plus a barrier per hop) without cutting partner counts much: its
+  // replay must not be cheaper than the byte-identical flat run.  This is
+  // the modeled cost the 16-node crossover in the ablation amortizes.
+  PerfModel model;
+  const ClusterSpec spec{2, 2, 2};
+  auto flat = uniform_run(spec, 4, 10000, 1 << 20, false);
+  auto hopped = flat;
+  for (auto& ic : hopped.iterations) {
+    for (auto& g : ic.gpu) {
+      g.hops = {
+          {.hop = 0, .internode = false, .send_bytes = 1 << 19,
+           .recv_bytes = 1 << 19, .partners = 3, .bins = 6, .records = 4096},
+          {.hop = 1, .internode = true, .send_bytes = 1 << 20,
+           .recv_bytes = 1 << 20, .partners = 1, .bins = 8, .records = 8192},
+          {.hop = 2, .internode = false, .send_bytes = 1 << 19,
+           .recv_bytes = 1 << 19, .partners = 3, .bins = 6, .records = 4096},
+      };
+      g.local_all2all_bytes = 2 * (1 << 19);
+    }
+  }
+  EXPECT_GE(model.replay(hopped).elapsed_ms, model.replay(flat).elapsed_ms);
+}
+
 TEST(PerfModel, BackwardKernelsCheaper) {
   PerfModel model;
   const ClusterSpec spec{2, 1, 2};

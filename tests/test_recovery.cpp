@@ -17,6 +17,7 @@
 #include "graph/rmat.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fault.hpp"
+#include "sim/topology.hpp"
 
 namespace dsbfs {
 namespace {
@@ -236,6 +237,52 @@ TEST_F(RecoveryTest, TransientStallIsChargedNotRecovered) {
   ASSERT_EQ(hurt.metrics.fault.events.size(), 1u);
   EXPECT_EQ(hurt.metrics.fault.events[0].kind, sim::FaultKind::kStall);
   EXPECT_GT(hurt.metrics.modeled_ms, clean.metrics.modeled_ms);
+}
+
+TEST_F(RecoveryTest, BfsSurvivesGpuFailureUnderEveryExchangeTopology) {
+  // Chaos x topology: the rollback path must restore multi-hop exchange
+  // rounds exactly -- the replayed hops re-aggregate, re-bin and re-merge,
+  // and the answer still matches a clean flat run bit for bit.  The 2x2
+  // spec at one rank per node gives two modeled nodes, legal for both
+  // hierarchical and (power-of-two) butterfly routing.
+  sim::Cluster cluster(spec_);
+  const core::BfsResult clean = core::DistributedBfs(dg_, cluster).run(3);
+
+  for (const auto topology : {sim::ExchangeTopology::kHierarchical,
+                              sim::ExchangeTopology::kButterfly}) {
+    core::BfsOptions options;
+    options.exchange_topology = topology;
+    options.resilience = kill_gpu1_at2();
+    const core::BfsResult hurt =
+        core::DistributedBfs(dg_, cluster, options).run(3);
+
+    EXPECT_EQ(hurt.distances, clean.distances) << sim::to_string(topology);
+    expect_recovered(hurt.metrics.fault);
+    EXPECT_GT(hurt.metrics.modeled_ms, clean.metrics.modeled_ms)
+        << sim::to_string(topology);
+  }
+}
+
+TEST_F(RecoveryTest, DeltaSsspSurvivesGpuFailureUnderEveryExchangeTopology) {
+  // Same gauntlet on the value-typed engine state (kMin update combine runs
+  // through the per-hop re-coalesce).
+  sim::Cluster cluster(spec_);
+  const core::DeltaSsspResult clean =
+      core::DistributedDeltaSssp(dg_, cluster).run(3);
+
+  for (const auto topology : {sim::ExchangeTopology::kHierarchical,
+                              sim::ExchangeTopology::kButterfly}) {
+    core::DeltaSsspOptions options;
+    options.exchange_topology = topology;
+    options.resilience = kill_gpu1_at2();
+    const core::DeltaSsspResult hurt =
+        core::DistributedDeltaSssp(dg_, cluster, options).run(3);
+
+    EXPECT_EQ(hurt.distances, clean.distances) << sim::to_string(topology);
+    EXPECT_EQ(hurt.buckets_processed, clean.buckets_processed)
+        << sim::to_string(topology);
+    expect_recovered(hurt.fault);
+  }
 }
 
 TEST_F(RecoveryTest, FaultsPlusFailureTogetherStayBitExact) {
