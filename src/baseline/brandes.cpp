@@ -1,0 +1,71 @@
+#include "baseline/brandes.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dsbfs::baseline {
+
+BrandesPass serial_brandes_pass(const graph::HostCsr& graph, VertexId source) {
+  const std::size_t n = graph.num_rows();
+  BrandesPass pass;
+  pass.depth.assign(n, kUnvisited);
+  pass.sigma.assign(n, 0);
+  pass.delta.assign(n, 0.0);
+
+  // Forward: level-synchronous BFS counting shortest paths.  Integer sums
+  // are order-free, so the traversal order here is irrelevant to the
+  // bit-exactness contract.
+  std::vector<VertexId> frontier{source};
+  pass.depth[source] = 0;
+  pass.sigma[source] = 1;
+  Depth level = 0;
+  std::vector<std::vector<VertexId>> levels;  // vertices by depth, for reverse
+  while (!frontier.empty()) {
+    levels.push_back(frontier);
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (VertexId w : graph.row(v)) {
+        if (pass.depth[w] == kUnvisited) {
+          pass.depth[w] = level + 1;
+          next.push_back(w);
+        }
+        if (pass.depth[w] == level + 1) pass.sigma[w] += pass.sigma[v];
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+
+  // Reverse: levels D -> 1; within a level, successors `w` ascending by
+  // global id, so every predecessor folds its contributions in the same
+  // order regardless of how the forward pass discovered them.  This is the
+  // canonical order the distributed reverse pass reproduces.
+  for (std::size_t d = levels.size(); d-- > 1;) {
+    std::vector<VertexId>& ws = levels[d];
+    std::sort(ws.begin(), ws.end());
+    for (VertexId w : ws) {
+      const double coef =
+          (1.0 + pass.delta[w]) / static_cast<double>(pass.sigma[w]);
+      for (VertexId v : graph.row(w)) {
+        if (pass.depth[v] + 1 == pass.depth[w]) {
+          pass.delta[v] += static_cast<double>(pass.sigma[v]) * coef;
+        }
+      }
+    }
+  }
+  return pass;
+}
+
+std::vector<double> serial_brandes(const graph::HostCsr& graph,
+                                   std::span<const VertexId> sources) {
+  std::vector<double> bc(graph.num_rows(), 0.0);
+  for (VertexId s : sources) {
+    const BrandesPass pass = serial_brandes_pass(graph, s);
+    for (std::size_t v = 0; v < bc.size(); ++v) {
+      if (static_cast<VertexId>(v) != s) bc[v] += pass.delta[v];
+    }
+  }
+  return bc;
+}
+
+}  // namespace dsbfs::baseline

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/types.hpp"
+
+/// Reference serial Brandes betweenness centrality (unweighted), the ground
+/// truth core::BetweennessCentrality is tested against.
+///
+/// Floating-point accumulation order is pinned so the distributed
+/// implementation can match bit for bit:
+///   - sigma counts are exact uint64 path counts (cast to double only when
+///     forming coefficients; exact below 2^53 paths),
+///   - the reverse pass walks levels D -> 1 and, within a level, successors
+///     `w` in ascending global id, folding delta(v) += sigma(v) * coef(w)
+///     with coef(w) = (1 + delta(w)) / sigma(w),
+///   - bc accumulates one source at a time, in the order given, skipping
+///     v == source.
+namespace dsbfs::baseline {
+
+/// Per-source dependency pass, exposed so tests can compare intermediate
+/// state (depths, path counts, deltas) against the distributed lanes.
+struct BrandesPass {
+  std::vector<Depth> depth;          // hop depth; kUnvisited if unreachable
+  std::vector<std::uint64_t> sigma;  // shortest-path counts
+  std::vector<double> delta;         // dependency accumulation
+};
+
+/// One forward + reverse sweep from `source`.
+BrandesPass serial_brandes_pass(const graph::HostCsr& graph, VertexId source);
+
+/// Betweenness scores accumulated over `sources` in order:
+/// bc[v] = sum over s of delta_s(v), with delta_s(source) skipped.
+std::vector<double> serial_brandes(const graph::HostCsr& graph,
+                                   std::span<const VertexId> sources);
+
+}  // namespace dsbfs::baseline

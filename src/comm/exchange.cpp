@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/hash.hpp"
+#include "util/lane_value_slab.hpp"
 
 namespace dsbfs::comm {
 
@@ -37,8 +38,10 @@ std::uint64_t uniquify_bin(std::vector<LocalId>& bin) {
 
 /// Coalesce candidates sharing a destination vertex with the bin's combine;
 /// leaves the bin sorted by vertex id.  Returns the number removed.
+/// `lane_value_bits` is the sub-lane width of the kLaneMin/kLaneSum packed
+/// words (ignored by the scalar combines).
 std::uint64_t coalesce_bin(std::vector<VertexUpdate>& bin,
-                           UpdateCombine combine) {
+                           UpdateCombine combine, int lane_value_bits) {
   if (bin.size() < 2) return 0;
   std::sort(bin.begin(), bin.end(),
             [](const VertexUpdate& a, const VertexUpdate& b) {
@@ -52,6 +55,12 @@ std::uint64_t coalesce_bin(std::vector<VertexUpdate>& bin,
         u.value = std::min(u.value, bin[i].value);
       } else if (combine == UpdateCombine::kOr) {
         u.value |= bin[i].value;
+      } else if (combine == UpdateCombine::kLaneMin) {
+        u.value = util::LaneValueSlab::lane_min_word(u.value, bin[i].value,
+                                                     lane_value_bits);
+      } else if (combine == UpdateCombine::kLaneSum) {
+        u.value = util::LaneValueSlab::lane_add_word(u.value, bin[i].value,
+                                                     lane_value_bits);
       } else {  // kSumDouble
         u.value = std::bit_cast<std::uint64_t>(
             std::bit_cast<double>(u.value) + std::bit_cast<double>(bin[i].value));
@@ -112,6 +121,114 @@ std::vector<std::uint64_t> pack_updates_compressed(
   return words;
 }
 
+// ---- Gorilla-style value encoding -----------------------------------------
+// The XOR-vs-previous scheme of Facebook's Gorilla TSDB, applied to the
+// bit-cast 64-bit value stream of one bin: a repeated value costs one bit,
+// a value sharing its predecessor's significant-bit window costs
+// 2 + window bits, anything else re-opens a window for 14 + window bits.
+// Ids still travel as zigzag varint deltas (the same id stream the
+// delta+varint encoder ships), written before the byte-aligned value bit
+// stream, so the [count, byte_count, bytes LE] header -- and with it the
+// hop traits and the adaptive flag word -- carry over unchanged.
+
+struct BitWriter {
+  std::vector<std::uint8_t>& bytes;
+  int used = 0;  // bits used in the last byte (0 = none open)
+
+  void put(std::uint64_t bits, int n) {
+    for (int i = 0; i < n; ++i) {
+      if (used == 0) bytes.push_back(0);
+      if ((bits >> i) & 1) {
+        bytes.back() |= static_cast<std::uint8_t>(1u << used);
+      }
+      used = (used + 1) & 7;
+    }
+  }
+};
+
+struct BitReader {
+  std::span<const std::uint64_t> words;  // full payload, bytes packed LE
+  std::uint64_t byte_pos;                // absolute byte offset of the stream
+  std::uint64_t byte_end;
+  int used = 0;  // bits consumed of the current byte
+
+  std::uint64_t get(int n) {
+    std::uint64_t out = 0;
+    for (int i = 0; i < n; ++i) {
+      if (byte_pos >= byte_end) {
+        throw DecodeError("gorilla value stream truncated");
+      }
+      const auto b = static_cast<std::uint8_t>(words[2 + byte_pos / 8] >>
+                                               (8 * (byte_pos % 8)));
+      out |= static_cast<std::uint64_t>((b >> used) & 1) << i;
+      if (++used == 8) {
+        used = 0;
+        ++byte_pos;
+      }
+    }
+    return out;
+  }
+
+  /// Byte offset just past the last consumed bit.
+  std::uint64_t consumed_end() const { return byte_pos + (used != 0 ? 1 : 0); }
+};
+
+std::vector<std::uint64_t> pack_updates_gorilla(
+    const std::vector<VertexUpdate>& updates) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(updates.size() * 6);
+  std::int64_t prev_id = 0;
+  for (const VertexUpdate& u : updates) {
+    put_varint(bytes, zigzag(static_cast<std::int64_t>(u.vertex) - prev_id));
+    prev_id = static_cast<std::int64_t>(u.vertex);
+  }
+  BitWriter w{bytes};
+  std::uint64_t prev = 0;
+  int win_lead = -1, win_len = 0;  // no window open yet
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const std::uint64_t v = updates[i].value;
+    if (i == 0) {
+      w.put(v, 64);
+      prev = v;
+      continue;
+    }
+    const std::uint64_t x = v ^ prev;
+    prev = v;
+    if (x == 0) {
+      w.put(0, 1);
+      continue;
+    }
+    w.put(1, 1);
+    const int lead = std::countl_zero(x);
+    const int trail = std::countr_zero(x);
+    const int win_trail = 64 - win_lead - win_len;
+    if (win_lead >= 0 && lead >= win_lead && trail >= win_trail) {
+      w.put(0, 1);
+      w.put(x >> win_trail, win_len);
+    } else {
+      w.put(1, 1);
+      w.put(static_cast<std::uint64_t>(lead), 6);
+      const int len = 64 - lead - trail;
+      w.put(static_cast<std::uint64_t>(len - 1), 6);
+      w.put(x >> trail, len);
+      win_lead = lead;
+      win_len = len;
+    }
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(2 + (bytes.size() + 7) / 8);
+  words.push_back(updates.size());
+  words.push_back(bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); i += 8) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 8 && i + b < bytes.size(); ++b) {
+      word |= static_cast<std::uint64_t>(bytes[i + b]) << (8 * b);
+    }
+    words.push_back(word);
+  }
+  return words;
+}
+
 std::vector<std::uint64_t> pack_updates_raw(
     const std::vector<VertexUpdate>& updates) {
   std::vector<std::uint64_t> words;
@@ -132,7 +249,8 @@ std::uint64_t coalesce_with_counters(std::vector<VertexUpdate>& bin,
   if (options.combine == UpdateCombine::kNone) return 0;
   counters.uniquify_vertices += bin.size();
   counters.uniquify_bytes += bin.size() * record_bytes;
-  const std::uint64_t removed = coalesce_bin(bin, options.combine);
+  const std::uint64_t removed =
+      coalesce_bin(bin, options.combine, options.lane_value_bits);
   counters.duplicates_removed += removed;
   return removed;
 }
@@ -162,7 +280,8 @@ EncodedBin encode_update_payload(const std::vector<VertexUpdate>& bin,
     counters.encode_bytes += bin.size() * record_bytes;
     const std::uint64_t raw_bytes = bin.size() * record_bytes;
     std::vector<std::uint64_t> body =
-        pack_updates_compressed(bin, options.value_bias);
+        options.gorilla ? pack_updates_gorilla(bin)
+                        : pack_updates_compressed(bin, options.value_bias);
     const bool encoded_wins = body[1] < raw_bytes;
     if (encoded_wins) {
       out.payload_bytes = body[1];
@@ -178,7 +297,9 @@ EncodedBin encode_update_payload(const std::vector<VertexUpdate>& bin,
     out.words.insert(out.words.end(), body.begin(), body.end());
   } else if (options.compress) {
     counters.encode_bytes += bin.size() * record_bytes;
-    out.words = pack_updates_compressed(bin, options.value_bias);
+    out.words = options.gorilla
+                    ? pack_updates_gorilla(bin)
+                    : pack_updates_compressed(bin, options.value_bias);
     out.payload_bytes = out.words[1];  // encoded byte count
   } else {
     out.words = pack_updates_raw(bin);
@@ -206,7 +327,9 @@ std::uint64_t decode_update_payload(std::span<const std::uint64_t> body,
     body = body.subspan(1);
   }
   const std::size_t before = out.size();
-  if (encoded) {
+  if (encoded && options.gorilla) {
+    decode_updates_gorilla(body, out);
+  } else if (encoded) {
     decode_updates_compressed(body, options.value_bias, out);
   } else {
     decode_updates_raw(body, out);
@@ -433,7 +556,9 @@ struct UpdateHopTraits {
 
   bool mergeable() const {
     return opt.combine == UpdateCombine::kMin ||
-           opt.combine == UpdateCombine::kOr;
+           opt.combine == UpdateCombine::kOr ||
+           opt.combine == UpdateCombine::kLaneMin ||
+           opt.combine == UpdateCombine::kLaneSum;
   }
 
   std::vector<std::uint64_t> encode_origin(std::vector<VertexUpdate>& bin,
@@ -973,6 +1098,83 @@ void decode_updates_compressed(std::span<const std::uint64_t> words,
   }
   if (pos != byte_count) {
     throw DecodeError("compressed payload has trailing bytes");
+  }
+}
+
+void decode_updates_gorilla(std::span<const std::uint64_t> words,
+                            std::vector<VertexUpdate>& out) {
+  if (words.size() < 2) {
+    throw DecodeError("gorilla update payload missing its 2-word header");
+  }
+  const std::uint64_t count = words[0];
+  const std::uint64_t byte_count = words[1];
+  const std::uint64_t body_words = words.size() - 2;
+  if (byte_count > body_words * 8 ||
+      (body_words > 0 && byte_count <= (body_words - 1) * 8)) {
+    throw DecodeError("gorilla payload length mismatch: " +
+                      std::to_string(byte_count) + " declared bytes vs " +
+                      std::to_string(body_words) + " body words");
+  }
+  // Every update needs at least one id byte plus one value bit.
+  if (count > byte_count) {
+    throw DecodeError("gorilla update count " + std::to_string(count) +
+                      " exceeds its " + std::to_string(byte_count) +
+                      "-byte payload");
+  }
+  std::size_t pos = 0;
+  const auto get_varint = [&words, &pos, byte_count] {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= byte_count) throw DecodeError("varint truncated");
+      if (shift > 63) throw DecodeError("varint wider than 64 bits");
+      const auto b = static_cast<std::uint8_t>(words[2 + pos / 8] >>
+                                               (8 * (pos % 8)));
+      ++pos;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  };
+  const std::size_t before = out.size();
+  out.reserve(out.size() + count);
+  std::uint64_t prev_id = 0;  // unsigned: delta arithmetic wraps mod 2^64
+  for (std::uint64_t i = 0; i < count; ++i) {
+    prev_id += static_cast<std::uint64_t>(unzigzag(get_varint()));
+    if ((prev_id >> 32) != 0) {
+      throw DecodeError("decoded vertex id overflows 32 bits");
+    }
+    out.push_back(VertexUpdate{static_cast<LocalId>(prev_id), 0});
+  }
+  BitReader r{words, pos, byte_count};
+  std::uint64_t prev = 0;
+  int win_lead = -1, win_len = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v;
+    if (i == 0) {
+      v = r.get(64);
+    } else if (r.get(1) == 0) {
+      v = prev;
+    } else if (r.get(1) == 0) {
+      if (win_lead < 0) {
+        throw DecodeError("gorilla stream reuses a window before opening one");
+      }
+      const int win_trail = 64 - win_lead - win_len;
+      v = prev ^ (r.get(win_len) << win_trail);
+    } else {
+      win_lead = static_cast<int>(r.get(6));
+      win_len = static_cast<int>(r.get(6)) + 1;
+      if (win_lead + win_len > 64) {
+        throw DecodeError("gorilla window exceeds 64 bits");
+      }
+      const int win_trail = 64 - win_lead - win_len;
+      v = prev ^ (r.get(win_len) << win_trail);
+    }
+    out[before + i].value = v;
+    prev = v;
+  }
+  if (r.consumed_end() != byte_count) {
+    throw DecodeError("gorilla payload has trailing bytes");
   }
 }
 

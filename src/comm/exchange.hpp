@@ -100,6 +100,12 @@ void decode_updates_compressed(std::span<const std::uint64_t> words,
                                std::uint64_t value_bias,
                                std::vector<VertexUpdate>& out);
 
+/// Decode a Gorilla-compressed update payload (same [count, byte_count,
+/// bytes packed LE] header; ids as zigzag varint deltas, then the values as
+/// an XOR-vs-previous bit stream with leading/trailing-zero truncation).
+void decode_updates_gorilla(std::span<const std::uint64_t> words,
+                            std::vector<VertexUpdate>& out);
+
 struct ExchangeCounters {
   std::uint64_t bin_vertices = 0;        // vertices placed in bins (pre-dedup)
   std::uint64_t uniquify_vertices = 0;   // records run through uniquify
@@ -159,6 +165,12 @@ enum class UpdateCombine {
   kMin,        // keep the smallest value per vertex (SSSP distances, CC labels)
   kSumDouble,  // IEEE-double sum per vertex (PageRank contributions)
   kOr,         // bitwise OR per vertex (batched-BFS lane words)
+  kLaneMin,    // per-sub-lane MIN of packed value-lane words at
+               // lane_value_bits width (batched SSSP distance candidates);
+               // degenerates to kMin at lane_value_bits = 64
+  kLaneSum,    // per-sub-lane wrapping integer SUM of packed value-lane
+               // words (Brandes sigma accumulation); exact integer adds, so
+               // order-insensitive like kMin/kOr
 };
 
 struct UpdateExchangeOptions {
@@ -187,6 +199,13 @@ struct UpdateExchangeOptions {
   /// the adaptive raw-vs-encoded comparison), not the simulated transport,
   /// which always moves whole words.
   int value_bytes = 8;
+  /// Sub-lane width (bits, one of {8, 16, 32, 64}) of the packed value
+  /// words the kLaneMin/kLaneSum combines fold -- see util::LaneValueSlab.
+  /// Ignored by the other combines.  Lane-valued senders replicate any
+  /// `value_bias` per lane themselves (util::LaneValueSlab::replicate);
+  /// the wire still subtracts/adds the single 64-bit bias word, which is
+  /// per-lane exact as long as every lane is >= its bias lane.
+  int lane_value_bits = 64;
   /// Adaptive per-bin compression: with `compress` also set, each
   /// non-empty outbound bin ships the delta+varint encoding only when it
   /// is smaller than the raw payload (a one-word header flags the choice;
@@ -194,12 +213,20 @@ struct UpdateExchangeOptions {
   /// where varints lose -- scattered ids, large biased values -- while
   /// keeping the wins.
   bool adaptive = false;
+  /// With `compress` also set, use the Gorilla-style float encoder (XOR vs
+  /// previous value + leading/trailing-zero truncation on the bit-cast
+  /// stream) as the encoded representation instead of delta+varint values.
+  /// Built for IEEE-double payloads (PageRank contributions), where varints
+  /// lose; ids still travel as zigzag varint deltas.  `value_bias` is
+  /// ignored (an XOR window needs no floor).  Combine it with `adaptive`
+  /// and the per-bin trial-encode guarantees the wire never exceeds raw.
+  bool gorilla = false;
   /// Routing mode (see sim/topology.hpp and ExchangeOptions::topology).
   /// The multi-hop modes re-coalesce across gathered sources only for the
-  /// order-insensitive combines (kMin, kOr); kSumDouble and kNone forward
-  /// per-source segments and deliver them in source order, which keeps the
-  /// receiver's fold -- including non-associative double addition --
-  /// bit-identical to the flat exchange.
+  /// order-insensitive combines (kMin, kOr, kLaneMin, kLaneSum); kSumDouble
+  /// and kNone forward per-source segments and deliver them in source
+  /// order, which keeps the receiver's fold -- including non-associative
+  /// double addition -- bit-identical to the flat exchange.
   sim::ExchangeTopology topology = sim::ExchangeTopology::kFlat;
   /// NACK/retransmit knobs; consulted only on a lossy transport.
   sim::RetryPolicy retry{};

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "comm/collectives.hpp"
+#include "util/lane_value_slab.hpp"
 
 namespace dsbfs::comm {
 
@@ -21,7 +22,7 @@ int reduce_tag(int iteration, int channel) {
 }
 
 void combine_words(ValueReducer::Op op, std::span<std::uint64_t> acc,
-                   std::span<const std::uint64_t> in) {
+                   std::span<const std::uint64_t> in, int lane_value_bits) {
   switch (op) {
     case ValueReducer::Op::kMin:
       for (std::size_t i = 0; i < acc.size(); ++i) {
@@ -35,6 +36,12 @@ void combine_words(ValueReducer::Op op, std::span<std::uint64_t> acc,
       for (std::size_t i = 0; i < acc.size(); ++i) {
         acc[i] = std::bit_cast<std::uint64_t>(std::bit_cast<double>(acc[i]) +
                                               std::bit_cast<double>(in[i]));
+      }
+      break;
+    case ValueReducer::Op::kLaneMin:
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = util::LaneValueSlab::lane_min_word(acc[i], in[i],
+                                                    lane_value_bits);
       }
       break;
   }
@@ -103,7 +110,11 @@ ValueReducer::ValueReducer(Transport& transport, sim::ClusterSpec spec)
 }
 
 void ValueReducer::reduce(sim::GpuCoord me, std::span<std::uint64_t> values,
-                          Op op, int iteration, int channel) {
+                          Op op, int iteration, int channel,
+                          int lane_value_bits) {
+  // kLaneMin at full width *is* kMin; normalizing keeps W = 1 lane-valued
+  // runs on the scalar reducer's exact wire pattern.
+  if (op == Op::kLaneMin && lane_value_bits == 64) op = Op::kMin;
   const int me_global = spec_.global_gpu(me);
   const int leader = spec_.global_gpu(sim::GpuCoord{me.rank, 0});
   const int tag = reduce_tag(iteration, channel);
@@ -119,7 +130,7 @@ void ValueReducer::reduce(sim::GpuCoord me, std::span<std::uint64_t> values,
   for (int lg = 1; lg < spec_.gpus_per_rank; ++lg) {
     const int peer = spec_.global_gpu(sim::GpuCoord{me.rank, lg});
     const auto words = transport_.recv(me_global, peer, tag);
-    combine_words(op, values, words);
+    combine_words(op, values, words, lane_value_bits);
   }
 
   if (spec_.num_ranks > 1) {
@@ -131,7 +142,8 @@ void ValueReducer::reduce(sim::GpuCoord me, std::span<std::uint64_t> values,
         allreduce_min_words(transport_, rank_leaders_, me.rank, data, tag + 2);
         break;
       case Op::kSum:
-      case Op::kSumDouble: {
+      case Op::kSumDouble:
+      case Op::kLaneMin: {
         // Gather-to-root + combine + broadcast (exact tree shape matters
         // less here; byte volume matches the two-phase model).
         std::vector<std::uint64_t> gathered =
@@ -143,7 +155,8 @@ void ValueReducer::reduce(sim::GpuCoord me, std::span<std::uint64_t> values,
                               gathered.data() +
                                   static_cast<std::ptrdiff_t>(r) *
                                       static_cast<std::ptrdiff_t>(data.size()),
-                              data.size()));
+                              data.size()),
+                          lane_value_bits);
           }
         }
         broadcast_words(transport_, rank_leaders_, me.rank, data, tag + 3);

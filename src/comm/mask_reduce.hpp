@@ -75,16 +75,20 @@ class MaskReducer {
 /// the MIN combiner, PageRank contributions use SUM over doubles.
 class ValueReducer {
  public:
-  enum class Op { kMin, kSum, kSumDouble };
+  enum class Op { kMin, kSum, kSumDouble, kLaneMin };
 
   ValueReducer(Transport& transport, sim::ClusterSpec spec);
 
   /// Collective: element-wise combine of `values` across all GPUs; every
   /// GPU ends with the identical combined vector.  For kSumDouble the words
-  /// are reinterpreted as IEEE doubles.  `channel` keeps concurrent
-  /// reductions within one iteration on disjoint tags.
+  /// are reinterpreted as IEEE doubles; for kLaneMin each word is a packed
+  /// util::LaneValueSlab word combined per sub-lane of `lane_value_bits`
+  /// bits (at 64 it degenerates to kMin, taking the identical code path so
+  /// W = 1 lane-valued runs reproduce the scalar reducer's traffic
+  /// bit-exactly).  `channel` keeps concurrent reductions within one
+  /// iteration on disjoint tags.
   void reduce(sim::GpuCoord me, std::span<std::uint64_t> values, Op op,
-              int iteration, int channel = 0);
+              int iteration, int channel = 0, int lane_value_bits = 64);
 
  private:
   Transport& transport_;

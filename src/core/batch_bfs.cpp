@@ -272,8 +272,11 @@ class BatchBfsAlgorithm {
         const int lane = lane_parent_probe_lane(words[i]);
         const Depth lvl = lane_parent_probe_level(words[i]);
         const std::size_t sl = s.slot(local, lane);
-        if (s.parent_normal[sl] == kParentViaNn &&
-            s.depth_normal[sl] == lvl + 1) {
+        // Min over all senders one level up (see DistributedBfs::finalize):
+        // arrival order is topology-dependent, the id minimum is not.
+        const VertexId cur = s.parent_normal[sl];
+        if ((cur == kParentViaNn || (cur & kParentDelegateTag) == 0) &&
+            s.depth_normal[sl] == lvl + 1 && words[i + 1] < cur) {
           s.parent_normal[sl] = words[i + 1];
         }
       }

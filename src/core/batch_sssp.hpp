@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "sim/perf_model.hpp"
+#include "util/types.hpp"
+
+/// Batched distributed delta-stepping: up to 64 SSSP sources advance in
+/// lockstep on one engine run, the value-lane analogue of
+/// core::DistributedBatchBfs.
+///
+/// ## Lane-valued frontier substrate
+///
+/// Each vertex carries W packed tentative distances in a
+/// util::LaneValueSlab (`value_bits` wide each; the all-ones sentinel is
+/// that width's infinity).  One (vertex, lane) pair is a *slot*; the
+/// per-GPU core::BucketState queues are keyed by slot, so every lane rides
+/// the identical lazy bucket structure single-source delta-stepping uses.
+/// The light/heavy core::EdgePartition split is computed once per run and
+/// shared by all lanes -- edge weights do not depend on the source.
+///
+/// ## What batching amortizes
+///
+/// The relax kernels group the round's fresh slots by vertex and sweep each
+/// active vertex's edge list *once*, serving every active lane of that
+/// vertex from the same weight lookup: the modeled edge traffic per round
+/// is per active *vertex*, not per active slot.  The wire carries one
+/// record per (destination, lane group) -- W * value_bits bits of payload
+/// per improved vertex -- min-coalesced per sub-lane
+/// (comm::UpdateCombine::kLaneMin), and the delegate candidate reduction
+/// moves d * groups_per_item packed words per round instead of W separate
+/// d-word reductions.  bench_ablation_batch_sssp measures the resulting
+/// modeled speedup over W sequential single-source runs.
+///
+/// ## Union bucket schedule
+///
+/// The per-round agreement collective is shared too: the cluster agrees on
+/// the minimum bucket over *all* slots of *all* lanes (one MIN allreduce
+/// per bucket open, one SUM per light sub-round -- exactly the
+/// single-source cadence, independent of W).  A lane with no work in the
+/// agreed bucket simply contributes no fresh slots; since the global
+/// bucket sequence is monotone and every lane's own buckets appear in it,
+/// each lane settles exactly as it would under its private schedule, and
+/// converged per-lane distances are bit-identical to
+/// baseline::serial_delta_sssp per source.  At W = 1 with value_bits = 64
+/// the records, reductions and counters reproduce
+/// core::DistributedDeltaSssp exactly.
+namespace dsbfs::core {
+
+struct BatchSsspOptions {
+  /// Bucket width (see DeltaSsspOptions::delta).
+  std::uint64_t delta = 8;
+  /// Hashed-weight fallback range [1, max_weight]; ignored when the graph
+  /// stores real weights.
+  std::uint32_t max_weight = 15;
+  /// Packed distance width in bits, one of {8, 16, 32, 64}.  Every final
+  /// distance must be strictly below the all-ones sentinel of this width or
+  /// the run throws std::overflow_error; util::value_width_for picks the
+  /// smallest safe width from a distance bound.  64 reproduces the
+  /// single-source wire format at W = 1.
+  int value_bits = 32;
+  /// Two-stream overlap: delegate candidate reduction concurrent with the
+  /// lane-word update exchange.
+  bool overlap = true;
+  /// Min-coalesce outbound lane-word records per bin before the send.
+  bool uniquify = true;
+  /// Delta+varint-encode the (id, lane word) wire payload.
+  bool compress = false;
+  /// Bias compressed values by the open bucket's base distance, replicated
+  /// into every lane position (util::LaneValueSlab::replicate); bit-exact,
+  /// wire bytes only, `compress` only.
+  bool bucket_bias = true;
+  /// Exchange routing mode; bit-exact across all three (kLaneMin re-merges
+  /// at intermediate hops).
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
+  bool collect_counters = true;
+  sim::DeviceModelConfig device_model{};
+  sim::NetModelConfig net_model{};
+  sim::ResilienceOptions resilience{};
+};
+
+struct BatchSsspResult {
+  /// distances[lane][v] = weighted distance from sources[lane];
+  /// kInfiniteDistance for unreachable vertices (the packed sentinel is
+  /// widened on gather).
+  std::vector<std::vector<std::uint64_t>> distances;
+  int iterations = 0;
+  /// Distinct union buckets opened (monotone global schedule).
+  std::uint64_t buckets_processed = 0;
+  int light_iterations = 0;
+  int heavy_iterations = 0;
+  std::uint64_t light_relaxations = 0;  // edge sweeps, all GPUs (per vertex)
+  std::uint64_t heavy_relaxations = 0;
+  double measured_ms = 0;
+  double modeled_ms = 0;
+  sim::ModeledBreakdown modeled;
+  std::uint64_t update_bytes_remote = 0;  // lane-word update traffic
+  std::uint64_t reduce_bytes = 0;         // delegate lane-word reductions
+  sim::FaultReport fault;
+  sim::RunCounters counters;
+};
+
+class DistributedBatchSssp {
+ public:
+  /// `graph` and `cluster` must outlive the DistributedBatchSssp and share
+  /// spec.  Throws std::invalid_argument on delta == 0, max_weight == 0 or
+  /// value_bits not in {8, 16, 32, 64}.
+  DistributedBatchSssp(const graph::DistributedGraph& graph,
+                       sim::Cluster& cluster, BatchSsspOptions options = {});
+
+  const BatchSsspOptions& options() const noexcept { return options_; }
+
+  /// One batched delta-stepping run over `sources` (1 to 64 of them; lane
+  /// `i` computes distances from sources[i]).  Collective over all
+  /// simulated GPUs; callable repeatedly.  Throws std::overflow_error if
+  /// any tentative distance reaches the value_bits sentinel.
+  BatchSsspResult run(const std::vector<VertexId>& sources);
+
+ private:
+  const graph::DistributedGraph& graph_;
+  sim::Cluster& cluster_;
+  BatchSsspOptions options_;
+};
+
+}  // namespace dsbfs::core

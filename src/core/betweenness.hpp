@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/builder.hpp"
+#include "sim/cluster.hpp"
+#include "sim/perf_model.hpp"
+#include "util/types.hpp"
+
+/// Distributed Brandes betweenness centrality over up to 64 sources -- the
+/// first workload composing *two* engine runs on one graph:
+///
+///   1. **Forward**: a multi-source BFS lane sweep (one lane per source)
+///      that records per-lane hop depths and shortest-path counts (sigma).
+///      Sigma rides the discovery wire: one (slot, sigma contribution)
+///      record per cross-GPU edge, sum-coalesced
+///      (comm::UpdateCombine::kLaneSum), so receiving a record *is* the
+///      discovery and no second exchange per iteration is needed.  Delegate
+///      sigma partials reduce with one d x W-word sum collective per level.
+///   2. **Reverse**: the dependency pass walks levels D -> 1.  A successor
+///      `w` at depth d contributes sigma(v) * coef(w) to every predecessor
+///      `v`, with coef(w) = (1 + delta(w)) / sigma(w).  Contributions
+///      travel as (target slot, w_global, coefficient) triples; every
+///      target folds its triples sorted ascending by w_global -- the
+///      canonical order baseline::serial_brandes_pass uses -- so the
+///      non-associative double additions happen in the identical sequence
+///      and the scores match the serial oracle bit for bit.  Triples aimed
+///      at delegates are allgathered so every GPU folds the identical
+///      sorted set and the replicated delegate deltas stay in lockstep.
+///
+/// bc[v] = sum over lanes (in source order) of delta_lane(v), skipping
+/// v == source -- the exact accumulation of baseline::serial_brandes.
+/// Both runs carry the engine's checkpoint/rollback resilience; a
+/// mid-flight GPU failure replays from the last epoch snapshot and
+/// converges to the same bits (tests/test_recovery.cpp chaos case).
+namespace dsbfs::core {
+
+struct BetweennessOptions {
+  /// Two-stream overlap in the forward run (reduce || exchange).
+  bool overlap = true;
+  /// Sum-coalesce duplicate (slot, sigma) records per bin before the send.
+  bool uniquify = true;
+  /// Exchange routing mode for the forward sigma records.
+  sim::ExchangeTopology exchange_topology = sim::ExchangeTopology::kFlat;
+  bool collect_counters = true;
+  sim::DeviceModelConfig device_model{};
+  sim::NetModelConfig net_model{};
+  /// Fault schedule and checkpoint cadence, applied to both engine runs.
+  sim::ResilienceOptions resilience{};
+};
+
+struct BetweennessResult {
+  /// bc[v]: betweenness score accumulated over the requested sources
+  /// (unnormalized, directed-contribution convention of Brandes' algorithm
+  /// on an undirected graph -- identical to baseline::serial_brandes).
+  std::vector<double> scores;
+  int forward_iterations = 0;
+  int reverse_iterations = 0;
+  /// Global depth of the deepest reachable (vertex, lane) slot.
+  Depth max_depth = 0;
+  double measured_ms = 0;  // both runs
+  /// Two-run composition: the forward and reverse replays stitched end to
+  /// end (sim::compose_breakdowns).
+  sim::ModeledBreakdown modeled;
+  double modeled_ms = 0;
+  std::uint64_t update_bytes_remote = 0;  // sigma records + reverse triples
+  std::uint64_t reduce_bytes = 0;         // delegate sigma reductions
+  sim::FaultReport forward_fault;
+  sim::FaultReport reverse_fault;
+};
+
+class BetweennessCentrality {
+ public:
+  /// `graph` and `cluster` must outlive the BetweennessCentrality and share
+  /// spec.
+  BetweennessCentrality(const graph::DistributedGraph& graph,
+                        sim::Cluster& cluster, BetweennessOptions options = {});
+
+  const BetweennessOptions& options() const noexcept { return options_; }
+
+  /// Brandes scores over `sources` (1 to 64; lane `i` sweeps from
+  /// sources[i]).  Collective over all simulated GPUs; callable repeatedly.
+  BetweennessResult run(const std::vector<VertexId>& sources);
+
+ private:
+  const graph::DistributedGraph& graph_;
+  sim::Cluster& cluster_;
+  BetweennessOptions options_;
+};
+
+}  // namespace dsbfs::core

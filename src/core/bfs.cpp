@@ -238,8 +238,16 @@ class BfsAlgorithm {
       for (std::size_t i = 0; i + 1 < words.size(); i += 2) {
         const LocalId local = parent_probe_local(words[i]);
         const Depth lvl = parent_probe_level(words[i]);
-        if (s.parent_normal[local] == kParentViaNn &&
-            s.normal_level(local) == lvl + 1) {
+        // Min over all senders one level up, not first-sender-wins: probe
+        // arrival order depends on the exchange topology, the id minimum
+        // does not.  Eligible slots are unresolved nn discoveries
+        // (kParentViaNn) or already probe-resolved untagged ids; a
+        // delegate-claimed parent (tag bit set) keeps its deterministic
+        // claim.  The seeded source is safe: its level 0 never matches
+        // lvl + 1.
+        const VertexId cur = s.parent_normal[local];
+        if ((cur == kParentViaNn || (cur & kParentDelegateTag) == 0) &&
+            s.normal_level(local) == lvl + 1 && words[i + 1] < cur) {
           s.parent_normal[local] = words[i + 1];
         }
       }

@@ -19,32 +19,11 @@ void BucketState::insert(LocalId v, std::uint64_t dist) {
 
 std::vector<LocalId> BucketState::take(std::uint64_t b,
                                        std::span<const std::uint64_t> dist) {
-  std::vector<LocalId> out;
-  const auto it = buckets_.find(b);
-  if (it == buckets_.end()) return out;
-  entries_ -= it->second.size();
-  out = std::move(it->second);
-  buckets_.erase(it);
-  std::erase_if(out, [&](LocalId v) { return !valid(v, b, dist); });
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return take_with(b, [&](LocalId v) { return dist[v]; });
 }
 
 std::uint64_t BucketState::min_bucket(std::span<const std::uint64_t> dist) {
-  for (auto it = buckets_.begin(); it != buckets_.end();) {
-    std::vector<LocalId>& bucket = it->second;
-    const std::uint64_t b = it->first;
-    const std::size_t before = bucket.size();
-    std::erase_if(bucket, [&](LocalId v) { return !valid(v, b, dist); });
-    entries_ -= before - bucket.size();
-    if (bucket.empty()) {
-      it = buckets_.erase(it);
-    } else {
-      return b;
-    }
-  }
-  return kNoBucket;
+  return min_bucket_with([&](LocalId v) { return dist[v]; });
 }
 
 }  // namespace dsbfs::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -70,6 +71,44 @@ class BucketState {
   /// repeated calls stay cheap and entry_count() tightens toward the truth.
   std::uint64_t min_bucket(std::span<const std::uint64_t> dist);
 
+  /// Accessor-based variants for queues whose ids are not plain array
+  /// indices -- the batched traversals key buckets by (vertex, lane) *slot*
+  /// and read tentative distances out of a util::LaneValueSlab, so the
+  /// distance of entry `id` comes from a callable instead of a span.
+  /// Semantics are identical to the span overloads (which delegate here).
+  template <typename DistFn>
+  std::vector<LocalId> take_with(std::uint64_t b, DistFn&& dist_of) {
+    std::vector<LocalId> out;
+    const auto it = buckets_.find(b);
+    if (it == buckets_.end()) return out;
+    entries_ -= it->second.size();
+    out = std::move(it->second);
+    buckets_.erase(it);
+    std::erase_if(out,
+                  [&](LocalId v) { return bucket_of(dist_of(v)) != b; });
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  template <typename DistFn>
+  std::uint64_t min_bucket_with(DistFn&& dist_of) {
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      std::vector<LocalId>& bucket = it->second;
+      const std::uint64_t b = it->first;
+      const std::size_t before = bucket.size();
+      std::erase_if(bucket,
+                    [&](LocalId v) { return bucket_of(dist_of(v)) != b; });
+      entries_ -= before - bucket.size();
+      if (bucket.empty()) {
+        it = buckets_.erase(it);
+      } else {
+        return b;
+      }
+    }
+    return kNoBucket;
+  }
+
   /// Entries currently queued, *including* stale ones (lazy inserts are
   /// never eagerly deleted).  Zero means definitely empty; nonzero means
   /// "possibly has work", which is the only property the engine's
@@ -80,11 +119,6 @@ class BucketState {
   std::uint64_t inserted_total() const noexcept { return inserted_; }
 
  private:
-  bool valid(LocalId v, std::uint64_t b,
-             std::span<const std::uint64_t> dist) const noexcept {
-    return bucket_of(dist[v]) == b;
-  }
-
   std::uint64_t delta_ = 1;
   std::uint64_t entries_ = 0;
   std::uint64_t inserted_ = 0;

@@ -117,10 +117,19 @@ class GpuState {
   std::unique_ptr<std::atomic<VertexId>[]> parent_delegate;
 
   void set_delegate_parent(LocalId delegate, VertexId parent_vertex) noexcept {
-    // First writer wins is unnecessary: any candidate recorded in the same
-    // iteration is a valid parent (all at the frontier depth); relaxed
-    // stores are safe.
-    parent_delegate[delegate].store(parent_vertex, std::memory_order_relaxed);
+    // Min over encoded candidates (CAS loop).  Every candidate recorded in
+    // an iteration is a valid parent (all at the frontier depth), but the
+    // dd (delegate-stream) and nd (normal-stream) visits race on this slot;
+    // taking the encoding-order minimum makes the surviving candidate
+    // independent of the stream schedule, so parents are bit-stable
+    // run-to-run and across exchange topologies.  (Untagged global ids sort
+    // below kParentDelegateTag-encoded ones, so normal parents win ties.)
+    auto& slot = parent_delegate[delegate];
+    VertexId cur = slot.load(std::memory_order_relaxed);
+    while (parent_vertex < cur &&
+           !slot.compare_exchange_weak(cur, parent_vertex,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   // --- bookkeeping --------------------------------------------------------
@@ -249,8 +258,14 @@ class LaneState {
 
   void set_delegate_parent(LocalId delegate, int lane,
                            VertexId parent_vertex) noexcept {
-    parent_delegate[slot(delegate, lane)].store(parent_vertex,
-                                                std::memory_order_relaxed);
+    // Min over encoded candidates, as in GpuState::set_delegate_parent:
+    // deterministic regardless of which stream records first.
+    auto& sl = parent_delegate[slot(delegate, lane)];
+    VertexId cur = sl.load(std::memory_order_relaxed);
+    while (parent_vertex < cur &&
+           !sl.compare_exchange_weak(cur, parent_vertex,
+                                     std::memory_order_relaxed)) {
+    }
   }
 
   // --- bookkeeping --------------------------------------------------------

@@ -89,14 +89,15 @@ ValueAppMetrics assemble_value_app_metrics(
     const graph::DistributedGraph& graph,
     const std::vector<std::vector<sim::GpuIterationCounters>>& histories,
     bool overlap, const sim::DeviceModelConfig& device_model,
-    const sim::NetModelConfig& net_model) {
+    const sim::NetModelConfig& net_model,
+    std::uint64_t delegate_words_per_item) {
   ValueAppMetrics m;
   const int p = graph.spec().total_gpus();
   const std::uint64_t d = graph.num_delegates();
   const std::size_t rows = histories.empty() ? 0 : histories[0].size();
 
   m.counters.spec = graph.spec();
-  m.counters.delegate_mask_bytes = d * 8;
+  m.counters.delegate_mask_bytes = d * delegate_words_per_item * 8;
   m.counters.blocking_reduce = true;
   m.counters.overlap_comm = overlap;
   m.counters.iterations.resize(rows);
@@ -134,7 +135,7 @@ ValueAppMetrics assemble_value_app_metrics(
     }
     prev_bucket_plus_one = g0.bucket_plus_one;
   }
-  m.reduce_bytes = 2ULL * d * 8 *
+  m.reduce_bytes = 2ULL * d * delegate_words_per_item * 8 *
                    static_cast<std::uint64_t>(graph.spec().num_ranks) *
                    static_cast<std::uint64_t>(rows);
 

@@ -108,10 +108,14 @@ struct ValueAppMetrics {
 /// Row count (and the reduce-bytes volume) derive from the history length,
 /// which with checkpoint/rollback recovery includes replayed iterations --
 /// the honest accounting of what the cluster actually executed.
+/// `delegate_words_per_item` scales the delegate reduction payload: 1 is
+/// the historic d x 8-byte value vector; lane-valued algorithms reduce
+/// groups_per_item() packed words per delegate (d x G x 8 bytes).
 ValueAppMetrics assemble_value_app_metrics(
     const graph::DistributedGraph& graph,
     const std::vector<std::vector<sim::GpuIterationCounters>>& histories,
     bool overlap, const sim::DeviceModelConfig& device_model,
-    const sim::NetModelConfig& net_model);
+    const sim::NetModelConfig& net_model,
+    std::uint64_t delegate_words_per_item = 1);
 
 }  // namespace dsbfs::core

@@ -168,6 +168,7 @@ class PagerankAlgorithm {
                                       : comm::UpdateCombine::kNone,
          .compress = options_.compress,
          .adaptive = options_.adaptive_compress,
+         .gorilla = options_.gorilla,
          .topology = options_.exchange_topology,
          .retry = options_.resilience.retry},
         s.iter);

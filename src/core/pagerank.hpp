@@ -46,6 +46,13 @@ struct PagerankOptions {
   /// raw, so nearly every bin should ship raw and the adaptive run should
   /// track the uncompressed byte volume.
   bool adaptive_compress = false;
+  /// With `compress`: XOR-delta (Gorilla) encode the bit-cast double
+  /// payload instead of varint.  Successive rank shares from one source
+  /// share sign/exponent and most mantissa bits, so the XOR stream
+  /// compresses where varint inflates.  Under `adaptive_compress` each bin
+  /// still trial-encodes and ships whichever of raw/gorilla is smaller, so
+  /// the wire volume is never worse than raw.
+  bool gorilla = false;
 
   /// Exchange routing mode (sim/topology.hpp): flat per-bin all-to-all
   /// (historic default), hierarchical node-leader aggregation, or butterfly

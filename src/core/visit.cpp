@@ -187,9 +187,13 @@ void visit_dd_lanes(LaneState& s) {
         ++k.edges;
         const std::uint64_t hit = miss & s.delegate_visited.lanes(c);
         if (hit == 0) continue;
-        const std::uint64_t prev = s.delegate_out.or_lanes(t, hit);
+        s.delegate_out.or_lanes(t, hit);
         if (s.record_parents) {
-          for (std::uint64_t b = hit & ~prev; b != 0; b &= b - 1) {
+          // Record for every hit lane, not only freshly claimed ones: the
+          // claim split between the delegate and normal streams is racy, so
+          // the deterministic CAS-min in set_delegate_parent must see every
+          // stream's candidate to make the winner schedule-independent.
+          for (std::uint64_t b = hit; b != 0; b &= b - 1) {
             s.set_delegate_parent(t, std::countr_zero(b),
                                   kParentDelegateTag | c);
           }
@@ -210,9 +214,10 @@ void visit_dd_lanes(LaneState& s) {
     for (const LocalId c : row) {
       const std::uint64_t rem = f & ~s.delegate_visited.lanes(c);
       if (rem == 0) continue;
-      const std::uint64_t prev = s.delegate_out.or_lanes(c, rem);
+      s.delegate_out.or_lanes(c, rem);
       if (s.record_parents) {
-        for (std::uint64_t b = rem & ~prev; b != 0; b &= b - 1) {
+        // All candidates feed the CAS-min (see the dd pull above).
+        for (std::uint64_t b = rem; b != 0; b &= b - 1) {
           s.set_delegate_parent(c, std::countr_zero(b),
                                 kParentDelegateTag | t);
         }
@@ -304,10 +309,11 @@ void visit_nd_lanes(LaneState& s) {
         ++k.edges;
         const std::uint64_t hit = miss & s.seen_normal.lanes(v);
         if (hit == 0) continue;
-        const std::uint64_t prev = s.delegate_out.or_lanes(t, hit);
+        s.delegate_out.or_lanes(t, hit);
         if (s.record_parents) {
+          // All candidates feed the CAS-min (see the dd pull above).
           const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
-          for (std::uint64_t b = hit & ~prev; b != 0; b &= b - 1) {
+          for (std::uint64_t b = hit; b != 0; b &= b - 1) {
             s.set_delegate_parent(t, std::countr_zero(b), v_global);
           }
         }
@@ -327,10 +333,11 @@ void visit_nd_lanes(LaneState& s) {
     for (const LocalId c : row) {
       const std::uint64_t rem = f & ~s.delegate_visited.lanes(c);
       if (rem == 0) continue;
-      const std::uint64_t prev = s.delegate_out.or_lanes(c, rem);
+      s.delegate_out.or_lanes(c, rem);
       if (s.record_parents) {
+        // All candidates feed the CAS-min (see the dd pull above).
         const VertexId v_global = spec.global_vertex(me.rank, me.gpu, v);
-        for (std::uint64_t b = rem & ~prev; b != 0; b &= b - 1) {
+        for (std::uint64_t b = rem; b != 0; b &= b - 1) {
           s.set_delegate_parent(c, std::countr_zero(b), v_global);
         }
       }

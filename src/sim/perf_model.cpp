@@ -498,4 +498,34 @@ ModeledBreakdown PerfModel::replay(const RunCounters& run) const {
   return out;
 }
 
+ModeledBreakdown compose_breakdowns(const ModeledBreakdown& a,
+                                    const ModeledBreakdown& b) {
+  ModeledBreakdown out;
+  out.elapsed_ms = a.elapsed_ms + b.elapsed_ms;
+  out.computation_ms = a.computation_ms + b.computation_ms;
+  out.local_comm_ms = a.local_comm_ms + b.local_comm_ms;
+  out.normal_exchange_ms = a.normal_exchange_ms + b.normal_exchange_ms;
+  out.delegate_reduce_ms = a.delegate_reduce_ms + b.delegate_reduce_ms;
+  out.control_ms = a.control_ms + b.control_ms;
+  out.iteration_end_ms = a.iteration_end_ms;
+  out.iteration_end_ms.reserve(a.iteration_end_ms.size() +
+                               b.iteration_end_ms.size());
+  for (const double end : b.iteration_end_ms) {
+    out.iteration_end_ms.push_back(a.elapsed_ms + end);
+  }
+  out.exchange_hops.resize(
+      std::max(a.exchange_hops.size(), b.exchange_hops.size()));
+  for (std::size_t h = 0; h < out.exchange_hops.size(); ++h) {
+    if (h < a.exchange_hops.size()) {
+      out.exchange_hops[h].nvlink_ms += a.exchange_hops[h].nvlink_ms;
+      out.exchange_hops[h].nic_ms += a.exchange_hops[h].nic_ms;
+    }
+    if (h < b.exchange_hops.size()) {
+      out.exchange_hops[h].nvlink_ms += b.exchange_hops[h].nvlink_ms;
+      out.exchange_hops[h].nic_ms += b.exchange_hops[h].nic_ms;
+    }
+  }
+  return out;
+}
+
 }  // namespace dsbfs::sim

@@ -168,6 +168,13 @@ struct ModeledBreakdown {
   std::vector<HopLoad> exchange_hops;
 };
 
+/// Stitch two replays end to end (e.g. betweenness centrality's forward and
+/// reverse engine runs): makespan and category sums add, `b`'s iteration
+/// finish times shift by `a`'s makespan, and per-hop link loads add
+/// element-wise (shorter vector padded with zeros).
+ModeledBreakdown compose_breakdowns(const ModeledBreakdown& a,
+                                    const ModeledBreakdown& b);
+
 class PerfModel {
  public:
   PerfModel() = default;

@@ -758,6 +758,117 @@ TEST(UpdateExchange, AdaptiveNeverExceedsEitherFixedPolicy) {
   EXPECT_LE(bytes[2], bytes[1]);
 }
 
+TEST(UpdateExchange, GorillaRoundTripsAndBeatsVarintOnDoubles) {
+  // Successive PageRank-style shares: same sign/exponent, slowly moving
+  // mantissa.  The XOR stream truncates the shared bits; varint sees
+  // full-width bit-cast integers and inflates past raw.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const auto fill = [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+    auto& bin = bins[static_cast<std::size_t>(1 - g)];
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      const double share = 1.0 / 64.0 + static_cast<double>(i) * 1e-6;
+      bin.push_back(
+          VertexUpdate{static_cast<LocalId>(i), std::bit_cast<std::uint64_t>(share)});
+    }
+  };
+  std::uint64_t bytes[3];
+  std::vector<std::vector<VertexUpdate>> received[3];
+  for (int mode = 0; mode < 3; ++mode) {
+    UpdateExchangeOptions options;
+    options.compress = mode >= 1;
+    options.gorilla = mode == 2;
+    std::vector<ExchangeCounters> counters;
+    received[mode] = run_update_exchange(spec, options, &counters, fill);
+    bytes[mode] = counters[0].send_bytes_remote;
+  }
+  // Bit-exact across raw / varint / gorilla.
+  for (int mode = 1; mode < 3; ++mode) {
+    for (int g = 0; g < 2; ++g) {
+      auto a = received[0][static_cast<std::size_t>(g)];
+      auto b = received[mode][static_cast<std::size_t>(g)];
+      const auto by_id = [](const auto& x, const auto& y) {
+        return x.vertex < y.vertex;
+      };
+      std::sort(a.begin(), a.end(), by_id);
+      std::sort(b.begin(), b.end(), by_id);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].vertex, b[i].vertex) << "mode " << mode;
+        ASSERT_EQ(a[i].value, b[i].value) << "mode " << mode;
+      }
+    }
+  }
+  EXPECT_LT(bytes[2], bytes[0]);  // gorilla beats raw on float payloads
+  EXPECT_LT(bytes[2], bytes[1]);  // and varint loses to both
+}
+
+TEST(UpdateExchange, GorillaAdaptiveNeverExceedsRawOnHostilePayload) {
+  // Uncorrelated full-entropy values AND ids scattered over the full
+  // 32-bit range: the XOR windows never truncate and the id deltas need
+  // 4-5 varint bytes, so forced gorilla pays for its control bits; the
+  // adaptive trial-encode must fall back to raw per bin.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const auto fill = [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+    auto& bin = bins[static_cast<std::size_t>(1 - g)];
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      bin.push_back(VertexUpdate{
+          static_cast<LocalId>(i * 2654435761u), x});
+    }
+  };
+  std::uint64_t raw = 0, forced = 0, adaptive = 0;
+  for (int mode = 0; mode < 3; ++mode) {
+    UpdateExchangeOptions options;
+    options.compress = mode >= 1;
+    options.gorilla = mode >= 1;
+    options.adaptive = mode == 2;
+    std::vector<ExchangeCounters> counters;
+    auto received = run_update_exchange(spec, options, &counters, fill);
+    (mode == 0 ? raw : mode == 1 ? forced : adaptive) =
+        counters[0].send_bytes_remote;
+    for (int g = 0; g < 2; ++g) {
+      EXPECT_EQ(received[static_cast<std::size_t>(g)].size(), 32u);
+    }
+  }
+  EXPECT_GT(forced, raw);      // the payload gorilla was NOT built for
+  EXPECT_LE(adaptive, raw);    // the adaptive guarantee
+  EXPECT_LE(adaptive, forced);
+}
+
+TEST(UpdateExchange, GorillaRepeatAndWindowReuseCompressHard) {
+  // All-identical values exercise the '0' repeat control path: two bits
+  // per value after the first.  The wire must come in far under raw.
+  sim::ClusterSpec spec;
+  spec.num_ranks = 2;
+  spec.gpus_per_rank = 1;
+  const auto fill = [](int g, std::vector<std::vector<VertexUpdate>>& bins) {
+    auto& bin = bins[static_cast<std::size_t>(1 - g)];
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      bin.push_back(VertexUpdate{static_cast<LocalId>(i),
+                                 std::bit_cast<std::uint64_t>(0.25)});
+    }
+  };
+  UpdateExchangeOptions options;
+  options.compress = true;
+  options.gorilla = true;
+  std::vector<ExchangeCounters> counters;
+  auto received = run_update_exchange(spec, options, &counters, fill);
+  EXPECT_LT(counters[0].send_bytes_remote, 64u * 12 / 4);
+  for (int g = 0; g < 2; ++g) {
+    ASSERT_EQ(received[static_cast<std::size_t>(g)].size(), 64u);
+    for (const auto& u : received[static_cast<std::size_t>(g)]) {
+      EXPECT_EQ(u.value, std::bit_cast<std::uint64_t>(0.25));
+    }
+  }
+}
+
 // ---- end-to-end: the exchange options preserve algorithm results ---------
 
 TEST(UpdateExchange, SsspBitExactWithUniquifyOnAndOff) {

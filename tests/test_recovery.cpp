@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/batch_bfs.hpp"
+#include "core/batch_sssp.hpp"
+#include "core/betweenness.hpp"
 #include "core/bfs.hpp"
 #include "core/delta_sssp.hpp"
 #include "core/pagerank.hpp"
@@ -115,6 +117,45 @@ TEST_F(RecoveryTest, DeltaSsspSurvivesGpuFailureBitExact) {
   EXPECT_EQ(hurt.iterations, clean.iterations);
   EXPECT_EQ(hurt.buckets_processed, clean.buckets_processed);
   expect_recovered(hurt.fault);
+}
+
+TEST_F(RecoveryTest, BatchSsspSurvivesGpuFailureBitExact) {
+  sim::Cluster cluster(spec_);
+  const std::vector<VertexId> sources = {3, 11, 42, 7, 100, 1, 9, 63};
+  const core::BatchSsspResult clean =
+      core::DistributedBatchSssp(dg_, cluster).run(sources);
+
+  core::BatchSsspOptions options;
+  options.resilience = kill_gpu1_at2();
+  const core::BatchSsspResult hurt =
+      core::DistributedBatchSssp(dg_, cluster, options).run(sources);
+
+  EXPECT_EQ(hurt.distances, clean.distances);
+  EXPECT_EQ(hurt.iterations, clean.iterations);
+  EXPECT_EQ(hurt.buckets_processed, clean.buckets_processed);
+  expect_recovered(hurt.fault);
+}
+
+TEST_F(RecoveryTest, BetweennessSurvivesGpuFailureInBothRunsBitExact) {
+  // The fault schedule applies to both composed engine runs: GPU 1 dies
+  // entering iteration 2 of the forward sweep AND of the reverse pass.
+  // Scores must still match the clean run's doubles bit for bit.
+  sim::Cluster cluster(spec_);
+  const std::vector<VertexId> sources = {3, 11, 42, 7};
+  const core::BetweennessResult clean =
+      core::BetweennessCentrality(dg_, cluster).run(sources);
+
+  core::BetweennessOptions options;
+  options.resilience = kill_gpu1_at2();
+  const core::BetweennessResult hurt =
+      core::BetweennessCentrality(dg_, cluster, options).run(sources);
+
+  EXPECT_EQ(hurt.scores, clean.scores);
+  EXPECT_EQ(hurt.forward_iterations, clean.forward_iterations);
+  EXPECT_EQ(hurt.reverse_iterations, clean.reverse_iterations);
+  EXPECT_EQ(hurt.max_depth, clean.max_depth);
+  expect_recovered(hurt.forward_fault);
+  expect_recovered(hurt.reverse_fault);
 }
 
 TEST_F(RecoveryTest, PagerankSurvivesGpuFailureBitExact) {
